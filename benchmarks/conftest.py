@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``test_bench_*`` module regenerates one of the paper's evaluation
+artifacts (Table 1, Figures 7/9/10/11) or an ablation. The regenerated
+tables are printed to stdout *and* written to ``benchmarks/results/`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the artifacts behind.
+Scale constants live in :mod:`_config`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,102 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* donor policy: under-filled-first (the paper) vs globally lowest β;
+* split-seed strategy: farthest (default; see the SplitStrategy docs) vs
+  random (the minimal reading of Figure 6);
+* rebuild rounds: single pass vs iterate-to-convergence.
+
+Each ablation runs the extreme-appear scenario — the stress case where the
+merge/split machinery does real work — and reports final F-score and
+compactness per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import DonorPolicy, MaintenanceConfig, SplitStrategy
+from repro.evaluation import summarize
+from repro.experiments import ExperimentConfig, render_table, run_comparison
+
+ABLATION_CONFIG = ExperimentConfig(
+    scenario="extappear",
+    dim=2,
+    initial_size=4_000,
+    num_bubbles=60,
+    update_fraction=0.05,
+    num_batches=8,
+    min_pts=25,
+    seed=0,
+)
+
+VARIANTS: dict[str, MaintenanceConfig] = {
+    "paper defaults (farthest, underfilled-first, 2 rounds)": MaintenanceConfig(),
+    "random split seeds": MaintenanceConfig(
+        split_strategy=SplitStrategy.RANDOM
+    ),
+    "lowest-beta donors": MaintenanceConfig(
+        donor_policy=DonorPolicy.LOWEST_BETA
+    ),
+    "single rebuild pass": MaintenanceConfig(rebuild_rounds=1),
+    "five rebuild passes": MaintenanceConfig(rebuild_rounds=5),
+    "no triangle inequality": MaintenanceConfig(
+        use_triangle_inequality=False
+    ),
+}
+
+
+def run_variant(maintenance: MaintenanceConfig, reps: int = 2):
+    fscores, compacts, computed = [], [], []
+    for rep in range(reps):
+        result = run_comparison(
+            ABLATION_CONFIG,
+            repetition=rep,
+            maintenance=replace(maintenance, seed=rep),
+        )
+        fscores.append(result.incremental.mean_fscore())
+        compacts.append(result.incremental.mean_compactness())
+        computed.append(result.incremental.total_computed())
+    return summarize(fscores), summarize(compacts), summarize(computed)
+
+
+def test_maintenance_ablations(benchmark, emit):
+    def run():
+        return {
+            name: run_variant(config) for name, config in VARIANTS.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{fscore.mean:.4f}",
+            f"{compact.mean:.0f}",
+            f"{computed.mean:,.0f}",
+        ]
+        for name, (fscore, compact, computed) in results.items()
+    ]
+    emit(
+        "ablations",
+        render_table(
+            headers=[
+                "variant",
+                "F-score",
+                "compactness",
+                "distance computations",
+            ],
+            rows=rows,
+            title="Ablation: maintenance design choices "
+            "(extreme-appear scenario).",
+        ),
+    )
+
+    defaults = results[
+        "paper defaults (farthest, underfilled-first, 2 rounds)"
+    ]
+    random_split = results["random split seeds"]
+    # The farthest split strategy is what keeps compactness near the
+    # complete-rebuild level (see SplitStrategy docs).
+    assert defaults[1].mean < random_split[1].mean
+    # Disabling pruning must not change the result, only the cost.
+    no_ti = results["no triangle inequality"]
+    assert no_ti[2].mean > defaults[2].mean

@@ -1,0 +1,110 @@
+"""Component throughput microbenchmarks.
+
+Wall-clock cost of the individual pipeline stages at a fixed scale:
+static construction, one incremental batch, bubble OPTICS + expansion,
+cluster extraction, and the point-level OPTICS reference. These are the
+numbers a downstream user sizes deployments with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BubbleBuilder,
+    BubbleConfig,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+    PointStore,
+    UpdateBatch,
+)
+from repro.clustering import BubbleOptics, PointOptics, extract_candidates
+from repro.data import make_scenario
+
+
+def make_world():
+    """A fresh complex-scenario database with a 100-bubble summary.
+
+    Builders and maintainers rewrite the store's ownership records, so
+    every benchmark that mutates state gets its own world — a shared
+    fixture would let one benchmark corrupt another's bubble memberships.
+    """
+    scenario = make_scenario("complex", dim=2, initial_size=8_000, seed=0)
+    store = PointStore(dim=2)
+    scenario.populate(store)
+    bubbles = BubbleBuilder(BubbleConfig(num_bubbles=100, seed=0)).build(
+        store
+    )
+    return scenario, store, bubbles
+
+
+@pytest.fixture(scope="module")
+def readonly_world():
+    """Shared world for benchmarks that only read the summary."""
+    return make_world()
+
+
+def test_static_construction(benchmark):
+    _, store, _ = make_world()
+    builder = BubbleBuilder(BubbleConfig(num_bubbles=100, seed=1))
+    benchmark(builder.build, store)
+
+
+def test_incremental_batch(benchmark):
+    scenario, store, bubbles = make_world()
+    maintainer = IncrementalMaintainer(
+        bubbles, store, MaintenanceConfig(seed=0)
+    )
+
+    def one_batch():
+        batch = scenario.make_batch(store, 0.05)
+        maintainer.apply_batch(batch)
+
+    benchmark.pedantic(one_batch, rounds=5, iterations=1)
+
+
+def test_bubble_optics(benchmark, readonly_world):
+    _, _, bubbles = readonly_world
+    optics = BubbleOptics(min_pts=40)
+    benchmark(optics.fit, bubbles)
+
+
+def test_expansion_and_extraction(benchmark, readonly_world):
+    _, store, bubbles = readonly_world
+    result = BubbleOptics(min_pts=40).fit(bubbles)
+
+    def run():
+        expanded = result.expanded()
+        return extract_candidates(expanded.reachability, min_size=80)
+
+    benchmark(run)
+
+
+def test_point_optics_reference(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(1_000, 2))
+    optics = PointOptics(min_pts=10)
+    benchmark(optics.fit, points)
+
+
+def test_deletion_throughput(benchmark):
+    """Deletions are O(1) statistic updates — no distance computations."""
+    rng = np.random.default_rng(1)
+    store = PointStore(dim=2)
+    store.insert(rng.normal(size=(20_000, 2)))
+    bubbles = BubbleBuilder(BubbleConfig(num_bubbles=100, seed=0)).build(
+        store
+    )
+    maintainer = IncrementalMaintainer(
+        bubbles, store, MaintenanceConfig(seed=0, rebuild_rounds=1)
+    )
+    alive = iter(store.ids().tolist())
+
+    def delete_hundred():
+        victims = tuple(next(alive) for _ in range(100))
+        maintainer.apply_batch(
+            UpdateBatch(deletions=victims, insertions=np.empty((0, 2)))
+        )
+
+    benchmark.pedantic(delete_hundred, rounds=10, iterations=1)

@@ -1,0 +1,75 @@
+"""Ablation benchmark: compression rate (number of bubbles).
+
+The paper's only remark on the knob is that "larger databases would yield
+similar results using proportionally more data bubbles for achieving the
+summarization" (Section 5). This sweep makes the trade-off explicit at a
+fixed database size: more bubbles buy clustering quality and per-bubble
+resolution at the price of a larger seed matrix (the incremental scheme's
+fixed per-batch cost) and a slower summary-level OPTICS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.evaluation import summarize
+from repro.experiments import ExperimentConfig, render_table, run_comparison
+
+BASE = ExperimentConfig(
+    scenario="complex",
+    dim=2,
+    initial_size=6_000,
+    update_fraction=0.05,
+    num_batches=4,
+    min_pts=25,
+    seed=0,
+)
+
+BUBBLE_COUNTS = (30, 60, 120, 240)
+
+
+def test_compression_rate_sweep(benchmark, emit):
+    def run():
+        rows = []
+        for num_bubbles in BUBBLE_COUNTS:
+            config = replace(BASE, num_bubbles=num_bubbles)
+            fscores, costs = [], []
+            for rep in range(2):
+                result = run_comparison(config, repetition=rep)
+                fscores.append(result.incremental.mean_fscore())
+                costs.append(
+                    result.incremental.total_computed()
+                    / config.num_batches
+                )
+            rows.append(
+                (num_bubbles, summarize(fscores), summarize(costs))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "compression_rate",
+        render_table(
+            headers=[
+                "bubbles",
+                "points/bubble",
+                "incremental F",
+                "incremental dists/batch",
+            ],
+            rows=[
+                [
+                    num,
+                    BASE.initial_size // num,
+                    f"{fscore.mean:.4f}",
+                    f"{cost.mean:,.0f}",
+                ]
+                for num, fscore, cost in rows
+            ],
+            title="Ablation: compression rate (complex scenario, 6000 "
+            "points).",
+        ),
+    )
+    # Quality must not collapse at the coarsest compression, and the
+    # per-batch cost must grow with the bubble count (seed matrix).
+    assert rows[0][1].mean > 0.75
+    assert rows[-1][2].mean > rows[0][2].mean

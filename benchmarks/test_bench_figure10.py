@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 10 (triangle-inequality pruning vs update %).
+
+Paper claim: 60–80% of distance computations are pruned, decreasing slowly
+with larger update batches (new regions lack nearby representatives to
+prune against).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    construction_pruning,
+    render_figure10,
+    run_figure10,
+)
+from repro.experiments.figure9 import DEFAULT_UPDATE_FRACTIONS
+
+from _config import BENCH_CONFIG, BENCH_REPS
+
+
+def test_figure10(benchmark, emit):
+    def run():
+        points = run_figure10(
+            BENCH_CONFIG,
+            update_fractions=DEFAULT_UPDATE_FRACTIONS,
+            repetitions=BENCH_REPS,
+        )
+        anchor = construction_pruning(BENCH_CONFIG, repetitions=BENCH_REPS)
+        return points, anchor
+
+    points, anchor = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure10", render_figure10(points, construction=anchor))
+
+    # The paper's band, with margin for the scaled-down setting.
+    assert 0.6 < anchor.mean < 0.95
+    for point in points:
+        assert 0.5 < point.pruned_fraction.mean < 0.95

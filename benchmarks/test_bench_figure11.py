@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 11 (distance saving factor vs update %).
+
+Paper claim: the incremental scheme (with pruning) saves a factor of
+roughly 200 at 2% updates, falling to roughly 40 at 10% — decreasing in
+the update size because the complete rebuild pays a fixed N·B per batch
+while the incremental cost scales with the insertions. Absolute factors
+scale with N/B (see DESIGN.md); the decreasing tens-to-hundreds shape is
+the contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import render_figure11, run_figure11
+from repro.experiments.figure9 import DEFAULT_UPDATE_FRACTIONS
+
+from _config import BENCH_CONFIG, BENCH_REPS
+
+
+def test_figure11(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: run_figure11(
+            BENCH_CONFIG,
+            update_fractions=DEFAULT_UPDATE_FRACTIONS,
+            repetitions=BENCH_REPS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("figure11", render_figure11(points))
+
+    factors = np.array([p.saving_factor.mean for p in points])
+    # Large throughout, and decreasing from 2% to 10% updates.
+    assert (factors > 5.0).all()
+    assert factors[0] > factors[-1]

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 9 (rebuilt-bubble fraction vs update %).
+
+Paper claim: only a small fraction of the bubbles needs rebuilding per
+batch — the majority adapt in place.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_figure9, run_figure9
+from repro.experiments.figure9 import DEFAULT_UPDATE_FRACTIONS
+
+from _config import BENCH_CONFIG, BENCH_REPS
+
+
+def test_figure9(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: run_figure9(
+            BENCH_CONFIG,
+            update_fractions=DEFAULT_UPDATE_FRACTIONS,
+            repetitions=BENCH_REPS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("figure9", render_figure9(points))
+
+    for point in points:
+        assert point.rebuilt_fraction.mean < 0.25, (
+            f"{point.update_fraction:.0%} updates rebuilt too many bubbles"
+        )

@@ -1,0 +1,36 @@
+"""Benchmark: the staleness trade-off (the paper's motivation, quantified).
+
+Either you pay a full rebuild every batch, or you serve a stale summary —
+the incremental scheme escapes the dilemma. Regenerates the per-batch
+trace and asserts the two halves of the claim: the incremental arm's
+quality at least matches the periodic arm's while its distance cost is a
+small fraction of the amortized rebuild cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import render_staleness, run_staleness
+
+from _config import BENCH_CONFIG
+
+
+def test_staleness(benchmark, emit):
+    config = replace(BENCH_CONFIG, num_batches=10, update_fraction=0.08)
+    result = benchmark.pedantic(
+        lambda: run_staleness(config, rebuild_every=5),
+        rounds=1,
+        iterations=1,
+    )
+    emit("staleness", render_staleness(result))
+
+    assert result.incremental_mean >= result.periodic_mean - 0.02
+    assert (
+        result.incremental_cost.mean < 0.5 * result.periodic_cost.mean
+    ), "incremental must be much cheaper than amortized rebuilds"
+    # The decay signature: quality right before a rebuild is lower than
+    # right after it.
+    before = result.periodic_fscores[3]  # batch 4: stalest point
+    after = result.periodic_fscores[4]   # batch 5: fresh rebuild
+    assert after >= before - 0.02

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 1 (F-score + compactness, both schemes).
+
+Paper rows: Random2d, Appear2d, Disappear2d, Extappear2d, Gradmove2d,
+Random10d, Extappear10d, Complex2d/5d/10d/20d — mean and std over
+repetitions, for the complete-rebuild and incremental schemes.
+
+Expected shape: incremental F within a few points of (sometimes above)
+complete; compactness comparable.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_table1, run_table1
+from repro.experiments.table1 import TABLE1_DATASETS
+
+from _config import BENCH_CONFIG, BENCH_REPS
+
+
+def test_table1_full(benchmark, emit):
+    """All eleven Table 1 dataset rows at benchmark scale."""
+
+    def run():
+        return run_table1(
+            BENCH_CONFIG, repetitions=BENCH_REPS, datasets=TABLE1_DATASETS
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1", render_table1(rows))
+
+    # Shape assertions (the reproduction contract).
+    by_dataset: dict[str, dict[str, object]] = {}
+    for row in rows:
+        by_dataset.setdefault(row.dataset, {})[row.scheme] = row
+    for name, schemes in by_dataset.items():
+        inc, cmp_ = schemes["inc"], schemes["complete"]
+        assert inc.fscore.mean > 0.6, f"{name}: incremental F collapsed"
+        assert inc.fscore.mean > cmp_.fscore.mean - 0.12, (
+            f"{name}: incremental F fell too far below complete rebuild"
+        )

@@ -1,0 +1,122 @@
+"""Customer segmentation drift — the paper's marketing motivation.
+
+Section 1: "for effective marketing and early detection of changing
+purchasing patterns ... it is very important to maintain a large history of
+transactions for all current customers, in order to detect possible
+changes in the clustering structures, which could indicate possible
+changes in the customer behaviour."
+
+This example simulates customer profiles in a 5-dimensional feature space
+(think: recency, frequency, monetary value, basket breadth, discount
+affinity). Over time one established segment erodes (customers churn), a
+new segment emerges (a product launch attracts a new audience), and one
+segment drifts (gradual behaviour change). The incremental data bubbles
+track all of it; after every batch we re-derive the hierarchical
+clustering from the summary — never from the raw history — and report the
+segment structure.
+
+Run:  python examples/customer_segmentation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BubbleBuilder,
+    BubbleConfig,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+    PointStore,
+)
+from repro.clustering import BubbleOptics, extract_cluster_tree
+from repro.data import ComplexScenario, UpdateStream
+from repro.evaluation import fscore_from_labels
+from repro.clustering import majority_bubble_labels
+
+DIM = 5
+CUSTOMERS = 12_000
+BUBBLES = 120
+BATCHES = 8
+UPDATE_FRACTION = 0.08  # 8% of profiles change per reporting period
+
+
+def segment_report(maintainer, store) -> tuple[int, float]:
+    """Cluster the current summary; return (num segments, F vs truth)."""
+    result = BubbleOptics(min_pts=60).fit(maintainer.bubbles)
+    expanded = result.expanded()
+    tree = extract_cluster_tree(
+        expanded.reachability, min_size=int(0.03 * store.size)
+    )
+    spans = [leaf.span() for leaf in tree.leaves()]
+    mapping = majority_bubble_labels(expanded, spans)
+
+    ids, _, truth = store.snapshot()
+    position = {int(pid): i for i, pid in enumerate(ids)}
+    predicted = np.full(store.size, -1, dtype=np.int64)
+    for bubble in maintainer.bubbles:
+        label = mapping.get(bubble.bubble_id, -1)
+        for pid in bubble.members:
+            predicted[position[pid]] = label
+    fscore = fscore_from_labels(truth, predicted).overall
+    return len(spans), fscore
+
+
+def main() -> None:
+    # The complex scenario IS the marketing story: stable segments churn,
+    # one segment disappears, one emerges, one drifts.
+    scenario = ComplexScenario(
+        dim=DIM, initial_size=CUSTOMERS, seed=42, noise_fraction=0.04
+    )
+    store = PointStore(dim=DIM)
+    scenario.populate(store)
+
+    bubbles = BubbleBuilder(BubbleConfig(num_bubbles=BUBBLES, seed=42)).build(
+        store
+    )
+    maintainer = IncrementalMaintainer(
+        bubbles, store, MaintenanceConfig(seed=42)
+    )
+
+    print(f"{CUSTOMERS} customer profiles, {DIM} features, {BUBBLES} bubbles")
+    print(
+        f"dynamics: segment {scenario.victim_label} churning away, "
+        f"segment {scenario.appearing_label} emerging, "
+        f"segment {scenario.mover_label} drifting\n"
+    )
+    num_segments, fscore = segment_report(maintainer, store)
+    print(
+        f"period  0: {num_segments} segments detected "
+        f"(F-score vs truth {fscore:.3f})"
+    )
+
+    stream = UpdateStream(
+        scenario, store, update_fraction=UPDATE_FRACTION, num_batches=BATCHES
+    )
+    for period, batch in enumerate(stream, start=1):
+        report = maintainer.apply_batch(batch)
+        num_segments, fscore = segment_report(maintainer, store)
+        note = (
+            f", {report.num_rebuilt} bubbles repositioned"
+            if report.num_rebuilt
+            else ""
+        )
+        print(
+            f"period {period:2d}: {num_segments} segments detected "
+            f"(F-score vs truth {fscore:.3f}){note}"
+        )
+
+    emerging = store.ids_with_label(scenario.appearing_label).size
+    churned = store.ids_with_label(scenario.victim_label).size
+    print(
+        f"\nfinal state: emerging segment holds {emerging} customers; "
+        f"churning segment is down to {churned}"
+    )
+    print(
+        "the summary was never rebuilt from scratch — every report came "
+        "from incrementally maintained data bubbles"
+    )
+
+
+if __name__ == "__main__":
+    main()

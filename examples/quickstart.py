@@ -1,0 +1,98 @@
+"""Quickstart: summarize, maintain incrementally, cluster hierarchically.
+
+This walks the full public API on a small synthetic database:
+
+1. build data bubbles over an initial database,
+2. apply a batch of insertions/deletions through the incremental
+   maintainer (watch the β quality classes and merge/split at work),
+3. run OPTICS on the bubbles and extract the clustering structure,
+4. compare the incremental summary's clustering against a from-scratch
+   rebuild.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BubbleBuilder,
+    BubbleConfig,
+    DistanceCounter,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+    PointStore,
+    UpdateBatch,
+)
+from repro.clustering import (
+    BubbleOptics,
+    extract_cluster_tree,
+    render_reachability,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1. an initial database of two clusters plus noise --------------
+    points = np.vstack(
+        [
+            rng.normal([0.0, 0.0], 1.0, size=(4_000, 2)),
+            rng.normal([25.0, 25.0], 1.0, size=(4_000, 2)),
+            rng.uniform(-10.0, 35.0, size=(400, 2)),
+        ]
+    )
+    labels = np.array([0] * 4_000 + [1] * 4_000 + [-1] * 400)
+    store = PointStore(dim=2)
+    store.insert(points, labels)
+    print(f"database: {store.size} points in {store.dim}d")
+
+    # --- 2. summarize it into 80 data bubbles ---------------------------
+    counter = DistanceCounter()
+    builder = BubbleBuilder(BubbleConfig(num_bubbles=80, seed=0), counter)
+    bubbles = builder.build(store)
+    snap = counter.snapshot()
+    print(
+        f"built {len(bubbles)} bubbles; triangle inequality pruned "
+        f"{snap.pruned_fraction:.0%} of {snap.considered} distance "
+        f"computations"
+    )
+
+    # --- 3. the database changes: a third cluster appears ---------------
+    maintainer = IncrementalMaintainer(
+        bubbles, store, MaintenanceConfig(seed=0), counter=counter
+    )
+    deletions = tuple(
+        int(i) for i in rng.choice(store.ids(), size=600, replace=False)
+    )
+    new_cluster = rng.normal([25.0, -15.0], 1.0, size=(600, 2))
+    report = maintainer.apply_batch(
+        UpdateBatch(
+            deletions=deletions,
+            insertions=new_cluster,
+            insertion_labels=tuple([2] * 600),
+        )
+    )
+    print(
+        f"batch applied: -{report.num_deletions} +{report.num_insertions} "
+        f"points; {report.num_over_filled} over-filled bubble(s) found, "
+        f"{report.num_rebuilt} bubbles rebuilt by merge/split"
+    )
+
+    # --- 4. hierarchical clustering from the summary ---------------------
+    result = BubbleOptics(min_pts=40).fit(maintainer.bubbles)
+    expanded = result.expanded()
+    tree = extract_cluster_tree(expanded.reachability, min_size=400)
+    print(f"\nreachability plot over {len(expanded)} expanded entries:")
+    print(render_reachability(expanded.reachability, width=72, height=9))
+    print(f"cluster tree depth {tree.depth}; leaves:")
+    for leaf in tree.leaves():
+        print(
+            f"  positions [{leaf.start:5d}, {leaf.end:5d})  "
+            f"size {leaf.size:5d}  split at {leaf.split_value:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Comparing summarization methods: bubbles, clustering features, k-means.
+
+Section 1 of the paper frames the design space: compress the database into
+summaries, then apply a (slightly modified) standard clustering algorithm
+to the summaries. This example runs the three summary pipelines the
+library provides over the same database and prints their structures side
+by side:
+
+1. **data bubbles + OPTICS** — the paper's choice;
+2. **BIRCH CF-tree + OPTICS** with the bubble distance corrections — the
+   summarization the paper decided against, upgraded with the same
+   corrections (competitive, which is exactly Breunig et al.'s point that
+   the corrections carry the quality);
+3. **data bubbles + weighted k-means** — a partitioning algorithm on the
+   same summary (fast flat clustering when the number of clusters is
+   known).
+
+Run:  python examples/summary_methods.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BubbleBuilder, BubbleConfig, PointStore
+from repro.birch import CFTree, cluster_cf_tree
+from repro.clustering import (
+    BubbleOptics,
+    WeightedKMeans,
+    extract_cluster_tree,
+    render_reachability,
+)
+
+SUMMARY_SIZE = 60
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    points = np.vstack(
+        [
+            rng.normal([0.0, 0.0], 0.7, size=(3_000, 2)),
+            rng.normal([14.0, 2.0], 0.9, size=(2_500, 2)),
+            rng.normal([6.0, 12.0], 0.5, size=(1_500, 2)),
+            rng.uniform(-4.0, 18.0, size=(350, 2)),
+        ]
+    )
+    labels = np.array([0] * 3_000 + [1] * 2_500 + [2] * 1_500 + [-1] * 350)
+    print(f"database: {len(points)} points, 3 clusters + noise\n")
+
+    # --- 1. data bubbles + OPTICS ---------------------------------------
+    store = PointStore(dim=2)
+    store.insert(points, labels)
+    bubbles = BubbleBuilder(
+        BubbleConfig(num_bubbles=SUMMARY_SIZE, seed=11)
+    ).build(store)
+    bubble_result = BubbleOptics(min_pts=60).fit(bubbles)
+    expanded = bubble_result.expanded()
+    tree = extract_cluster_tree(expanded.reachability, min_size=700)
+    print(f"data bubbles ({SUMMARY_SIZE} summaries) — OPTICS reachability:")
+    print(render_reachability(expanded.reachability, width=74, height=8))
+    print(f"extracted leaves: {[leaf.size for leaf in tree.leaves()]}\n")
+
+    # --- 2. BIRCH CF-tree + OPTICS --------------------------------------
+    cf_tree = CFTree.fit_threshold(points, max_leaf_entries=SUMMARY_SIZE)
+    cf_result = cluster_cf_tree(cf_tree, min_pts=60)
+    cf_expanded = cf_result.expanded()
+    cf_clusters = extract_cluster_tree(cf_expanded.reachability, min_size=700)
+    print(
+        f"BIRCH CF-tree ({cf_tree.num_leaf_entries} leaf entries, "
+        f"threshold {cf_tree.threshold:.2f}) — OPTICS reachability:"
+    )
+    print(render_reachability(cf_expanded.reachability, width=74, height=8))
+    print(
+        f"extracted leaves: {[leaf.size for leaf in cf_clusters.leaves()]}\n"
+    )
+
+    # --- 3. weighted k-means over the bubbles ---------------------------
+    kmeans = WeightedKMeans(k=3, seed=11)
+    result = kmeans.fit_bubbles(bubbles)
+    sizes = []
+    mapping = kmeans.bubble_labels(bubbles)
+    for cluster in range(3):
+        member_bubbles = [b for b, c in mapping.items() if c == cluster]
+        sizes.append(sum(bubbles[b].n for b in member_bubbles))
+    print(
+        f"weighted k-means (k=3) over the same bubbles: cluster masses "
+        f"{sorted(sizes, reverse=True)} "
+        f"(inertia {result.inertia:,.0f}, {result.iterations} iterations)"
+    )
+    print(
+        "\nall three pipelines ran on summaries only — the raw "
+        f"{len(points)}-point database was scanned once, at construction"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the `wheel` package
+(where `pip install -e .` cannot build an editable wheel) via
+`python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

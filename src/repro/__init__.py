@@ -1,0 +1,104 @@
+"""repro — incremental data bubbles for dynamic hierarchical clustering.
+
+A faithful, self-contained reproduction of Nassar, Sander & Cheng,
+*"Incremental and Effective Data Summarization for Dynamic Hierarchical
+Clustering"* (SIGMOD 2004), including every substrate the paper relies on:
+data bubbles over sufficient statistics, triangle-inequality accelerated
+point assignment, the β quality measure with Chebyshev classification,
+synchronized merge/split maintenance, OPTICS (on points and on bubbles),
+reachability-plot cluster extraction, the paper's six dynamic workload
+scenarios, and the full evaluation harness for Table 1 and Figures 7–11.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        BubbleBuilder, BubbleConfig, IncrementalMaintainer, PointStore,
+    )
+
+    store = PointStore(dim=2)
+    store.insert(np.random.default_rng(0).normal(size=(10_000, 2)))
+    bubbles = BubbleBuilder(BubbleConfig(num_bubbles=100, seed=0)).build(store)
+    maintainer = IncrementalMaintainer(bubbles, store)
+    # ... maintainer.apply_batch(update) as the database changes ...
+"""
+
+from .core import (
+    AdaptiveMaintainer,
+    Assigner,
+    BatchReport,
+    BetaQuality,
+    BubbleBuilder,
+    BubbleClass,
+    BubbleConfig,
+    BubbleSet,
+    CompleteRebuildMaintainer,
+    DataBubble,
+    DonorPolicy,
+    ExtentQuality,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+    NaiveAssigner,
+    QualityMeasure,
+    QualityReport,
+    SplitStrategy,
+    TriangleInequalityAssigner,
+    chebyshev_k,
+    make_assigner,
+)
+from .database import PointStore, UpdateBatch
+from .exceptions import (
+    DimensionMismatchError,
+    DuplicatePointError,
+    EmptyBubbleError,
+    InvalidConfigError,
+    NotFittedError,
+    ReproError,
+    UnknownPointError,
+)
+from .geometry import CounterSnapshot, DistanceCounter
+from .io import load_session, save_session
+from .streaming import SlidingWindowSummarizer
+from .sufficient import SufficientStatistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveMaintainer",
+    "Assigner",
+    "BatchReport",
+    "BetaQuality",
+    "BubbleBuilder",
+    "BubbleClass",
+    "BubbleConfig",
+    "BubbleSet",
+    "CompleteRebuildMaintainer",
+    "CounterSnapshot",
+    "DataBubble",
+    "DimensionMismatchError",
+    "DistanceCounter",
+    "DonorPolicy",
+    "DuplicatePointError",
+    "EmptyBubbleError",
+    "ExtentQuality",
+    "IncrementalMaintainer",
+    "InvalidConfigError",
+    "MaintenanceConfig",
+    "NaiveAssigner",
+    "NotFittedError",
+    "PointStore",
+    "QualityMeasure",
+    "QualityReport",
+    "ReproError",
+    "SlidingWindowSummarizer",
+    "SplitStrategy",
+    "SufficientStatistics",
+    "TriangleInequalityAssigner",
+    "UnknownPointError",
+    "UpdateBatch",
+    "chebyshev_k",
+    "load_session",
+    "make_assigner",
+    "save_session",
+    "__version__",
+]

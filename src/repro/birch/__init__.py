@@ -1,0 +1,16 @@
+"""BIRCH substrate: clustering features, the CF-tree, and its clustering.
+
+The summarization baseline the paper *chose against* (Section 1), built
+here so the bubbles-vs-clustering-features comparison is reproducible —
+see :mod:`repro.birch.cftree` and :func:`repro.birch.cluster_cf_tree`.
+"""
+
+from .cftree import CFTree, ClusteringFeature
+from .summary import CFSummaryResult, cluster_cf_tree
+
+__all__ = [
+    "CFSummaryResult",
+    "CFTree",
+    "ClusteringFeature",
+    "cluster_cf_tree",
+]

@@ -1,0 +1,211 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
+
+    repro-bubbles table1   [--reps 10] [--size 10000] ...
+    repro-bubbles figure7
+    repro-bubbles figure9  [--reps 3]
+    repro-bubbles figure10 [--reps 3]
+    repro-bubbles figure11 [--reps 3]
+    repro-bubbles all      [--quick]
+
+Every command prints the corresponding table/series in the paper's layout.
+``--quick`` shrinks sizes/repetitions for a fast smoke run; the defaults
+correspond to the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from .experiments import (
+    ExperimentConfig,
+    construction_pruning,
+    render_dimension_sweep,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_figure11,
+    render_size_sweep,
+    render_staleness,
+    render_table1,
+    run_dimension_sweep,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_size_sweep,
+    run_staleness,
+    run_table1,
+)
+from .experiments.table1 import TABLE1_DATASETS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bubbles",
+        description=(
+            "Regenerate the evaluation of 'Incremental and Effective Data "
+            "Summarization for Dynamic Hierarchical Clustering' "
+            "(Nassar, Sander & Cheng, SIGMOD 2004)."
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "table1",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "scalability",
+            "staleness",
+            "all",
+        ],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--size", type=int, default=10_000,
+        help="initial database size (default 10000)",
+    )
+    parser.add_argument(
+        "--bubbles", type=int, default=100,
+        help="number of data bubbles (default 100)",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=10,
+        help="update batches per repetition (default 10)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="repetitions (default: 10 for table1, 3 for figures)",
+    )
+    parser.add_argument(
+        "--update-fraction", type=float, default=0.05,
+        help="per-batch update volume for table1 (default 0.05)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes and few repetitions (smoke run)",
+    )
+    return parser
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig(
+        initial_size=args.size,
+        num_bubbles=args.bubbles,
+        num_batches=args.batches,
+        update_fraction=args.update_fraction,
+        seed=args.seed,
+    )
+    if args.quick:
+        config = replace(
+            config,
+            initial_size=min(args.size, 3_000),
+            num_bubbles=min(args.bubbles, 60),
+            num_batches=min(args.batches, 4),
+        )
+    return config
+
+
+def _run_command(command: str, args: argparse.Namespace) -> None:
+    config = _base_config(args)
+    table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)
+    figure_reps = args.reps if args.reps is not None else (2 if args.quick else 3)
+    started = time.perf_counter()
+
+    if command == "table1":
+        datasets = TABLE1_DATASETS[:4] if args.quick else TABLE1_DATASETS
+        rows = run_table1(config, repetitions=table_reps, datasets=datasets)
+        print(render_table1(rows))
+    elif command == "figure7":
+        fig_config = replace(
+            config,
+            scenario="figure7",
+            dim=2,
+            initial_size=min(config.initial_size, 4_000),
+            num_bubbles=min(config.num_bubbles, 50),
+            update_fraction=0.1,
+            num_batches=max(config.num_batches, 8),
+        )
+        print(render_figure7(run_figure7(fig_config)))
+    elif command == "figure8":
+        print(render_figure8(run_figure8(config)))
+    elif command == "figure9":
+        print(render_figure9(run_figure9(config, repetitions=figure_reps)))
+    elif command == "figure10":
+        points = run_figure10(config, repetitions=figure_reps)
+        anchor = construction_pruning(
+            replace(config, scenario="complex"), repetitions=figure_reps
+        )
+        print(render_figure10(points, construction=anchor))
+    elif command == "figure11":
+        print(render_figure11(run_figure11(config, repetitions=figure_reps)))
+    elif command == "staleness":
+        staleness_config = replace(
+            config, scenario="complex", update_fraction=0.08,
+            num_batches=max(config.num_batches, 10),
+        )
+        print(render_staleness(run_staleness(staleness_config, rebuild_every=5)))
+    elif command == "scalability":
+        sizes = (1_000, 2_500, 5_000) if args.quick else (
+            2_500, 5_000, 10_000, 20_000
+        )
+        print(
+            render_size_sweep(
+                run_size_sweep(
+                    config, sizes=sizes, repetitions=figure_reps
+                )
+            )
+        )
+        print()
+        print(
+            render_dimension_sweep(
+                run_dimension_sweep(config, repetitions=figure_reps)
+            )
+        )
+    else:
+        raise ValueError(f"unknown command {command!r}")
+
+    elapsed = time.perf_counter() - started
+    print(f"\n[{command} finished in {elapsed:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    commands = (
+        [
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "scalability",
+            "staleness",
+            "table1",
+        ]
+        if args.command == "all"
+        else [args.command]
+    )
+    for command in commands:
+        _run_command(command, args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

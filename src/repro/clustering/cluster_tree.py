@@ -1,0 +1,109 @@
+"""Cluster-tree structures for hierarchical extraction results.
+
+A cluster extracted from a reachability plot is a contiguous span
+``[start, end)`` of ordering positions; the hierarchical structure is a
+tree of nested spans. :class:`ClusterNode` is one such span with children;
+:class:`ClusterTree` wraps the root(s) and offers the traversals the
+evaluation needs (all nodes as cluster candidates, leaves as a flat
+partition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["ClusterNode", "ClusterTree"]
+
+
+@dataclass
+class ClusterNode:
+    """One cluster: a contiguous region of the reachability ordering.
+
+    Attributes:
+        start: first ordering position of the region (inclusive).
+        end: one past the last ordering position (exclusive).
+        split_value: the reachability height that separated this node from
+            its sibling context (``inf`` for the root).
+        children: nested sub-clusters, in plot order.
+    """
+
+    start: int
+    end: int
+    split_value: float = float("inf")
+    children: list["ClusterNode"] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of ordering positions (points, on an expanded plot)."""
+        return self.end - self.start
+
+    def is_leaf(self) -> bool:
+        """Whether this node has no further sub-structure."""
+        return not self.children
+
+    def span(self) -> tuple[int, int]:
+        """The ``(start, end)`` pair of the region."""
+        return (self.start, self.end)
+
+    def iter_nodes(self) -> Iterator["ClusterNode"]:
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def leaves(self) -> list["ClusterNode"]:
+        """The leaf descendants (this node itself if it is a leaf)."""
+        if self.is_leaf():
+            return [self]
+        result: list[ClusterNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def __contains__(self, position: object) -> bool:
+        if not isinstance(position, int):
+            return False
+        return self.start <= position < self.end
+
+
+@dataclass
+class ClusterTree:
+    """The hierarchical clustering structure extracted from one plot.
+
+    Attributes:
+        root: the node spanning the whole ordering.
+    """
+
+    root: ClusterNode
+
+    def nodes(self) -> list[ClusterNode]:
+        """Every node, pre-order (the root first)."""
+        return list(self.root.iter_nodes())
+
+    def leaves(self) -> list[ClusterNode]:
+        """The finest-resolution flat clustering."""
+        return self.root.leaves()
+
+    def clusters(self) -> list[ClusterNode]:
+        """All *proper* clusters: every node except the all-spanning root.
+
+        The root always spans the entire database and carries no grouping
+        information; evaluation candidates exclude it unless it is the only
+        node.
+        """
+        nodes = self.nodes()
+        if len(nodes) == 1:
+            return nodes
+        return nodes[1:]
+
+    @property
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (a lone root has depth 1)."""
+
+        def walk(node: ClusterNode) -> int:
+            if node.is_leaf():
+                return 1
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self.root)

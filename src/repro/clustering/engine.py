@@ -1,0 +1,100 @@
+"""Shared OPTICS engine.
+
+OPTICS over raw points and OPTICS over data bubbles differ only in three
+plug-in decisions:
+
+* the distance from one object to all others,
+* how many *points* an object stands for (1 for raw points, ``n`` for a
+  bubble), and
+* the core distance of an object given its distances and the weights.
+
+The priority-queue walk itself — visit the closest unprocessed object by
+current reachability, update reachabilities of its neighbours through its
+core distance — is identical, so it lives here once.
+
+The implementation uses a lazy-deletion binary heap (``heapq``), the
+standard way to realise OPTICS' "OrderSeeds" structure: stale entries are
+skipped when popped, which keeps updates O(log n) without a decrease-key
+operation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from .reachability import ReachabilityPlot
+
+__all__ = ["run_optics"]
+
+
+def run_optics(
+    num_objects: int,
+    distances_from: Callable[[int], np.ndarray],
+    core_distance: Callable[[int, np.ndarray], float],
+    eps: float = np.inf,
+) -> ReachabilityPlot:
+    """Compute an OPTICS cluster ordering.
+
+    Args:
+        num_objects: how many objects to order.
+        distances_from: maps an object id to its distance vector to *all*
+            objects (self-distance at its own index, typically 0).
+        core_distance: maps ``(object id, its distance vector)`` to the
+            object's core distance, or ``inf`` if it is not a core object.
+        eps: generating distance; neighbours farther than this never have
+            their reachability updated. ``inf`` (the default used by the
+            evaluation) yields the complete hierarchical ordering.
+
+    Returns:
+        The finished :class:`~repro.clustering.reachability.ReachabilityPlot`.
+    """
+    if num_objects <= 0:
+        raise ValueError("cannot order zero objects")
+
+    processed = np.zeros(num_objects, dtype=bool)
+    reach_by_obj = np.full(num_objects, np.inf)
+    core_by_obj = np.full(num_objects, np.inf)
+    ordering: list[int] = []
+    reach_in_order: list[float] = []
+
+    counter = 0  # tiebreaker keeping heap entries comparable
+    heap: list[tuple[float, int, int]] = []
+
+    def expand(obj: int) -> None:
+        """Mark ``obj`` processed and push reachability updates from it."""
+        nonlocal counter
+        processed[obj] = True
+        ordering.append(obj)
+        reach_in_order.append(float(reach_by_obj[obj]))
+        dists = distances_from(obj)
+        core = core_distance(obj, dists)
+        core_by_obj[obj] = core
+        if not np.isfinite(core):
+            return  # not a core object: expands no neighbourhood
+        candidates = np.flatnonzero(~processed & (dists <= eps))
+        new_reach = np.maximum(dists[candidates], core)
+        improved = new_reach < reach_by_obj[candidates]
+        for idx, reach in zip(candidates[improved], new_reach[improved]):
+            reach_by_obj[idx] = reach
+            counter += 1
+            heapq.heappush(heap, (float(reach), counter, int(idx)))
+
+    for start in range(num_objects):
+        if processed[start]:
+            continue
+        # New component: the start object has undefined (inf) reachability.
+        expand(start)
+        while heap:
+            reach, _, obj = heapq.heappop(heap)
+            if processed[obj] or reach > reach_by_obj[obj]:
+                continue  # stale lazy-deletion entry
+            expand(obj)
+
+    return ReachabilityPlot(
+        ordering=np.asarray(ordering, dtype=np.int64),
+        reachability=np.asarray(reach_in_order, dtype=np.float64),
+        core_distances=core_by_obj,
+    )

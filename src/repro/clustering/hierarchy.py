@@ -1,0 +1,114 @@
+"""Utilities over extracted cluster trees.
+
+The cluster tree of :func:`~repro.clustering.extraction.extract_cluster_tree`
+is the library's hierarchical result object; these helpers turn it into
+the artifacts users actually consume:
+
+* :func:`labels_at_depth` — a flat labelling from cutting the tree at a
+  given depth (depth 1 = the root's children);
+* :func:`leaf_labels` — the finest flat labelling (every leaf a cluster);
+* :func:`render_tree` — an ASCII rendering of the nested structure with
+  sizes and split heights, the terminal counterpart of a dendrogram.
+
+All labellings are in *ordering positions* (the coordinate system of the
+reachability plot); combine with
+:func:`~repro.clustering.extraction.majority_bubble_labels` or the
+ordering array to reach bubble ids or point ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import NOISE_LABEL
+from .cluster_tree import ClusterNode, ClusterTree
+
+__all__ = ["labels_at_depth", "leaf_labels", "render_tree"]
+
+
+def labels_at_depth(tree: ClusterTree, depth: int) -> np.ndarray:
+    """Flat labels from cutting the tree ``depth`` levels below the root.
+
+    Depth 1 labels each child of the root as one cluster; nodes that are
+    leaves above the requested depth keep their (coarser) span. Depth 0 is
+    rejected — it would be the all-spanning root, which carries no
+    grouping.
+
+    Returns:
+        Labels per ordering position; with a childless root, everything
+        belongs to cluster 0 (the database is one cluster at this
+        resolution).
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    size = tree.root.end - tree.root.start
+    labels = np.full(size, NOISE_LABEL, dtype=np.int64)
+
+    clusters: list[ClusterNode] = []
+
+    def collect(node: ClusterNode, level: int) -> None:
+        if level == depth or node.is_leaf():
+            clusters.append(node)
+            return
+        for child in node.children:
+            collect(child, level + 1)
+
+    if tree.root.is_leaf():
+        clusters.append(tree.root)
+    else:
+        for child in tree.root.children:
+            collect(child, 1)
+    for label, node in enumerate(clusters):
+        labels[node.start - tree.root.start : node.end - tree.root.start] = (
+            label
+        )
+    return labels
+
+
+def leaf_labels(tree: ClusterTree) -> np.ndarray:
+    """Flat labels from the tree's leaves (the finest resolution)."""
+    size = tree.root.end - tree.root.start
+    labels = np.full(size, NOISE_LABEL, dtype=np.int64)
+    for label, leaf in enumerate(tree.leaves()):
+        labels[leaf.start - tree.root.start : leaf.end - tree.root.start] = (
+            label
+        )
+    return labels
+
+
+def render_tree(tree: ClusterTree) -> str:
+    """ASCII rendering of the nested cluster structure.
+
+    Each line shows the span, its size, and the reachability height that
+    separated it from its sibling context — a textual dendrogram::
+
+        [0, 4300)  n=4300
+        ├── [0, 1564)  n=1564  split@10.2
+        │   ├── [0, 773)  n=773  split@5.1
+        │   └── [773, 1564)  n=791  split@5.1
+        └── [1564, 4300)  n=2736  split@10.2
+    """
+
+    lines: list[str] = []
+
+    def describe(node: ClusterNode) -> str:
+        split = (
+            f"  split@{node.split_value:.4g}"
+            if np.isfinite(node.split_value)
+            else ""
+        )
+        return f"[{node.start}, {node.end})  n={node.size}{split}"
+
+    def walk(node: ClusterNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(node))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + describe(node))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1, False)
+
+    walk(tree.root, "", True, True)
+    return "\n".join(lines)

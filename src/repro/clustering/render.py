@@ -1,0 +1,69 @@
+"""Plain-text rendering of reachability plots.
+
+Reachability plots are the paper's central visual artifact; this module
+renders one as ASCII bars so CLI runs and examples can show the clustering
+structure without a plotting dependency. Valleys (clusters) read as gaps
+between tall separator columns, exactly as in the paper's Figures 7–8.
+
+The renderer downsamples the ordering into ``width`` buckets (taking the
+*maximum* reachability in each bucket so separators are never lost to the
+downsampling), clips infinite bars to the top row, and scales linearly to
+``height`` text rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_reachability"]
+
+
+def render_reachability(
+    reachability: np.ndarray,
+    width: int = 78,
+    height: int = 12,
+    bar: str = "#",
+) -> str:
+    """Render plot heights as an ASCII bar chart.
+
+    Args:
+        reachability: plot heights in ordering position; ``inf`` allowed.
+        width: output columns (the ordering is max-pooled into this many
+            buckets; narrower inputs are rendered one column per entry).
+        height: output rows for the tallest finite bar.
+        bar: the fill character.
+
+    Returns:
+        A multi-line string, top row first, with a baseline rule and an
+        axis annotation giving the finite maximum.
+    """
+    reach = np.asarray(reachability, dtype=np.float64)
+    if reach.size == 0:
+        raise ValueError("cannot render an empty plot")
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be positive")
+
+    # Max-pool into `width` buckets so separator bars always survive.
+    num = reach.shape[0]
+    columns = min(width, num)
+    edges = np.linspace(0, num, columns + 1).astype(np.int64)
+    pooled = np.array(
+        [reach[edges[i] : edges[i + 1]].max() for i in range(columns)]
+    )
+
+    finite = pooled[np.isfinite(pooled)]
+    top = float(finite.max()) if finite.size and finite.max() > 0 else 1.0
+    levels = np.where(
+        np.isfinite(pooled),
+        np.ceil(np.clip(pooled / top, 0.0, 1.0) * height),
+        height,  # infinite bars hit the ceiling
+    ).astype(np.int64)
+
+    rows = []
+    for row in range(height, 0, -1):
+        rows.append(
+            "".join(bar if level >= row else " " for level in levels)
+        )
+    rows.append("-" * columns)
+    rows.append(f"max finite reachability = {top:.4g}  (n = {num})")
+    return "\n".join(rows)

@@ -1,0 +1,78 @@
+"""The paper's primary contribution: incremental data bubbles.
+
+Public surface:
+
+* :class:`DataBubble`, :class:`BubbleSet` — the summary objects
+  (Definition 1 over sufficient statistics).
+* :class:`BubbleBuilder` + :class:`BubbleConfig` — static construction
+  with triangle-inequality-pruned assignment (Section 3).
+* :class:`NaiveAssigner` / :class:`TriangleInequalityAssigner` — the
+  Figure 2 assignment algorithms.
+* :class:`BetaQuality` / :class:`ExtentQuality` and
+  :class:`QualityReport` — compression-quality classification
+  (Definitions 2–3).
+* :class:`IncrementalMaintainer` + :class:`MaintenanceConfig` — the
+  Section 4 scheme, with :func:`merge_bubble` / :func:`split_bubble` as
+  the Figure 6 operations.
+* :class:`CompleteRebuildMaintainer` — the from-scratch baseline.
+"""
+
+from .adaptive import AdaptiveMaintainer
+from .assignment import (
+    Assigner,
+    NaiveAssigner,
+    TriangleInequalityAssigner,
+    make_assigner,
+)
+from .bubble import DataBubble
+from .bubble_set import BubbleSet
+from .builder import BubbleBuilder
+from .config import (
+    BubbleConfig,
+    DonorPolicy,
+    MaintenanceConfig,
+    SplitStrategy,
+    chebyshev_k,
+)
+from .extent_quality import ExtentQuality
+from .maintenance import BatchReport, IncrementalMaintainer
+from .quality import (
+    BetaQuality,
+    BubbleClass,
+    QualityMeasure,
+    QualityReport,
+    classify_values,
+)
+from .rebuild import CompleteRebuildMaintainer
+from .split_merge import merge_bubble, rebuild_pair, split_bubble
+from .validate import ConsistencyReport, verify_consistency
+
+__all__ = [
+    "AdaptiveMaintainer",
+    "Assigner",
+    "BatchReport",
+    "BetaQuality",
+    "BubbleBuilder",
+    "BubbleClass",
+    "BubbleConfig",
+    "BubbleSet",
+    "CompleteRebuildMaintainer",
+    "ConsistencyReport",
+    "DataBubble",
+    "DonorPolicy",
+    "ExtentQuality",
+    "IncrementalMaintainer",
+    "MaintenanceConfig",
+    "NaiveAssigner",
+    "QualityMeasure",
+    "QualityReport",
+    "SplitStrategy",
+    "TriangleInequalityAssigner",
+    "chebyshev_k",
+    "classify_values",
+    "make_assigner",
+    "merge_bubble",
+    "rebuild_pair",
+    "split_bubble",
+    "verify_consistency",
+]

@@ -1,0 +1,214 @@
+"""The data bubble: sufficient statistics plus membership.
+
+Definition 1 of the paper: a data bubble ``B`` for a point set ``X`` is the
+tuple ``(rep, n, extent, nnDist)``. All of those are derived on demand from
+the additive sufficient statistics ``(n, LS, SS)``
+(:mod:`repro.sufficient`), which is what makes the bubble *incremental*:
+insertions and deletions are O(d) statistic updates.
+
+On top of Definition 1, an incremental bubble needs two more pieces of
+state that the static formulation of Breunig et al. 2001 could leave
+implicit:
+
+* a **seed** — the location used when assigning points to bubbles. During
+  initial construction it is the sampled database point; when a bubble is
+  migrated by the split/merge machinery it is re-seeded from a point of the
+  over-filled bubble (Section 4.2).
+* the **member point ids** — which points the bubble currently summarizes.
+  Deletion support requires knowing each point's bubble (tracked in the
+  :class:`~repro.database.PointStore`), and the split operation draws new
+  seeds "from the current points in B" (Figure 6), so the bubble keeps the
+  id set of its members. Coordinates are *not* duplicated here; they stay
+  in the store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EmptyBubbleError
+from ..sufficient import SufficientStatistics, extent as _extent, nn_dist
+from ..types import BubbleId, Point, PointId
+
+__all__ = ["DataBubble"]
+
+
+class DataBubble:
+    """One incremental data bubble.
+
+    Args:
+        bubble_id: stable identifier within the owning bubble set.
+        seed: the location that points are compared against during
+            assignment; copied defensively.
+
+    The bubble starts empty; points are added with :meth:`absorb` and
+    removed with :meth:`release`.
+    """
+
+    __slots__ = ("_id", "_seed", "_stats", "_members")
+
+    def __init__(self, bubble_id: BubbleId, seed: Point) -> None:
+        seed = np.asarray(seed, dtype=np.float64)
+        if seed.ndim != 1:
+            raise ValueError(f"seed must be a (d,) point, got ndim={seed.ndim}")
+        self._id = int(bubble_id)
+        self._seed = seed.copy()
+        self._stats = SufficientStatistics(dim=seed.shape[0])
+        self._members: set[PointId] = set()
+
+    # ------------------------------------------------------------------
+    # Identity and location
+    # ------------------------------------------------------------------
+    @property
+    def bubble_id(self) -> BubbleId:
+        """Stable identifier within the bubble set."""
+        return self._id
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the summarized points."""
+        return self._stats.dim
+
+    @property
+    def seed(self) -> np.ndarray:
+        """The assignment location (read-only view)."""
+        view = self._seed.view()
+        view.flags.writeable = False
+        return view
+
+    def reseed(self, seed: Point) -> None:
+        """Move the bubble's assignment location (migration, Section 4.2).
+
+        Only legal while the bubble is empty — repositioning a bubble that
+        still summarizes points would silently misplace them.
+        """
+        if not self._stats.is_empty():
+            raise EmptyBubbleError(
+                f"bubble {self._id} must be emptied before reseeding"
+            )
+        seed = np.asarray(seed, dtype=np.float64)
+        if seed.shape != self._seed.shape:
+            raise ValueError(
+                f"seed shape {seed.shape} does not match dim {self.dim}"
+            )
+        self._seed = seed.copy()
+
+    # ------------------------------------------------------------------
+    # Definition 1 quantities
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of points currently summarized."""
+        return self._stats.n
+
+    @property
+    def rep(self) -> np.ndarray:
+        """The representative: mean of the summarized points.
+
+        For an empty bubble the seed doubles as the representative, so the
+        bubble remains placeable (e.g. by OPTICS) until it is recycled.
+        """
+        if self._stats.is_empty():
+            view = self._seed.view()
+            view.flags.writeable = False
+            return view
+        return self._stats.mean()
+
+    @property
+    def extent(self) -> float:
+        """Radius around ``rep`` enclosing the majority of the points.
+
+        Estimated as the average intra-bubble pairwise distance; ``0.0`` for
+        empty or singleton bubbles.
+        """
+        if self._stats.is_empty():
+            return 0.0
+        return _extent(self._stats)
+
+    def nn_dist(self, k: int) -> float:
+        """Estimated average ``k``-nearest-neighbour distance inside the bubble.
+
+        ``0.0`` for empty bubbles (consistent with a zero extent).
+        """
+        if self._stats.is_empty():
+            return 0.0
+        return nn_dist(self._stats, k)
+
+    @property
+    def stats(self) -> SufficientStatistics:
+        """The underlying sufficient statistics (live object, handle with care)."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Membership / incremental updates
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> frozenset[PointId]:
+        """Ids of the points currently summarized (immutable copy)."""
+        return frozenset(self._members)
+
+    def member_ids(self) -> np.ndarray:
+        """Member ids as a sorted numpy array (for vectorised store lookups)."""
+        return np.fromiter(
+            sorted(self._members), dtype=np.int64, count=len(self._members)
+        )
+
+    def absorb(self, point_id: PointId, point: Point) -> None:
+        """Add one point: ``(n, LS, SS) -> (n+1, LS+p, SS+p·p)``."""
+        if point_id in self._members:
+            raise ValueError(
+                f"point {point_id} is already a member of bubble {self._id}"
+            )
+        self._stats.insert(point)
+        self._members.add(point_id)
+
+    def release(self, point_id: PointId, point: Point) -> None:
+        """Remove one member: ``(n, LS, SS) -> (n-1, LS-p, SS-p·p)``."""
+        if point_id not in self._members:
+            raise ValueError(
+                f"point {point_id} is not a member of bubble {self._id}"
+            )
+        self._stats.remove(point)
+        self._members.remove(point_id)
+
+    def absorb_many(self, point_ids: np.ndarray, points: np.ndarray) -> None:
+        """Vectorised :meth:`absorb` for parallel id/coordinate arrays."""
+        if len(point_ids) != len(points):
+            raise ValueError("point_ids and points must align")
+        new_ids = set(int(i) for i in point_ids)
+        if new_ids & self._members:
+            raise ValueError("absorb_many received an existing member")
+        if len(new_ids) != len(point_ids):
+            raise ValueError("absorb_many received duplicate ids")
+        self._stats.insert_many(points)
+        self._members |= new_ids
+
+    def release_many(self, point_ids: np.ndarray, points: np.ndarray) -> None:
+        """Vectorised :meth:`release` for parallel id/coordinate arrays."""
+        if len(point_ids) != len(points):
+            raise ValueError("point_ids and points must align")
+        leaving = set(int(i) for i in point_ids)
+        if len(leaving) != len(point_ids):
+            raise ValueError("release_many received duplicate ids")
+        if not leaving <= self._members:
+            raise ValueError("release_many received a non-member id")
+        self._stats.remove_many(points)
+        self._members -= leaving
+
+    def clear(self) -> list[PointId]:
+        """Empty the bubble, returning the ids it used to summarize.
+
+        Used by the merge step: "the points in B_underfilled are released
+        and are assigned to their next closest data bubble" (Figure 6).
+        """
+        released = sorted(self._members)
+        self._members.clear()
+        self._stats.clear()
+        return released
+
+    def is_empty(self) -> bool:
+        """Whether the bubble currently summarizes no points."""
+        return self._stats.is_empty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataBubble(id={self._id}, n={self.n}, dim={self.dim})"

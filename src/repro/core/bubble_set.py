@@ -1,0 +1,156 @@
+"""A set of data bubbles summarizing one database.
+
+:class:`BubbleSet` is the unit the rest of the system works with: the
+builder produces one, the maintainers mutate one in place, and the
+bubble-aware OPTICS consumes one. It owns the id space of its bubbles
+(dense indices ``0 .. B-1``) and offers the vectorised views (representative
+matrix, β vector) that the quality machinery and the clustering need.
+
+The number of bubbles is fixed over the lifetime of the set — the paper
+maintains "a given number of data bubbles" and recycles under-filled ones
+instead of allocating new ones (Section 4.2); growing/shrinking the set is
+listed as future work. :meth:`add_bubble` exists for that extension but is
+not used by the paper's scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError
+from ..types import BubbleId
+from .bubble import DataBubble
+
+__all__ = ["BubbleSet"]
+
+
+class BubbleSet:
+    """Container of :class:`DataBubble` objects with dense stable ids."""
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self._dim = int(dim)
+        self._bubbles: list[DataBubble] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_bubble(self, seed: np.ndarray) -> DataBubble:
+        """Create a new empty bubble at ``seed`` and return it."""
+        seed = np.asarray(seed, dtype=np.float64)
+        if seed.shape != (self._dim,):
+            raise DimensionMismatchError(
+                f"seed shape {seed.shape} does not match dim {self._dim}"
+            )
+        bubble = DataBubble(bubble_id=len(self._bubbles), seed=seed)
+        self._bubbles.append(bubble)
+        return bubble
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the summarized points."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._bubbles)
+
+    def __iter__(self) -> Iterator[DataBubble]:
+        return iter(self._bubbles)
+
+    def __getitem__(self, bubble_id: BubbleId) -> DataBubble:
+        return self._bubbles[bubble_id]
+
+    def get(self, bubble_id: BubbleId) -> DataBubble:
+        """The bubble with the given id (synonym for indexing)."""
+        return self._bubbles[bubble_id]
+
+    @property
+    def total_points(self) -> int:
+        """Total number of points summarized across all bubbles."""
+        return sum(bubble.n for bubble in self._bubbles)
+
+    def counts(self) -> np.ndarray:
+        """Per-bubble point counts ``n_i`` in id order."""
+        return np.fromiter(
+            (bubble.n for bubble in self._bubbles),
+            dtype=np.int64,
+            count=len(self._bubbles),
+        )
+
+    def betas(self, database_size: int | None = None) -> np.ndarray:
+        """Data summarization indices ``β_i = n_i / N`` (Definition 2).
+
+        Args:
+            database_size: the ``N`` to normalise by. Defaults to the total
+                number of summarized points, which equals the database size
+                whenever every point is assigned to some bubble.
+        """
+        counts = self.counts().astype(np.float64)
+        n_total = (
+            float(database_size)
+            if database_size is not None
+            else float(counts.sum())
+        )
+        if n_total <= 0:
+            return np.zeros_like(counts)
+        return counts / n_total
+
+    def reps(self) -> np.ndarray:
+        """``(B, d)`` matrix of representatives, in id order.
+
+        Empty bubbles contribute their seed (see
+        :attr:`~repro.core.bubble.DataBubble.rep`).
+        """
+        matrix = np.empty((len(self._bubbles), self._dim), dtype=np.float64)
+        for i, bubble in enumerate(self._bubbles):
+            matrix[i] = bubble.rep
+        return matrix
+
+    def seeds(self) -> np.ndarray:
+        """``(B, d)`` matrix of assignment seeds, in id order."""
+        matrix = np.empty((len(self._bubbles), self._dim), dtype=np.float64)
+        for i, bubble in enumerate(self._bubbles):
+            matrix[i] = bubble.seed
+        return matrix
+
+    def extents(self) -> np.ndarray:
+        """Per-bubble extents in id order."""
+        return np.fromiter(
+            (bubble.extent for bubble in self._bubbles),
+            dtype=np.float64,
+            count=len(self._bubbles),
+        )
+
+    def non_empty_ids(self) -> list[BubbleId]:
+        """Ids of bubbles that currently summarize at least one point."""
+        return [b.bubble_id for b in self._bubbles if not b.is_empty()]
+
+    def membership_invariant_ok(self, database_size: int) -> bool:
+        """Check that bubble memberships partition the database.
+
+        True iff the member sets are pairwise disjoint and cover exactly
+        ``database_size`` points. Used by tests and by defensive assertions
+        in the maintainers.
+        """
+        seen: set[int] = set()
+        total = 0
+        for bubble in self._bubbles:
+            members = bubble.members
+            total += len(members)
+            before = len(seen)
+            seen |= members
+            if len(seen) != before + len(members):
+                return False
+        return total == database_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BubbleSet(dim={self._dim}, bubbles={len(self._bubbles)}, "
+            f"points={self.total_points})"
+        )

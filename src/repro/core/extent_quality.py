@@ -1,0 +1,53 @@
+"""Extent-based quality baseline (the measure Figure 7 shows failing).
+
+BIRCH-style clustering features implicitly judge a summary by its *spatial
+extent* — a radius/diameter threshold around the mean. Section 4.1 argues
+that this equalizes the space covered per summary irrespective of point
+density, and Section 5 (Figure 7) demonstrates the failure mode: a bubble
+that absorbs newly inserted clusters barely changes its extent and is never
+flagged, while the paper's β measure flags it immediately.
+
+:class:`ExtentQuality` applies the same Chebyshev outlier rule as
+:class:`~repro.core.quality.BetaQuality` but to the bubbles' extents, which
+makes the two measures directly comparable inside the same maintenance
+machinery:
+
+* extent far *below* the mean (e.g. a bubble emptied by a disappearing
+  cluster) → under-filled → eligible for migration;
+* extent far *above* the mean → over-filled → split.
+
+This reproduces the Figure 7 behaviour: deletions are detected (extents
+collapse), insertions that land inside an existing bubble's region are not
+(extent stays put while β explodes).
+"""
+
+from __future__ import annotations
+
+from .bubble_set import BubbleSet
+from .config import chebyshev_k
+from .quality import QualityMeasure, QualityReport, classify_values
+
+__all__ = ["ExtentQuality"]
+
+
+class ExtentQuality(QualityMeasure):
+    """Chebyshev classification over bubble extents instead of β values.
+
+    Args:
+        probability: Chebyshev probability delimiting the "good" band.
+    """
+
+    def __init__(self, probability: float = 0.9) -> None:
+        chebyshev_k(probability)
+        self._probability = probability
+
+    @property
+    def probability(self) -> float:
+        """The Chebyshev probability in force."""
+        return self._probability
+
+    def classify(
+        self, bubbles: BubbleSet, database_size: int
+    ) -> QualityReport:
+        del database_size  # the extent measure ignores the database size
+        return classify_values(bubbles.extents(), self._probability)

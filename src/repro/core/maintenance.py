@@ -1,0 +1,304 @@
+"""Incremental maintenance of a data-bubble summary (Section 4, Figure 3).
+
+:class:`IncrementalMaintainer` owns a :class:`~repro.core.bubble_set.BubbleSet`
+and keeps it synchronized with a dynamic :class:`~repro.database.PointStore`
+across batches of updates:
+
+1. **Deletions** decrement the sufficient statistics of each deleted
+   point's owning bubble — ``(n, LS, SS) → (n-1, LS-p, SS-p·p)`` — an O(d)
+   update per point with *zero* distance computations (ownership is looked
+   up, not searched).
+2. **Insertions** assign each new point to its closest bubble
+   (triangle-inequality pruned) and increment that bubble's statistics.
+3. **Quality control**: the configured quality measure (β by default)
+   classifies all bubbles; every over-filled bubble is rebuilt by a
+   synchronized merge/split with a donor — an under-filled bubble when one
+   exists, otherwise the lowest-quality good bubble (Section 4.2).
+
+Every batch returns a :class:`BatchReport` carrying the bookkeeping the
+experiments need: how many bubbles were rebuilt (Figure 9), how many
+distance computations were spent and pruned (Figures 10–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..database import PointStore, UpdateBatch
+from ..exceptions import UnknownPointError
+from ..geometry import DistanceCounter
+from ..types import BubbleId
+from .assignment import make_assigner
+from .bubble_set import BubbleSet
+from .config import DonorPolicy, MaintenanceConfig
+from .quality import BetaQuality, BubbleClass, QualityMeasure, QualityReport
+from .split_merge import rebuild_pair
+
+__all__ = ["IncrementalMaintainer", "BatchReport"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one :meth:`IncrementalMaintainer.apply_batch` call did.
+
+    Attributes:
+        num_deletions: points removed from the database in this batch.
+        num_insertions: points added to the database in this batch.
+        num_over_filled: over-filled bubbles found in the *first*
+            classification pass (before any rebuilds).
+        num_under_filled: under-filled bubbles found in the first pass.
+        rebuilt_bubbles: ids of all bubbles touched by merge/split this
+            batch (donors and split bubbles alike) — the numerator of
+            Figure 9's rebuilt-percentage.
+        rounds_run: classification → merge/split passes executed.
+        computed_distances: distance computations spent by this batch.
+        pruned_distances: distance computations avoided by Lemma 1.
+        insertion_pruned_fraction: pruning rate of the insertion
+            assignments only (the Figure 10 quantity).
+    """
+
+    num_deletions: int
+    num_insertions: int
+    num_over_filled: int
+    num_under_filled: int
+    rebuilt_bubbles: tuple[BubbleId, ...]
+    rounds_run: int
+    computed_distances: int
+    pruned_distances: int
+    insertion_pruned_fraction: float
+
+    @property
+    def num_rebuilt(self) -> int:
+        """How many distinct bubbles were rebuilt."""
+        return len(self.rebuilt_bubbles)
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Overall fraction of distance computations avoided this batch."""
+        considered = self.computed_distances + self.pruned_distances
+        if considered == 0:
+            return 0.0
+        return self.pruned_distances / considered
+
+
+class IncrementalMaintainer:
+    """Keeps a bubble summary in sync with a dynamic database.
+
+    Args:
+        bubbles: the summary to maintain (typically fresh from
+            :class:`~repro.core.builder.BubbleBuilder`).
+        store: the database the summary describes. Ownership records in the
+            store must already match ``bubbles`` (the builder guarantees
+            this).
+        config: maintenance parameters (Chebyshev probability, donor
+            policy, split strategy, pruning, rebuild rounds).
+        quality: quality-measure strategy; defaults to the paper's β
+            measure at ``config.probability``. Pass
+            :class:`~repro.core.extent_quality.ExtentQuality` to reproduce
+            the failing baseline of Figure 7.
+        counter: shared distance counter; a private one is created when
+            omitted.
+    """
+
+    def __init__(
+        self,
+        bubbles: BubbleSet,
+        store: PointStore,
+        config: MaintenanceConfig | None = None,
+        quality: QualityMeasure | None = None,
+        counter: DistanceCounter | None = None,
+    ) -> None:
+        self._bubbles = bubbles
+        self._store = store
+        self._config = config if config is not None else MaintenanceConfig()
+        self._quality = (
+            quality
+            if quality is not None
+            else BetaQuality(self._config.probability)
+        )
+        self._counter = counter if counter is not None else DistanceCounter()
+        self._rng = np.random.default_rng(self._config.seed)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def bubbles(self) -> BubbleSet:
+        """The maintained summary."""
+        return self._bubbles
+
+    @property
+    def store(self) -> PointStore:
+        """The underlying database."""
+        return self._store
+
+    @property
+    def counter(self) -> DistanceCounter:
+        """The distance counter accumulating this maintainer's costs."""
+        return self._counter
+
+    @property
+    def config(self) -> MaintenanceConfig:
+        """The maintenance parameters in force."""
+        return self._config
+
+    def classify(self) -> QualityReport:
+        """Classify the current bubbles without performing any rebuilds."""
+        return self._quality.classify(self._bubbles, self._store.size)
+
+    # ------------------------------------------------------------------
+    # The scheme of Figure 3
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> BatchReport:
+        """Apply one batch of deletions + insertions and repair quality."""
+        before = self._counter.snapshot()
+
+        self._apply_deletions(batch)
+        insertion_pruned = self._apply_insertions(batch)
+
+        first_report: QualityReport | None = None
+        rebuilt: list[BubbleId] = []
+        rounds = 0
+        for _ in range(self._config.rebuild_rounds):
+            report = self._quality.classify(self._bubbles, self._store.size)
+            if first_report is None:
+                first_report = report
+            over_ids = report.over_filled_ids
+            if not over_ids:
+                break
+            rounds += 1
+            rebuilt.extend(self._rebuild_over_filled(report))
+
+        if first_report is None:  # rebuild_rounds >= 1, so never taken
+            first_report = self._quality.classify(
+                self._bubbles, self._store.size
+            )
+
+        delta = self._counter.snapshot() - before
+        return BatchReport(
+            num_deletions=batch.num_deletions,
+            num_insertions=batch.num_insertions,
+            num_over_filled=len(first_report.over_filled_ids),
+            num_under_filled=len(first_report.under_filled_ids),
+            rebuilt_bubbles=tuple(sorted(set(rebuilt))),
+            rounds_run=rounds,
+            computed_distances=delta.computed,
+            pruned_distances=delta.pruned,
+            insertion_pruned_fraction=insertion_pruned,
+        )
+
+    # ------------------------------------------------------------------
+    # Step 1: deletions
+    # ------------------------------------------------------------------
+    def _apply_deletions(self, batch: UpdateBatch) -> None:
+        if not batch.deletions:
+            return
+        ids = np.asarray(batch.deletions, dtype=np.int64)
+
+        def owner_of(point_id: int) -> int:
+            owner = self._store.owner(point_id)
+            if owner is None:
+                raise UnknownPointError(
+                    f"point {point_id} is not summarized by any bubble; "
+                    "points must be inserted through the maintainer (or "
+                    "assigned by the builder) before they can be deleted"
+                )
+            return owner
+
+        owners = np.fromiter(
+            (owner_of(int(i)) for i in ids),
+            dtype=np.int64,
+            count=ids.size,
+        )
+        points = self._store.points_of(ids)
+        for owner_id in np.unique(owners):
+            mask = owners == owner_id
+            self._bubbles[int(owner_id)].release_many(ids[mask], points[mask])
+        self._store.delete(ids)
+
+    # ------------------------------------------------------------------
+    # Step 2: insertions
+    # ------------------------------------------------------------------
+    def _apply_insertions(self, batch: UpdateBatch) -> float:
+        if batch.num_insertions == 0:
+            return 0.0
+        new_ids = np.asarray(
+            self._store.insert(batch.insertions, batch.insertion_labels),
+            dtype=np.int64,
+        )
+        points = batch.insertions
+        assigner = make_assigner(
+            self._bubbles.reps(),
+            counter=self._counter,
+            use_triangle_inequality=self._config.use_triangle_inequality,
+            rng=self._rng,
+        )
+        assignment = assigner.assign_many(points)
+        for bubble_id in np.unique(assignment):
+            mask = assignment == bubble_id
+            self._bubbles[int(bubble_id)].absorb_many(
+                new_ids[mask], points[mask]
+            )
+        self._store.set_owners(new_ids, assignment)
+        return assigner.pruned_fraction
+
+    # ------------------------------------------------------------------
+    # Step 3: quality repair (Section 4.2)
+    # ------------------------------------------------------------------
+    def _rebuild_over_filled(self, report: QualityReport) -> list[BubbleId]:
+        """Split every over-filled bubble, worst (highest value) first."""
+        over_ids = sorted(
+            report.over_filled_ids,
+            key=lambda i: report.values[i],
+            reverse=True,
+        )
+        donors = self._donor_queue(report)
+        rebuilt: list[BubbleId] = []
+        for over_id in over_ids:
+            donor_id = next(
+                (d for d in donors if d != over_id and d not in rebuilt),
+                None,
+            )
+            if donor_id is None:
+                break  # donor pool exhausted; remaining splits wait a batch
+            donors.remove(donor_id)
+            rebuild_pair(
+                self._bubbles,
+                self._store,
+                over_id=over_id,
+                donor_id=donor_id,
+                counter=self._counter,
+                rng=self._rng,
+                strategy=self._config.split_strategy,
+                use_triangle_inequality=self._config.use_triangle_inequality,
+                merge_exclude=self._merge_exclude(),
+            )
+            rebuilt.extend((over_id, donor_id))
+        return rebuilt
+
+    def _merge_exclude(self) -> frozenset[BubbleId]:
+        """Bubble ids merges must never target (hook for subclasses)."""
+        return frozenset()
+
+    def _donor_queue(self, report: QualityReport) -> list[BubbleId]:
+        """Donor candidates in preference order.
+
+        The paper's policy: under-filled bubbles first (emptiest first, so
+        merges move the fewest points), then — only when those run out —
+        the lowest-quality good bubbles. The ablation policy ranks all
+        non-over-filled bubbles purely by ascending quality value.
+        """
+        if self._config.donor_policy is DonorPolicy.LOWEST_BETA:
+            eligible = [
+                i
+                for i, cls in enumerate(report.classes)
+                if cls is not BubbleClass.OVER_FILLED
+            ]
+            return sorted(eligible, key=lambda i: report.values[i])
+        under = sorted(
+            report.under_filled_ids, key=lambda i: report.values[i]
+        )
+        good = sorted(report.good_ids, key=lambda i: report.values[i])
+        return list(under) + list(good)

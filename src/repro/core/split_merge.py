@@ -1,0 +1,198 @@
+"""Synchronized merge and split of data bubbles (Section 4.2, Figure 6).
+
+The incremental scheme rebuilds a low-quality bubble pair with two
+operations that always run together:
+
+**Merge** — the donor bubble (under-filled, or the lowest-β good bubble
+when no under-filled one exists) releases its points; each released point
+is assigned to its *next closest* bubble (the donor itself excluded). The
+donor is then empty and free to migrate.
+
+**Split** — the emptied donor is re-seeded at a point drawn from the
+over-filled bubble's members; the over-filled bubble is likewise given a
+new seed from its own members; finally all of the over-filled bubble's
+points are redistributed between the two new seeds. Triangle-inequality
+pruning is used throughout the point assignments, and all distance
+computations flow into the shared :class:`~repro.geometry.DistanceCounter`.
+
+These functions mutate the :class:`~repro.core.bubble_set.BubbleSet` and
+the :class:`~repro.database.PointStore` in tandem and keep the
+membership/ownership invariant intact (every alive point is owned by
+exactly one bubble).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..database import PointStore
+from ..geometry import DistanceCounter
+from ..types import BubbleId
+from .assignment import make_assigner
+from .bubble_set import BubbleSet
+from .config import SplitStrategy
+
+__all__ = ["merge_bubble", "split_bubble", "rebuild_pair"]
+
+
+def merge_bubble(
+    bubbles: BubbleSet,
+    store: PointStore,
+    donor_id: BubbleId,
+    counter: DistanceCounter,
+    use_triangle_inequality: bool = True,
+    rng: np.random.Generator | None = None,
+    exclude: frozenset[BubbleId] = frozenset(),
+) -> int:
+    """Empty the donor bubble, reassigning its points to other bubbles.
+
+    Returns the number of points that were released and re-homed. A donor
+    that is already empty is a no-op (common: bubbles drained by deletions).
+
+    Args:
+        exclude: bubble ids that must not receive points (used by the
+            adaptive maintainer to keep retired bubbles empty).
+    """
+    donor = bubbles[donor_id]
+    if donor.is_empty():
+        return 0
+
+    member_ids = donor.member_ids()
+    points = store.points_of(member_ids)
+    donor.clear()
+
+    # Candidate targets: every other bubble, compared at its representative.
+    other_ids = np.array(
+        [
+            b.bubble_id
+            for b in bubbles
+            if b.bubble_id != donor_id and b.bubble_id not in exclude
+        ],
+        dtype=np.int64,
+    )
+    if other_ids.size == 0:
+        raise ValueError("merge_bubble has no target bubbles left")
+    reps = bubbles.reps()[other_ids]
+    assigner = make_assigner(
+        reps,
+        counter=counter,
+        use_triangle_inequality=use_triangle_inequality,
+        rng=rng,
+    )
+    assignment = other_ids[assigner.assign_many(points)]
+
+    for target_id in np.unique(assignment):
+        mask = assignment == target_id
+        bubbles[int(target_id)].absorb_many(member_ids[mask], points[mask])
+    store.set_owners(member_ids, assignment)
+    return int(member_ids.size)
+
+
+def _select_split_seeds(
+    points: np.ndarray,
+    strategy: SplitStrategy,
+    rng: np.random.Generator,
+    counter: DistanceCounter,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw the two new seeds ``(s1, s2)`` from the over-filled bubble's points."""
+    count = points.shape[0]
+    first = int(rng.integers(count))
+    if strategy is SplitStrategy.FARTHEST and count > 1:
+        dists = counter.point_to_points(points[first], points)
+        second = int(np.argmax(dists))
+    else:
+        second = first
+        if count > 1:
+            while second == first:
+                second = int(rng.integers(count))
+    return points[first].copy(), points[second].copy()
+
+
+def split_bubble(
+    bubbles: BubbleSet,
+    store: PointStore,
+    over_id: BubbleId,
+    donor_id: BubbleId,
+    counter: DistanceCounter,
+    rng: np.random.Generator,
+    strategy: SplitStrategy = SplitStrategy.RANDOM,
+) -> None:
+    """Split the over-filled bubble across itself and the (empty) donor.
+
+    Figure 6, lines after the merge: re-seed the donor at a member ``s1`` of
+    the over-filled bubble, re-seed the over-filled bubble at another
+    member ``s2``, then distribute the over-filled bubble's points between
+    ``s1`` and ``s2``.
+
+    Preconditions: the donor has been emptied by :func:`merge_bubble` and
+    the over-filled bubble is non-empty.
+    """
+    over = bubbles[over_id]
+    donor = bubbles[donor_id]
+    if over_id == donor_id:
+        raise ValueError("a bubble cannot donate to its own split")
+    if not donor.is_empty():
+        raise ValueError(
+            f"donor bubble {donor_id} must be merged (emptied) before a split"
+        )
+    if over.is_empty():
+        raise ValueError(f"cannot split empty bubble {over_id}")
+
+    member_ids = over.member_ids()
+    points = store.points_of(member_ids)
+    seed_one, seed_two = _select_split_seeds(points, strategy, rng, counter)
+
+    donor.reseed(seed_one)
+    over.clear()
+    over.reseed(seed_two)
+
+    # Distribute the points between the two new seeds; with two candidates
+    # the triangle inequality cannot prune, so compute both distances.
+    counter.record_computed(2 * points.shape[0])
+    diff_one = points - seed_one
+    diff_two = points - seed_two
+    to_donor = np.einsum("ij,ij->i", diff_one, diff_one) <= np.einsum(
+        "ij,ij->i", diff_two, diff_two
+    )
+
+    donor.absorb_many(member_ids[to_donor], points[to_donor])
+    over.absorb_many(member_ids[~to_donor], points[~to_donor])
+    owners = np.where(to_donor, donor_id, over_id)
+    store.set_owners(member_ids, owners)
+
+
+def rebuild_pair(
+    bubbles: BubbleSet,
+    store: PointStore,
+    over_id: BubbleId,
+    donor_id: BubbleId,
+    counter: DistanceCounter,
+    rng: np.random.Generator,
+    strategy: SplitStrategy = SplitStrategy.RANDOM,
+    use_triangle_inequality: bool = True,
+    merge_exclude: frozenset[BubbleId] = frozenset(),
+) -> None:
+    """One synchronized merge + split: the unit of Figure 6.
+
+    Note the ordering: the donor's merge may re-home some of its points
+    *into* the over-filled bubble (they are nearby nobody else), which is
+    fine — the subsequent split redistributes them immediately.
+    """
+    merge_bubble(
+        bubbles,
+        store,
+        donor_id,
+        counter,
+        use_triangle_inequality=use_triangle_inequality,
+        rng=rng,
+        exclude=merge_exclude,
+    )
+    split_bubble(
+        bubbles,
+        store,
+        over_id,
+        donor_id,
+        counter,
+        rng,
+        strategy=strategy,
+    )

@@ -1,0 +1,145 @@
+"""Deep consistency validation of a summary against its database.
+
+The incremental machinery maintains three coupled representations — the
+store's ownership records, each bubble's member set, and each bubble's
+sufficient statistics — and a bug in any mutation path silently corrupts
+downstream clustering. :func:`verify_consistency` recomputes everything
+from first principles and reports every violation it finds:
+
+1. **partition** — member sets are pairwise disjoint and cover exactly the
+   alive points;
+2. **ownership** — the store's owner record of every point matches the
+   bubble holding it;
+3. **statistics** — each bubble's ``(n, LS, SS)`` equals a fresh
+   computation over its members' coordinates (within floating point
+   tolerance scaled to the data).
+
+The property-based tests run this after arbitrary update interleavings;
+users can call it after a crash recovery or a custom mutation to know the
+summary is still sound (it is O(N·d) — cheap next to any clustering run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..database import PointStore
+from ..sufficient import SufficientStatistics
+from .bubble_set import BubbleSet
+
+__all__ = ["ConsistencyReport", "verify_consistency"]
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Outcome of a :func:`verify_consistency` run.
+
+    Attributes:
+        ok: whether no violation was found.
+        violations: human-readable description of each violation.
+    """
+
+    ok: bool
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``AssertionError`` listing all violations, if any."""
+        if not self.ok:
+            raise AssertionError(
+                "summary/database inconsistency:\n  "
+                + "\n  ".join(self.violations)
+            )
+
+
+def verify_consistency(
+    bubbles: BubbleSet,
+    store: PointStore,
+    rel_tol: float = 1e-6,
+) -> ConsistencyReport:
+    """Check partition, ownership and statistics agreement.
+
+    Args:
+        bubbles: the summary under test.
+        store: the database it claims to describe.
+        rel_tol: relative tolerance for the statistics comparison (scaled
+            by the coordinate magnitudes involved).
+    """
+    violations: list[str] = []
+    alive = set(int(i) for i in store.ids())
+
+    # 1. Partition: disjoint member sets covering exactly the alive ids.
+    seen: dict[int, int] = {}
+    for bubble in bubbles:
+        for pid in bubble.members:
+            if pid in seen:
+                violations.append(
+                    f"point {pid} is a member of bubbles {seen[pid]} "
+                    f"and {bubble.bubble_id}"
+                )
+            seen[pid] = bubble.bubble_id
+            if pid not in alive:
+                violations.append(
+                    f"bubble {bubble.bubble_id} holds dead point {pid}"
+                )
+    uncovered = alive - seen.keys()
+    if uncovered:
+        sample = sorted(uncovered)[:5]
+        violations.append(
+            f"{len(uncovered)} alive point(s) belong to no bubble "
+            f"(e.g. {sample})"
+        )
+
+    # 2. Ownership agreement.
+    for pid in alive:
+        owner = store.owner(pid)
+        member_of = seen.get(pid)
+        if owner != member_of:
+            violations.append(
+                f"point {pid}: store owner {owner} != member of {member_of}"
+            )
+            if len(violations) > 50:
+                violations.append("... (truncated)")
+                break
+
+    # 3. Statistics agreement.
+    for bubble in bubbles:
+        if bubble.is_empty():
+            if bubble.stats.n != 0:
+                violations.append(
+                    f"bubble {bubble.bubble_id}: empty members but n="
+                    f"{bubble.stats.n}"
+                )
+            continue
+        member_ids = bubble.member_ids()
+        if not set(int(i) for i in member_ids) <= alive:
+            continue  # already reported above
+        points = store.points_of(member_ids)
+        fresh = SufficientStatistics.from_points(points)
+        scale = max(1.0, float(np.abs(points).max()))
+        if bubble.stats.n != fresh.n:
+            violations.append(
+                f"bubble {bubble.bubble_id}: n={bubble.stats.n} but "
+                f"{fresh.n} members"
+            )
+        if not np.allclose(
+            bubble.stats.linear_sum,
+            fresh.linear_sum,
+            rtol=rel_tol,
+            atol=rel_tol * scale * max(fresh.n, 1),
+        ):
+            violations.append(
+                f"bubble {bubble.bubble_id}: LS drifted from member sum"
+            )
+        atol = rel_tol * scale * scale * max(fresh.n, 1)
+        if abs(bubble.stats.square_sum - fresh.square_sum) > max(
+            rel_tol * abs(fresh.square_sum), atol
+        ):
+            violations.append(
+                f"bubble {bubble.bubble_id}: SS drifted from member sum"
+            )
+
+    return ConsistencyReport(
+        ok=not violations, violations=tuple(violations)
+    )

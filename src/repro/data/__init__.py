@@ -1,0 +1,39 @@
+"""Synthetic dynamic data: mixtures, the six Section 5 scenarios, streams."""
+
+from .gaussian import ClusterSpec, MixtureModel, well_separated_mixture
+from .scenarios import (
+    SCENARIO_KINDS,
+    AppearScenario,
+    ComplexScenario,
+    DisappearScenario,
+    DynamicScenario,
+    ExtremeAppearScenario,
+    Figure7Scenario,
+    GradMoveScenario,
+    RandomScenario,
+    make_scenario,
+)
+from .shapes import nested_density_mixture, ring, varying_density_mixture
+from .stream import UpdateStream, apply_raw, clone_batch_for
+
+__all__ = [
+    "AppearScenario",
+    "ClusterSpec",
+    "ComplexScenario",
+    "DisappearScenario",
+    "DynamicScenario",
+    "ExtremeAppearScenario",
+    "Figure7Scenario",
+    "GradMoveScenario",
+    "MixtureModel",
+    "RandomScenario",
+    "SCENARIO_KINDS",
+    "UpdateStream",
+    "apply_raw",
+    "clone_batch_for",
+    "make_scenario",
+    "nested_density_mixture",
+    "ring",
+    "varying_density_mixture",
+    "well_separated_mixture",
+]

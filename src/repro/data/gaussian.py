@@ -1,0 +1,264 @@
+"""Synthetic Gaussian-mixture databases.
+
+The evaluation (Section 5) uses synthetic databases of 50,000–110,000
+points in 2, 5, 10 and 20 dimensions, built from Gaussian clusters plus
+uniform background noise, "to simulate the various scenarios ... which
+allow us to analyze the effectiveness of our scheme for different changes
+to the data distribution".
+
+:class:`ClusterSpec` describes one spherical Gaussian cluster;
+:class:`MixtureModel` samples labelled points from a set of clusters plus a
+uniform noise component. :func:`well_separated_mixture` fabricates a
+mixture whose cluster centres keep a minimum pairwise separation (in units
+of their standard deviations), which is what makes ground-truth F-scores
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import NOISE_LABEL
+
+__all__ = ["ClusterSpec", "MixtureModel", "well_separated_mixture"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One spherical Gaussian cluster.
+
+    Attributes:
+        center: the mean, shape ``(d,)``.
+        std: isotropic standard deviation.
+        label: ground-truth label carried by points of this cluster.
+    """
+
+    center: np.ndarray
+    std: float
+    label: int
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=np.float64)
+        if center.ndim != 1:
+            raise ValueError("center must be a (d,) vector")
+        if self.std <= 0:
+            raise ValueError(f"std must be positive, got {self.std}")
+        if self.label < 0:
+            raise ValueError("cluster labels must be non-negative")
+        object.__setattr__(self, "center", center)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the cluster."""
+        return int(self.center.shape[0])
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` points from this cluster."""
+        return rng.normal(self.center, self.std, size=(count, self.dim))
+
+    def shifted(self, offset: np.ndarray) -> "ClusterSpec":
+        """A copy of this cluster with its centre moved by ``offset``."""
+        return ClusterSpec(
+            center=self.center + np.asarray(offset, dtype=np.float64),
+            std=self.std,
+            label=self.label,
+        )
+
+
+class MixtureModel:
+    """A set of Gaussian clusters plus uniform background noise.
+
+    Args:
+        clusters: the cluster components; may be empty (pure noise).
+        noise_fraction: expected fraction of sampled points that are noise.
+        bounds: ``(low, high)`` arrays of shape ``(d,)`` delimiting the
+            uniform noise region; defaults to the cluster bounding box
+            padded by three standard deviations.
+        weights: relative sampling weights of the clusters; uniform when
+            omitted.
+    """
+
+    def __init__(
+        self,
+        clusters: list[ClusterSpec],
+        noise_fraction: float = 0.0,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        if not 0.0 <= noise_fraction <= 1.0:
+            raise ValueError(
+                f"noise_fraction must lie in [0, 1], got {noise_fraction}"
+            )
+        if not clusters and noise_fraction < 1.0 and bounds is None:
+            raise ValueError("a mixture needs clusters, full noise, or bounds")
+        dims = {c.dim for c in clusters}
+        if len(dims) > 1:
+            raise ValueError("all clusters must share one dimensionality")
+        self._clusters = list(clusters)
+        self._noise_fraction = float(noise_fraction)
+        if weights is None:
+            self._weights = (
+                np.full(len(clusters), 1.0 / len(clusters))
+                if clusters
+                else np.empty(0)
+            )
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (len(clusters),) or (weights < 0).any():
+                raise ValueError("weights must be non-negative, one per cluster")
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError("weights must not all be zero")
+            self._weights = weights / total
+        if bounds is not None:
+            low, high = bounds
+            self._bounds = (
+                np.asarray(low, dtype=np.float64),
+                np.asarray(high, dtype=np.float64),
+            )
+        elif clusters:
+            centers = np.stack([c.center for c in clusters])
+            pad = 3.0 * max(c.std for c in clusters)
+            self._bounds = (centers.min(axis=0) - pad, centers.max(axis=0) + pad)
+        else:
+            self._bounds = None  # pure-noise mixtures require explicit bounds
+
+    @property
+    def clusters(self) -> list[ClusterSpec]:
+        """The cluster components (copy of the list, shared specs)."""
+        return list(self._clusters)
+
+    @property
+    def noise_fraction(self) -> float:
+        """Expected fraction of noise points per sample."""
+        return self._noise_fraction
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The uniform-noise bounding box."""
+        return self._bounds
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the mixture."""
+        if self._clusters:
+            return self._clusters[0].dim
+        if self._bounds is not None:
+            return int(self._bounds[0].shape[0])
+        raise ValueError("mixture dimensionality is undefined")
+
+    def labels(self) -> list[int]:
+        """The ground-truth labels of the cluster components."""
+        return [c.label for c in self._clusters]
+
+    def sample(
+        self, count: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` labelled points from the mixture.
+
+        Returns:
+            ``(points, labels)`` where noise points carry
+            :data:`~repro.types.NOISE_LABEL`.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        dim = self.dim
+        points = np.empty((count, dim), dtype=np.float64)
+        labels = np.empty(count, dtype=np.int64)
+        if count == 0:
+            return points, labels
+
+        is_noise = rng.random(count) < self._noise_fraction
+        num_noise = int(is_noise.sum())
+        if num_noise and self._bounds is None:
+            raise ValueError("mixture cannot sample noise without bounds")
+        if num_noise:
+            low, high = self._bounds
+            points[is_noise] = rng.uniform(low, high, size=(num_noise, dim))
+            labels[is_noise] = NOISE_LABEL
+
+        num_clustered = count - num_noise
+        if num_clustered:
+            if not self._clusters:
+                raise ValueError("mixture has no clusters to sample from")
+            choice = rng.choice(
+                len(self._clusters), size=num_clustered, p=self._weights
+            )
+            clustered_rows = np.flatnonzero(~is_noise)
+            for idx, cluster in enumerate(self._clusters):
+                rows = clustered_rows[choice == idx]
+                if rows.size == 0:
+                    continue
+                points[rows] = cluster.sample(rows.size, rng)
+                labels[rows] = cluster.label
+        return points, labels
+
+    def without(self, label: int) -> "MixtureModel":
+        """A copy of this mixture with the given cluster removed."""
+        remaining = [c for c in self._clusters if c.label != label]
+        if len(remaining) == len(self._clusters):
+            raise KeyError(f"no cluster with label {label}")
+        return MixtureModel(
+            remaining,
+            noise_fraction=self._noise_fraction,
+            bounds=self._bounds,
+        )
+
+    def with_cluster(self, cluster: ClusterSpec) -> "MixtureModel":
+        """A copy of this mixture with one more cluster component."""
+        return MixtureModel(
+            self._clusters + [cluster],
+            noise_fraction=self._noise_fraction,
+            bounds=self._bounds,
+        )
+
+
+def well_separated_mixture(
+    dim: int,
+    num_clusters: int,
+    rng: np.random.Generator,
+    std: float = 1.0,
+    separation: float = 10.0,
+    noise_fraction: float = 0.05,
+    box: float = 100.0,
+    max_tries: int = 10_000,
+) -> MixtureModel:
+    """A mixture whose cluster centres are at least ``separation·std`` apart.
+
+    Centres are rejection-sampled uniformly in ``[0, box]^dim``; standard
+    deviations are all ``std``. With the defaults, clusters are clearly
+    separated at any of the evaluated dimensionalities, matching the
+    synthetic set-up of Section 5.
+
+    Raises:
+        RuntimeError: if rejection sampling cannot place all centres (box
+            too small for the requested separation).
+    """
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    centers: list[np.ndarray] = []
+    min_dist = separation * std
+    tries = 0
+    while len(centers) < num_clusters:
+        tries += 1
+        if tries > max_tries:
+            raise RuntimeError(
+                f"could not place {num_clusters} centres with separation "
+                f"{min_dist} in [0, {box}]^{dim}"
+            )
+        candidate = rng.uniform(0.0, box, size=dim)
+        if all(
+            float(np.linalg.norm(candidate - c)) >= min_dist for c in centers
+        ):
+            centers.append(candidate)
+    clusters = [
+        ClusterSpec(center=center, std=std, label=i)
+        for i, center in enumerate(centers)
+    ]
+    low = np.zeros(dim)
+    high = np.full(dim, box)
+    return MixtureModel(
+        clusters, noise_fraction=noise_fraction, bounds=(low, high)
+    )

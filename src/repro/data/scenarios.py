@@ -1,0 +1,576 @@
+"""The paper's six dynamic database scenarios (Section 5).
+
+Each scenario owns a mixture model, produces the initial database, and
+manufactures :class:`~repro.database.UpdateBatch` objects that keep the
+database size constant (the paper assumes "on average there will be an
+equal number of insertions and deletions"). A batch of *update fraction*
+``f`` deletes ``f/2 · N`` points and inserts ``f/2 · N`` new ones.
+
+The scenarios:
+
+* **random** — points inserted and deleted randomly according to the
+  static data distribution.
+* **appear** — a new cluster appears over time, inside the region already
+  covered by noise.
+* **extappear** (extreme appear) — a new cluster appears in a completely
+  new region without any previous points, not even noise.
+* **disappear** — an existing cluster is drained until it is gone.
+* **gradmove** — one cluster gradually moves across the space: its points
+  are deleted at the old location and re-inserted around a drifting
+  centre.
+* **complex** — all of the above at once (Figure 8): several clusters
+  churn randomly while one appears, one disappears and one moves.
+
+Plus :class:`Figure7Scenario`, the small qualitative set-up of Figure 7
+(two clusters; the middle one disappears while two new clusters appear far
+to the right), used to contrast the β and extent quality measures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..database import PointStore, UpdateBatch
+from ..types import Label
+from .gaussian import ClusterSpec, MixtureModel, well_separated_mixture
+
+__all__ = [
+    "DynamicScenario",
+    "RandomScenario",
+    "AppearScenario",
+    "ExtremeAppearScenario",
+    "DisappearScenario",
+    "GradMoveScenario",
+    "ComplexScenario",
+    "Figure7Scenario",
+    "make_scenario",
+    "SCENARIO_KINDS",
+]
+
+
+class DynamicScenario(ABC):
+    """Base class: initial database + a stream of constant-size batches.
+
+    Args:
+        dim: data dimensionality.
+        initial_size: number of points in the initial database.
+        seed: RNG seed driving sampling and update selection.
+        num_clusters: Gaussian clusters in the base mixture.
+        noise_fraction: uniform background noise fraction.
+        std: cluster standard deviation.
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        dim: int,
+        initial_size: int,
+        seed: int | None = None,
+        num_clusters: int = 4,
+        noise_fraction: float = 0.05,
+        std: float = 1.0,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if initial_size < 1:
+            raise ValueError(
+                f"initial_size must be >= 1, got {initial_size}"
+            )
+        self._dim = dim
+        self._initial_size = initial_size
+        self._rng = np.random.default_rng(seed)
+        self._mixture = well_separated_mixture(
+            dim,
+            num_clusters,
+            self._rng,
+            std=std,
+            noise_fraction=noise_fraction,
+        )
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality."""
+        return self._dim
+
+    @property
+    def initial_size(self) -> int:
+        """Size of the initial database."""
+        return self._initial_size
+
+    @property
+    def mixture(self) -> MixtureModel:
+        """The base mixture model."""
+        return self._mixture
+
+    def initial(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sample the initial database: ``(points, labels)``."""
+        return self._mixture.sample(self._initial_size, self._rng)
+
+    def populate(self, store: PointStore) -> None:
+        """Insert the initial database into ``store``."""
+        points, labels = self.initial()
+        store.insert(points, labels)
+
+    @abstractmethod
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        """Build the next batch for the database currently in ``store``.
+
+        Args:
+            store: the live database (used to pick deletion victims).
+            update_fraction: total updated fraction ``f``; the batch
+                deletes and inserts ``f/2 · store.size`` points each.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _half_count(self, store: PointStore, update_fraction: float) -> int:
+        if not 0.0 < update_fraction <= 1.0:
+            raise ValueError(
+                f"update_fraction must lie in (0, 1], got {update_fraction}"
+            )
+        return max(1, int(round(update_fraction * store.size / 2.0)))
+
+    def _random_deletions(
+        self, store: PointStore, count: int, exclude: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Uniformly random alive ids (optionally excluding some ids)."""
+        ids = store.ids()
+        if exclude is not None and exclude.size:
+            ids = np.setdiff1d(ids, exclude, assume_unique=False)
+        count = min(count, ids.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rng.choice(ids, size=count, replace=False)
+
+    def _deletions_from_label(
+        self, store: PointStore, label: Label, count: int
+    ) -> np.ndarray:
+        """Up to ``count`` random alive ids with a given ground-truth label."""
+        ids = store.ids_with_label(label)
+        count = min(count, ids.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rng.choice(ids, size=count, replace=False)
+
+
+class RandomScenario(DynamicScenario):
+    """Uniformly random churn: the stationary-distribution baseline."""
+
+    name = "random"
+
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        count = self._half_count(store, update_fraction)
+        deletions = self._random_deletions(store, count)
+        points, labels = self._mixture.sample(count, self._rng)
+        return UpdateBatch(
+            deletions=tuple(int(i) for i in deletions),
+            insertions=points,
+            insertion_labels=tuple(int(l) for l in labels),
+        )
+
+
+class _AppearBase(DynamicScenario):
+    """Shared machinery of the two appear scenarios."""
+
+    #: placed inside the noise region (True) or far outside it (False)
+    inside_noise_region: bool = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._new_cluster = self._place_new_cluster()
+        self._target = max(1, self._initial_size // (len(self._mixture.clusters) + 1))
+
+    @property
+    def new_cluster(self) -> ClusterSpec:
+        """The cluster that appears over time."""
+        return self._new_cluster
+
+    @property
+    def target_size(self) -> int:
+        """How many points the new cluster grows to."""
+        return self._target
+
+    def _place_new_cluster(self) -> ClusterSpec:
+        existing = self._mixture.clusters
+        std = existing[0].std if existing else 1.0
+        label = max(self._mixture.labels(), default=-1) + 1
+        low, high = self._mixture.bounds
+        if self.inside_noise_region:
+            # Rejection-sample a centre inside the noise box, away from
+            # every existing cluster.
+            for _ in range(10_000):
+                candidate = self._rng.uniform(low, high)
+                if all(
+                    float(np.linalg.norm(candidate - c.center)) >= 10.0 * std
+                    for c in existing
+                ):
+                    return ClusterSpec(center=candidate, std=std, label=label)
+            raise RuntimeError("could not place the appearing cluster")
+        # "Extreme appear": a completely new region that contains no
+        # previous points, not even noise — well outside the noise box.
+        span = high - low
+        center = high + 0.5 * span
+        return ClusterSpec(center=center, std=std, label=label)
+
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        count = self._half_count(store, update_fraction)
+        deletions = self._random_deletions(store, count)
+        current = store.ids_with_label(self._new_cluster.label).size
+        from_new = min(count, max(0, self._target - current))
+        new_points = self._new_cluster.sample(from_new, self._rng)
+        new_labels = np.full(from_new, self._new_cluster.label, dtype=np.int64)
+        rest_points, rest_labels = self._mixture.sample(
+            count - from_new, self._rng
+        )
+        points = np.vstack([new_points, rest_points])
+        labels = np.concatenate([new_labels, rest_labels])
+        return UpdateBatch(
+            deletions=tuple(int(i) for i in deletions),
+            insertions=points,
+            insertion_labels=tuple(int(l) for l in labels),
+        )
+
+
+class AppearScenario(_AppearBase):
+    """A new cluster grows inside the existing (noise-covered) region."""
+
+    name = "appear"
+    inside_noise_region = True
+
+
+class ExtremeAppearScenario(_AppearBase):
+    """A new cluster grows in a region with no previous points at all."""
+
+    name = "extappear"
+    inside_noise_region = False
+
+
+class DisappearScenario(DynamicScenario):
+    """One cluster is drained away by deletions over time."""
+
+    name = "disappear"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._victim = self._mixture.clusters[0].label
+        self._survivors = self._mixture.without(self._victim)
+
+    @property
+    def victim_label(self) -> Label:
+        """The label of the disappearing cluster."""
+        return self._victim
+
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        count = self._half_count(store, update_fraction)
+        from_victim = self._deletions_from_label(store, self._victim, count)
+        filler = self._random_deletions(
+            store, count - from_victim.size, exclude=from_victim
+        )
+        deletions = np.concatenate([from_victim, filler])
+        points, labels = self._survivors.sample(count, self._rng)
+        return UpdateBatch(
+            deletions=tuple(int(i) for i in deletions),
+            insertions=points,
+            insertion_labels=tuple(int(l) for l in labels),
+        )
+
+
+class GradMoveScenario(DynamicScenario):
+    """One cluster drifts across space via paired deletions/insertions.
+
+    Per batch, the mover's centre advances ``step_stds`` standard
+    deviations along a fixed random direction; points are deleted from the
+    mover's current population and re-inserted around the new centre.
+    """
+
+    name = "gradmove"
+
+    def __init__(self, *args, step_stds: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if step_stds <= 0:
+            raise ValueError(f"step_stds must be positive, got {step_stds}")
+        self._mover = self._mixture.clusters[0]
+        direction = self._rng.normal(size=self._dim)
+        self._direction = direction / np.linalg.norm(direction)
+        self._step = step_stds * self._mover.std
+
+    @property
+    def mover_label(self) -> Label:
+        """The label of the moving cluster."""
+        return self._mover.label
+
+    @property
+    def mover_center(self) -> np.ndarray:
+        """The mover's current centre."""
+        return self._mover.center
+
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        count = self._half_count(store, update_fraction)
+        self._mover = self._mover.shifted(self._step * self._direction)
+        from_mover = self._deletions_from_label(
+            store, self._mover.label, count
+        )
+        filler = self._random_deletions(
+            store, count - from_mover.size, exclude=from_mover
+        )
+        deletions = np.concatenate([from_mover, filler])
+        points = self._mover.sample(count, self._rng)
+        labels = np.full(count, self._mover.label, dtype=np.int64)
+        return UpdateBatch(
+            deletions=tuple(int(i) for i in deletions),
+            insertions=points,
+            insertion_labels=tuple(int(l) for l in labels),
+        )
+
+
+class ComplexScenario(DynamicScenario):
+    """Everything at once (Figure 8).
+
+    The base clusters churn randomly while simultaneously one new cluster
+    appears (inside the noise region), one existing cluster disappears and
+    another drifts across space. The batch volume is split evenly across
+    the four behaviours, with unused quota (e.g. a fully drained victim)
+    flowing back into random churn.
+    """
+
+    name = "complex"
+
+    def __init__(self, *args, step_stds: float = 1.0, **kwargs) -> None:
+        kwargs.setdefault("num_clusters", 4)
+        super().__init__(*args, **kwargs)
+        clusters = self._mixture.clusters
+        if len(clusters) < 3:
+            raise ValueError("the complex scenario needs >= 3 base clusters")
+        self._victim = clusters[0].label
+        self._mover = clusters[1]
+        direction = self._rng.normal(size=self._dim)
+        self._direction = direction / np.linalg.norm(direction)
+        self._step = step_stds * self._mover.std
+        # The appearing cluster sits inside the noise region, away from all
+        # base clusters (the Figure 4 situation that over-fills a bubble).
+        std = clusters[0].std
+        low, high = self._mixture.bounds
+        label = max(self._mixture.labels()) + 1
+        for _ in range(10_000):
+            candidate = self._rng.uniform(low, high)
+            if all(
+                float(np.linalg.norm(candidate - c.center)) >= 10.0 * std
+                for c in clusters
+            ):
+                break
+        else:  # pragma: no cover - only with absurd parameters
+            raise RuntimeError("could not place the appearing cluster")
+        self._appearing = ClusterSpec(center=candidate, std=std, label=label)
+        self._appear_target = max(1, self._initial_size // (len(clusters) + 1))
+        # Random churn draws from the stable clusters only.
+        self._stable = self._mixture.without(self._victim).without(
+            self._mover.label
+        )
+
+    @property
+    def victim_label(self) -> Label:
+        """Label of the disappearing cluster."""
+        return self._victim
+
+    @property
+    def mover_label(self) -> Label:
+        """Label of the drifting cluster."""
+        return self._mover.label
+
+    @property
+    def appearing_label(self) -> Label:
+        """Label of the appearing cluster."""
+        return self._appearing.label
+
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        count = self._half_count(store, update_fraction)
+        quarter = max(1, count // 4)
+
+        # --- deletions -------------------------------------------------
+        self._mover = self._mover.shifted(self._step * self._direction)
+        del_victim = self._deletions_from_label(store, self._victim, quarter)
+        del_mover = self._deletions_from_label(
+            store, self._mover.label, quarter
+        )
+        used = np.concatenate([del_victim, del_mover])
+        del_random = self._random_deletions(
+            store, count - used.size, exclude=used
+        )
+        deletions = np.concatenate([used, del_random])
+
+        # --- insertions ------------------------------------------------
+        appearing_now = store.ids_with_label(self._appearing.label).size
+        n_appear = min(quarter, max(0, self._appear_target - appearing_now))
+        n_mover = quarter
+        n_churn = count - n_appear - n_mover
+
+        appear_points = self._appearing.sample(n_appear, self._rng)
+        mover_points = self._mover.sample(n_mover, self._rng)
+        churn_points, churn_labels = self._stable.sample(n_churn, self._rng)
+        points = np.vstack([appear_points, mover_points, churn_points])
+        labels = np.concatenate(
+            [
+                np.full(n_appear, self._appearing.label, dtype=np.int64),
+                np.full(n_mover, self._mover.label, dtype=np.int64),
+                churn_labels,
+            ]
+        )
+        return UpdateBatch(
+            deletions=tuple(int(i) for i in deletions),
+            insertions=points,
+            insertion_labels=tuple(int(l) for l in labels),
+        )
+
+
+class Figure7Scenario(DynamicScenario):
+    """The qualitative set-up of Figure 7, in any dimension.
+
+    The database starts with two clusters; over the update stream the
+    second ("middle") cluster disappears while two new clusters appear far
+    to the right of all previous data — the situation where the extent
+    quality measure redeploys bubbles after the deletion but never notices
+    the absorbed insertions, and the β measure handles both.
+    """
+
+    name = "figure7"
+
+    def __init__(
+        self,
+        dim: int = 2,
+        initial_size: int = 4000,
+        seed: int | None = None,
+        std: float = 1.0,
+        **_: object,
+    ) -> None:
+        # Hand-placed clusters; skip the base-class random mixture.
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self._dim = dim
+        self._initial_size = initial_size
+        self._rng = np.random.default_rng(seed)
+        axis = np.zeros(dim)
+        axis[0] = 1.0
+        self._axis = axis
+        left = ClusterSpec(center=0.0 * axis, std=std, label=0)
+        middle = ClusterSpec(center=25.0 * axis, std=std, label=1)
+        # The noise region extends well past the clusters, covering the
+        # area where the new clusters will appear — that is what lets a
+        # pre-existing sparse bubble absorb them "without a significant
+        # change in its extent" (the failure mode Figure 7 demonstrates
+        # for the extent measure).
+        self._mixture = MixtureModel(
+            [left, middle],
+            noise_fraction=0.08,
+            bounds=(axis * 0.0 - 5.0, axis * 85.0 + 5.0),
+        )
+        self._new_one = ClusterSpec(center=58.0 * axis, std=std, label=2)
+        self._new_two = ClusterSpec(center=66.0 * axis, std=std, label=3)
+        self._victim = middle.label
+        self._survivor = self._mixture.without(self._victim)
+        self._target_each = initial_size // 4
+
+    def make_batch(
+        self, store: PointStore, update_fraction: float
+    ) -> UpdateBatch:
+        count = self._half_count(store, update_fraction)
+        from_victim = self._deletions_from_label(store, self._victim, count)
+        filler = self._random_deletions(
+            store, count - from_victim.size, exclude=from_victim
+        )
+        deletions = np.concatenate([from_victim, filler])
+
+        half = count // 2
+        sizes = []
+        for target_cluster in (self._new_one, self._new_two):
+            current = store.ids_with_label(target_cluster.label).size
+            sizes.append(min(half, max(0, self._target_each - current)))
+        n_rest = count - sum(sizes)
+        chunks = [
+            self._new_one.sample(sizes[0], self._rng),
+            self._new_two.sample(sizes[1], self._rng),
+        ]
+        labels = [
+            np.full(sizes[0], self._new_one.label, dtype=np.int64),
+            np.full(sizes[1], self._new_two.label, dtype=np.int64),
+        ]
+        rest_points, rest_labels = self._survivor.sample(n_rest, self._rng)
+        chunks.append(rest_points)
+        labels.append(rest_labels)
+        return UpdateBatch(
+            deletions=tuple(int(i) for i in deletions),
+            insertions=np.vstack(chunks),
+            insertion_labels=tuple(
+                int(l) for l in np.concatenate(labels)
+            ),
+        )
+
+    @property
+    def new_cluster_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Centres of the two appearing clusters (for assertions/plots)."""
+        return self._new_one.center, self._new_two.center
+
+
+SCENARIO_KINDS: tuple[str, ...] = (
+    "random",
+    "appear",
+    "extappear",
+    "disappear",
+    "gradmove",
+    "complex",
+)
+
+_SCENARIOS: dict[str, type[DynamicScenario]] = {
+    "random": RandomScenario,
+    "appear": AppearScenario,
+    "extappear": ExtremeAppearScenario,
+    "disappear": DisappearScenario,
+    "gradmove": GradMoveScenario,
+    "complex": ComplexScenario,
+    "figure7": Figure7Scenario,
+}
+
+
+def make_scenario(
+    kind: str,
+    dim: int,
+    initial_size: int,
+    seed: int | None = None,
+    **kwargs: object,
+) -> DynamicScenario:
+    """Instantiate a scenario by its Section 5 name.
+
+    Args:
+        kind: one of :data:`SCENARIO_KINDS` or ``"figure7"``.
+        dim: data dimensionality (the paper evaluates 2, 5, 10 and 20).
+        initial_size: initial database size.
+        seed: RNG seed.
+        **kwargs: scenario-specific extras (``num_clusters``,
+            ``noise_fraction``, ``std``, ``step_stds``).
+
+    Raises:
+        KeyError: for an unknown scenario kind.
+    """
+    try:
+        cls = _SCENARIOS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {kind!r}; expected one of "
+            f"{sorted(_SCENARIOS)}"
+        ) from None
+    return cls(dim=dim, initial_size=initial_size, seed=seed, **kwargs)

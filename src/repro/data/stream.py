@@ -1,0 +1,131 @@
+"""Update streams: driving a scenario against a live database.
+
+:class:`UpdateStream` glues a :class:`~repro.data.scenarios.DynamicScenario`
+to a :class:`~repro.database.PointStore`: each ``next(stream)`` asks the
+scenario for the next batch *given the current database content* (deletion
+victims must be alive ids). The stream does **not** apply the batch — that
+is the maintainer's job, and in the evaluation the *same* batch must be
+applied to two independent stores (incremental vs complete rebuild), so
+application and generation are deliberately decoupled;
+:func:`clone_batch_for` re-targets a batch's deletions onto a second store
+holding the same logical points under different ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..database import PointStore, UpdateBatch
+from .scenarios import DynamicScenario
+
+__all__ = ["UpdateStream", "clone_batch_for", "apply_raw"]
+
+
+class UpdateStream:
+    """Iterator of batches generated against a specific store.
+
+    Args:
+        scenario: the dynamics to simulate.
+        store: the database the batches will be applied to (used to select
+            alive deletion victims; the stream never mutates it).
+        update_fraction: per-batch update volume as a fraction of the
+            current database size (deletes and inserts half each).
+        num_batches: how many batches to produce; ``None`` for unbounded.
+
+    Example:
+        >>> from repro.data import make_scenario
+        >>> from repro.database import PointStore
+        >>> scenario = make_scenario("random", dim=2, initial_size=500, seed=0)
+        >>> store = PointStore(dim=2)
+        >>> scenario.populate(store)
+        >>> stream = UpdateStream(scenario, store, update_fraction=0.1,
+        ...                       num_batches=3)
+        >>> batches = list(stream)   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        scenario: DynamicScenario,
+        store: PointStore,
+        update_fraction: float = 0.05,
+        num_batches: int | None = None,
+    ) -> None:
+        if not 0.0 < update_fraction <= 1.0:
+            raise ValueError(
+                f"update_fraction must lie in (0, 1], got {update_fraction}"
+            )
+        if num_batches is not None and num_batches < 0:
+            raise ValueError(
+                f"num_batches must be non-negative, got {num_batches}"
+            )
+        self._scenario = scenario
+        self._store = store
+        self._fraction = update_fraction
+        self._remaining = num_batches
+        self._produced = 0
+
+    @property
+    def produced(self) -> int:
+        """How many batches this stream has generated so far."""
+        return self._produced
+
+    def __iter__(self) -> Iterator[UpdateBatch]:
+        return self
+
+    def __next__(self) -> UpdateBatch:
+        if self._remaining is not None:
+            if self._remaining == 0:
+                raise StopIteration
+            self._remaining -= 1
+        batch = self._scenario.make_batch(self._store, self._fraction)
+        self._produced += 1
+        return batch
+
+
+def clone_batch_for(
+    batch: UpdateBatch,
+    source: PointStore,
+    target: PointStore,
+) -> UpdateBatch:
+    """Re-target a batch's deletions onto a mirror store.
+
+    The Table 1 comparison maintains two stores with the same logical
+    content but independent id spaces. Deletion ids generated against
+    ``source`` are translated to ``target`` by matching coordinates: both
+    stores were fed identical insertions in identical order, so the k-th
+    alive point of one corresponds to the k-th alive point of the other.
+
+    Raises:
+        ValueError: if the two stores have diverged in size.
+    """
+    if source.size != target.size:
+        raise ValueError(
+            f"stores diverged: {source.size} vs {target.size} points"
+        )
+    source_ids = source.ids()
+    target_ids = target.ids()
+    # Both stores assign ids in insertion order and delete the same logical
+    # points, so sorted alive ids correspond positionally.
+    position = {int(pid): i for i, pid in enumerate(source_ids)}
+    translated = tuple(
+        int(target_ids[position[int(pid)]]) for pid in batch.deletions
+    )
+    return UpdateBatch(
+        deletions=translated,
+        insertions=batch.insertions,
+        insertion_labels=batch.insertion_labels,
+    )
+
+
+def apply_raw(store: PointStore, batch: UpdateBatch) -> None:
+    """Apply a batch to a bare store (no summary maintenance).
+
+    Used to keep a mirror database in sync when the consumer on that side
+    (e.g. a from-scratch rebuild) does its own summarization afterwards.
+    """
+    if batch.deletions:
+        store.delete(np.asarray(batch.deletions, dtype=np.int64))
+    if batch.num_insertions:
+        store.insert(batch.insertions, batch.insertion_labels)

@@ -1,0 +1,11 @@
+"""Dynamic in-memory database substrate.
+
+:class:`PointStore` holds the current points with stable ids, ground-truth
+labels and bubble ownership; :class:`UpdateBatch` is one batch of deletions
+and insertions flowing from a scenario generator into a maintainer.
+"""
+
+from .batch import UpdateBatch
+from .store import PointStore
+
+__all__ = ["PointStore", "UpdateBatch"]

@@ -1,0 +1,79 @@
+"""Batches of updates to a dynamic database.
+
+The paper inspects the clustering structure "after a set of updates during
+which N% points have been deleted and M% points have been inserted"
+(Section 4). :class:`UpdateBatch` is that unit of work: a set of point ids
+to delete plus a matrix of new points (with ground-truth labels) to insert.
+
+Batches are produced by the scenario generators in :mod:`repro.data` and
+consumed by the maintainers in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..types import Label, PointId
+
+__all__ = ["UpdateBatch"]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch of deletions followed by insertions.
+
+    Attributes:
+        deletions: ids of points to delete (must be alive in the store).
+        insertions: ``(m, d)`` matrix of new points.
+        insertion_labels: ground-truth labels, one per inserted point.
+            Carried for evaluation only; the summarization never reads them.
+    """
+
+    deletions: tuple[PointId, ...] = ()
+    insertions: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 0), dtype=np.float64)
+    )
+    insertion_labels: tuple[Label, ...] = ()
+
+    def __post_init__(self) -> None:
+        insertions = np.asarray(self.insertions, dtype=np.float64)
+        if insertions.ndim != 2:
+            raise ValueError(
+                f"insertions must be a (m, d) matrix, got ndim={insertions.ndim}"
+            )
+        object.__setattr__(self, "insertions", insertions)
+        if len(self.insertion_labels) != insertions.shape[0]:
+            raise ValueError(
+                f"{insertions.shape[0]} insertions but "
+                f"{len(self.insertion_labels)} labels"
+            )
+
+    @property
+    def num_deletions(self) -> int:
+        """How many points this batch deletes."""
+        return len(self.deletions)
+
+    @property
+    def num_insertions(self) -> int:
+        """How many points this batch inserts."""
+        return int(self.insertions.shape[0])
+
+    @property
+    def num_updates(self) -> int:
+        """Total update volume (deletions + insertions)."""
+        return self.num_deletions + self.num_insertions
+
+    def is_empty(self) -> bool:
+        """Whether the batch performs no work at all."""
+        return self.num_updates == 0
+
+    @classmethod
+    def empty(cls, dim: int) -> "UpdateBatch":
+        """A no-op batch for ``dim``-dimensional data."""
+        return cls(
+            deletions=(),
+            insertions=np.empty((0, dim), dtype=np.float64),
+            insertion_labels=(),
+        )

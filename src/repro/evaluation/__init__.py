@@ -1,0 +1,31 @@
+"""Evaluation metrics: clustering F-score, compactness, ARI, summaries."""
+
+from .compactness import (
+    bubble_compactness,
+    compactness,
+    compactness_from_points,
+)
+from .drift import ChangeReport, ClusterChange, detect_change
+from .fscore import ClassMatch, FScoreResult, best_match_fscore, fscore_from_labels
+from .information import normalized_mutual_information, purity
+from .matching import adjusted_rand_index, contingency_table
+from .summary import RunSummary, summarize
+
+__all__ = [
+    "ChangeReport",
+    "ClassMatch",
+    "ClusterChange",
+    "FScoreResult",
+    "RunSummary",
+    "adjusted_rand_index",
+    "best_match_fscore",
+    "bubble_compactness",
+    "compactness",
+    "compactness_from_points",
+    "contingency_table",
+    "detect_change",
+    "fscore_from_labels",
+    "normalized_mutual_information",
+    "purity",
+    "summarize",
+]

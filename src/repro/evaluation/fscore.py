@@ -1,0 +1,153 @@
+"""F-score evaluation of clusterings against ground truth.
+
+The paper measures clustering performance "using the F score measure [13]
+(where F = 2p·r/(p+r), p is precision and r is recall)" — the clustering
+F-measure of Larsen & Aone 1999: every ground-truth class is matched with
+the candidate cluster that maximises its F value, and the overall score is
+the size-weighted average over the classes.
+
+Two entry points:
+
+* :func:`fscore_from_labels` — candidates are the groups of a flat
+  predicted labelling;
+* :func:`best_match_fscore` — candidates are explicit member sets, which
+  is how hierarchical results are scored (every node/extraction candidate
+  competes, so the hierarchy is evaluated at each class's best
+  resolution).
+
+Noise (label ``-1``) in the ground truth is not a class to be recovered; it
+only affects precision, by polluting candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import NOISE_LABEL
+
+__all__ = ["ClassMatch", "FScoreResult", "best_match_fscore", "fscore_from_labels"]
+
+
+@dataclass(frozen=True)
+class ClassMatch:
+    """Best candidate match for one ground-truth class.
+
+    Attributes:
+        label: the ground-truth class label.
+        class_size: number of points with that label.
+        candidate: index of the best-matching candidate (``-1`` when no
+            candidate intersects the class).
+        precision: ``|c ∩ t| / |c|`` of the best match.
+        recall: ``|c ∩ t| / |t|`` of the best match.
+        fscore: ``2pr / (p + r)`` of the best match.
+    """
+
+    label: int
+    class_size: int
+    candidate: int
+    precision: float
+    recall: float
+    fscore: float
+
+
+@dataclass(frozen=True)
+class FScoreResult:
+    """Overall F-score plus the per-class matches behind it.
+
+    Attributes:
+        overall: size-weighted mean of the per-class best F values.
+        matches: one :class:`ClassMatch` per ground-truth class, in label
+            order.
+    """
+
+    overall: float
+    matches: tuple[ClassMatch, ...]
+
+    def match_for(self, label: int) -> ClassMatch:
+        """The match record of one ground-truth class."""
+        for match in self.matches:
+            if match.label == label:
+                return match
+        raise KeyError(f"no ground-truth class with label {label}")
+
+
+def best_match_fscore(
+    truth: np.ndarray,
+    candidates: list[np.ndarray],
+) -> FScoreResult:
+    """Score candidate clusters against ground-truth labels.
+
+    Args:
+        truth: ground-truth labels, one per point (positions are the point
+            universe); noise points carry :data:`~repro.types.NOISE_LABEL`.
+        candidates: candidate clusters as arrays of point positions.
+
+    Returns:
+        The size-weighted best-match F-score. With no ground-truth classes
+        at all (pure noise) the overall score is defined as 0.
+    """
+    truth = np.asarray(truth, dtype=np.int64)
+    class_labels = np.unique(truth[truth != NOISE_LABEL])
+    if class_labels.size == 0:
+        return FScoreResult(overall=0.0, matches=())
+
+    candidate_sizes = [int(len(c)) for c in candidates]
+    matches: list[ClassMatch] = []
+    weighted_sum = 0.0
+    total_weight = 0
+    for label in class_labels:
+        class_size = int((truth == label).sum())
+        best = ClassMatch(
+            label=int(label),
+            class_size=class_size,
+            candidate=-1,
+            precision=0.0,
+            recall=0.0,
+            fscore=0.0,
+        )
+        for idx, members in enumerate(candidates):
+            size = candidate_sizes[idx]
+            if size == 0:
+                continue
+            overlap = int((truth[members] == label).sum())
+            if overlap == 0:
+                continue
+            precision = overlap / size
+            recall = overlap / class_size
+            fscore = 2.0 * precision * recall / (precision + recall)
+            if fscore > best.fscore:
+                best = ClassMatch(
+                    label=int(label),
+                    class_size=class_size,
+                    candidate=idx,
+                    precision=precision,
+                    recall=recall,
+                    fscore=fscore,
+                )
+        matches.append(best)
+        weighted_sum += class_size * best.fscore
+        total_weight += class_size
+    overall = weighted_sum / total_weight if total_weight else 0.0
+    return FScoreResult(overall=overall, matches=tuple(matches))
+
+
+def fscore_from_labels(
+    truth: np.ndarray,
+    predicted: np.ndarray,
+) -> FScoreResult:
+    """Score a flat predicted labelling against ground truth.
+
+    Predicted noise (label ``-1``) is not a candidate cluster; all other
+    predicted labels compete as candidates for every ground-truth class.
+    """
+    truth = np.asarray(truth, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if truth.shape != predicted.shape:
+        raise ValueError("truth and predicted labels must align")
+    candidates = [
+        np.flatnonzero(predicted == label)
+        for label in np.unique(predicted[predicted != NOISE_LABEL])
+    ]
+    return best_match_fscore(truth, candidates)

@@ -1,0 +1,75 @@
+"""Information-theoretic clustering agreement measures.
+
+Complements the paper's F-score with two standard measures implemented
+from scratch:
+
+* **purity** — the fraction of points whose predicted cluster's majority
+  ground-truth class matches their own; trivially gamed by singletons, so
+  only used alongside the others;
+* **normalized mutual information (NMI)** — mutual information between
+  the two labelings normalised by the arithmetic mean of their entropies
+  (the ``NMI_sum`` variant); robust to label permutations and cluster
+  counts.
+
+Both treat noise (label ``-1``) as its own class, like
+:func:`repro.evaluation.matching.adjusted_rand_index`, so the measures
+stay proper partitions-over-all-points comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matching import contingency_table
+
+__all__ = ["purity", "normalized_mutual_information"]
+
+
+def purity(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Cluster purity of ``predicted`` against ``truth``.
+
+    ``(1/N) · Σ_clusters max_class |cluster ∩ class|`` — in [0, 1], higher
+    is better; 1.0 iff every predicted cluster is class-pure.
+    """
+    table, _, _ = contingency_table(truth, predicted)
+    total = table.sum()
+    if total == 0:
+        return 1.0
+    return float(table.max(axis=0).sum() / total)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log(probs)).sum())
+
+
+def normalized_mutual_information(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> float:
+    """NMI between two labelings, normalised by mean entropy.
+
+    Returns 1.0 for identical partitions (up to relabeling), 0.0 for
+    independent ones. When both partitions are trivial (a single block),
+    both entropies are zero and the agreement is perfect by convention.
+    """
+    table, _, _ = contingency_table(labels_a, labels_b)
+    table = table.astype(np.float64)
+    total = table.sum()
+    if total == 0:
+        return 1.0
+    row_counts = table.sum(axis=1)
+    col_counts = table.sum(axis=0)
+    h_a = _entropy(row_counts)
+    h_b = _entropy(col_counts)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+
+    joint = table / total
+    outer = np.outer(row_counts / total, col_counts / total)
+    mask = joint > 0
+    mutual = float((joint[mask] * np.log(joint[mask] / outer[mask])).sum())
+    return max(0.0, min(1.0, 2.0 * mutual / (h_a + h_b)))

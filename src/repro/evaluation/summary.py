@@ -1,0 +1,55 @@
+"""Aggregation of repeated experiment runs.
+
+"All results are average values of 10 repetitions of simulating the
+insertions and deletions" (Section 5); Table 1 reports mean and standard
+deviation per cell. :class:`RunSummary` is that cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["RunSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Mean and standard deviation of one metric over repetitions.
+
+    Attributes:
+        mean: arithmetic mean of the values.
+        std: population standard deviation (the convention used when the
+            repetitions themselves are the quantity of interest).
+        count: how many repetitions were aggregated.
+        values: the raw per-repetition values, in run order.
+    """
+
+    mean: float
+    std: float
+    count: int
+    values: tuple[float, ...]
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".4f"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+def summarize(values: Iterable[float]) -> RunSummary:
+    """Aggregate repetition values into a :class:`RunSummary`.
+
+    Raises:
+        ValueError: for an empty sequence (a summary of nothing is a bug).
+    """
+    data = tuple(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize zero repetitions")
+    mean = sum(data) / len(data)
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return RunSummary(
+        mean=mean,
+        std=math.sqrt(variance),
+        count=len(data),
+        values=data,
+    )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except`` clause while still letting programming errors (plain
+``TypeError``/``ValueError`` raised by numpy and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class EmptyBubbleError(ReproError):
+    """An operation required a non-empty data bubble.
+
+    Raised, for example, when asking an empty bubble for its representative
+    or extent: with ``n == 0`` the sufficient statistics ``(n, LS, SS)``
+    cannot be turned into a mean or a radius.
+    """
+
+
+class UnknownPointError(ReproError):
+    """A point id was not found in the :class:`~repro.database.PointStore`.
+
+    Typically signals a deletion of a point that was never inserted (or was
+    already deleted), which would silently corrupt the sufficient statistics
+    if allowed through.
+    """
+
+
+class DuplicatePointError(ReproError):
+    """A point id was inserted twice into the same store."""
+
+
+class InvalidConfigError(ReproError):
+    """A configuration dataclass carries out-of-range values.
+
+    Configurations are validated eagerly in ``__post_init__`` so that a bad
+    parameter fails at construction time rather than deep inside a batch
+    update.
+    """
+
+
+class NotFittedError(ReproError):
+    """A model/summary object was used before it was built.
+
+    Mirrors the scikit-learn convention: accessing results (reachability
+    plot, cluster labels, bubble set) before the corresponding ``build`` /
+    ``fit`` / ``run`` call is a caller error, reported explicitly.
+    """
+
+
+class DimensionMismatchError(ReproError):
+    """Points of differing dimensionality were mixed in one structure."""

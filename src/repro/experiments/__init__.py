@@ -1,0 +1,88 @@
+"""Experiment harness: one module per evaluation table/figure.
+
+* :mod:`~repro.experiments.harness` — shared pipeline and the two-arm
+  scenario comparison.
+* :mod:`~repro.experiments.table1` — Table 1 (F-score + compactness).
+* :mod:`~repro.experiments.figure7` — quality-measure comparison.
+* :mod:`~repro.experiments.figure9` — rebuilt-bubble fraction sweep.
+* :mod:`~repro.experiments.figure10` — triangle-inequality pruning sweep.
+* :mod:`~repro.experiments.figure11` — distance saving factor sweep.
+"""
+
+from .figure7 import Figure7Result, render_figure7, run_figure7
+from .figure9 import (
+    DEFAULT_UPDATE_FRACTIONS,
+    Figure9Point,
+    render_figure9,
+    run_figure9,
+)
+from .figure10 import (
+    Figure10Point,
+    construction_pruning,
+    render_figure10,
+    run_figure10,
+)
+from .figure8 import Figure8Snapshot, render_figure8, run_figure8
+from .figure11 import Figure11Point, render_figure11, run_figure11
+from .harness import (
+    ArmTrace,
+    BatchMeasurement,
+    ComparisonResult,
+    ExperimentConfig,
+    candidate_point_sets,
+    run_comparison,
+    score_summary,
+)
+from .reporting import render_series, render_table
+from .scalability import (
+    DimensionPoint,
+    SizePoint,
+    render_dimension_sweep,
+    render_size_sweep,
+    run_dimension_sweep,
+    run_size_sweep,
+)
+from .staleness import StalenessResult, render_staleness, run_staleness
+from .table1 import TABLE1_DATASETS, Table1Row, render_table1, run_table1
+
+__all__ = [
+    "ArmTrace",
+    "BatchMeasurement",
+    "ComparisonResult",
+    "DEFAULT_UPDATE_FRACTIONS",
+    "DimensionPoint",
+    "ExperimentConfig",
+    "Figure7Result",
+    "Figure8Snapshot",
+    "Figure9Point",
+    "Figure10Point",
+    "Figure11Point",
+    "SizePoint",
+    "StalenessResult",
+    "TABLE1_DATASETS",
+    "Table1Row",
+    "candidate_point_sets",
+    "construction_pruning",
+    "render_dimension_sweep",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_figure10",
+    "render_figure11",
+    "render_series",
+    "render_size_sweep",
+    "render_staleness",
+    "render_table",
+    "render_table1",
+    "run_comparison",
+    "run_dimension_sweep",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_size_sweep",
+    "run_staleness",
+    "run_table1",
+    "score_summary",
+]

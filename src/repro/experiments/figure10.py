@@ -1,0 +1,124 @@
+"""Figure 10 — percentage of pruned distance computations vs update volume.
+
+Section 5: "Typically, we can prune between 60 and 80 percent of all the
+distance computations using the triangle inequalities", with the pruning
+factor decreasing slowly as the update fraction grows (large batches
+introduce whole new regions whose points have no nearby representative to
+prune against — the appear-cluster effect the paper describes).
+
+:func:`run_figure10` sweeps the update percentage over the complex
+scenario and reports the assignment-phase pruning rate of the incremental
+summarization (insertion assignments, net of the small seed-matrix
+overhead, exactly as the paper's phrasing brackets it away). The static
+construction pruning rate is reported alongside as the 0%-updates anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core import BubbleBuilder, BubbleConfig
+from ..data import make_scenario
+from ..database import PointStore
+from ..evaluation import RunSummary, summarize
+from .figure9 import DEFAULT_UPDATE_FRACTIONS
+from .harness import ExperimentConfig, run_comparison
+from .reporting import render_table
+
+__all__ = [
+    "Figure10Point",
+    "run_figure10",
+    "render_figure10",
+    "construction_pruning",
+]
+
+
+@dataclass(frozen=True)
+class Figure10Point:
+    """One sweep point of Figure 10.
+
+    Attributes:
+        update_fraction: fraction of the database updated per batch.
+        pruned_fraction: summary of the per-batch insertion-assignment
+            pruning rates (over batches × repetitions).
+    """
+
+    update_fraction: float
+    pruned_fraction: RunSummary
+
+
+def construction_pruning(
+    config: ExperimentConfig, repetitions: int = 3
+) -> RunSummary:
+    """Pruning rate of the *static* construction on the same data.
+
+    The from-scratch summarization of the initial database: the anchor
+    value the incremental rates are compared against.
+    """
+    values = []
+    for rep in range(repetitions):
+        scenario = make_scenario(
+            config.scenario, config.dim, config.initial_size,
+            seed=config.seed + rep,
+        )
+        store = PointStore(dim=config.dim)
+        scenario.populate(store)
+        builder = BubbleBuilder(
+            BubbleConfig(num_bubbles=config.num_bubbles, seed=config.seed + rep)
+        )
+        builder.build(store)
+        values.append(builder.last_pruned_fraction)
+    return summarize(values)
+
+
+def run_figure10(
+    base: ExperimentConfig | None = None,
+    update_fractions: tuple[float, ...] = DEFAULT_UPDATE_FRACTIONS,
+    repetitions: int = 3,
+) -> list[Figure10Point]:
+    """Regenerate the Figure 10 series on the complex scenario."""
+    if base is None:
+        base = ExperimentConfig(scenario="complex")
+    points: list[Figure10Point] = []
+    for fraction in update_fractions:
+        config = replace(base, scenario="complex", update_fraction=fraction)
+        values: list[float] = []
+        for rep in range(repetitions):
+            result = run_comparison(config, repetition=rep)
+            values.extend(result.incremental.insertion_pruned_fractions())
+        points.append(
+            Figure10Point(
+                update_fraction=fraction, pruned_fraction=summarize(values)
+            )
+        )
+    return points
+
+
+def render_figure10(
+    points: list[Figure10Point],
+    construction: RunSummary | None = None,
+) -> str:
+    """Format the Figure 10 series."""
+    rows = []
+    if construction is not None:
+        rows.append(
+            [
+                "0% (static construction)",
+                f"{construction.mean * 100:.1f}%",
+                f"{construction.std * 100:.1f}%",
+            ]
+        )
+    rows.extend(
+        [
+            f"{p.update_fraction * 100:.0f}%",
+            f"{p.pruned_fraction.mean * 100:.1f}%",
+            f"{p.pruned_fraction.std * 100:.1f}%",
+        ]
+        for p in points
+    )
+    return render_table(
+        headers=["% points updated", "% pruned distance computations", "std"],
+        rows=rows,
+        title="Figure 10. Percentage of pruned distance computations from "
+        "the triangle inequality (complex scenario).",
+    )

@@ -1,0 +1,102 @@
+"""Figure 11 — distance saving factor of incremental vs complete rebuild.
+
+The headline efficiency result: "the average distance saving factor, which
+measures the fraction of the distance computations we save by using the
+incremental data bubbles with the triangle inequalities instead of the
+completely rebuilt ones without using the triangle inequalities", with
+"significant speed up factors between 40 (for an update size of 10% of the
+database) up to approx. 200 for an update size of 2%".
+
+:func:`run_figure11` runs both arms over the complex scenario (sharing the
+stream exactly as the Table 1 harness does) and reports, per update
+fraction, the summary of per-batch ratios::
+
+    saving factor = (distance computations of the complete rebuild)
+                    / (distance computations of the incremental scheme)
+
+The factor shrinks as batches grow — the complete rebuild's cost is fixed
+at roughly ``N · B`` per batch while the incremental cost scales with the
+number of inserted points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..evaluation import RunSummary, summarize
+from .figure9 import DEFAULT_UPDATE_FRACTIONS
+from .harness import ExperimentConfig, run_comparison
+from .reporting import render_table
+
+__all__ = ["Figure11Point", "run_figure11", "render_figure11"]
+
+
+@dataclass(frozen=True)
+class Figure11Point:
+    """One sweep point of Figure 11.
+
+    Attributes:
+        update_fraction: fraction of the database updated per batch.
+        saving_factor: summary of per-batch complete/incremental distance
+            computation ratios (over batches × repetitions).
+    """
+
+    update_fraction: float
+    saving_factor: RunSummary
+
+
+def run_figure11(
+    base: ExperimentConfig | None = None,
+    update_fractions: tuple[float, ...] = DEFAULT_UPDATE_FRACTIONS,
+    repetitions: int = 3,
+) -> list[Figure11Point]:
+    """Regenerate the Figure 11 series on the complex scenario."""
+    if base is None:
+        base = ExperimentConfig(scenario="complex")
+    points: list[Figure11Point] = []
+    for fraction in update_fractions:
+        config = replace(base, scenario="complex", update_fraction=fraction)
+        ratios: list[float] = []
+        for rep in range(repetitions):
+            result = run_comparison(config, repetition=rep)
+            complete = np.asarray(
+                [
+                    m.report.computed_distances
+                    for m in result.complete.measurements
+                ],
+                dtype=np.float64,
+            )
+            incremental = np.asarray(
+                [
+                    m.report.computed_distances
+                    for m in result.incremental.measurements
+                ],
+                dtype=np.float64,
+            )
+            valid = incremental > 0
+            ratios.extend((complete[valid] / incremental[valid]).tolist())
+        points.append(
+            Figure11Point(
+                update_fraction=fraction, saving_factor=summarize(ratios)
+            )
+        )
+    return points
+
+
+def render_figure11(points: list[Figure11Point]) -> str:
+    """Format the Figure 11 series."""
+    return render_table(
+        headers=["% points updated", "distance saving factor (mean)", "std"],
+        rows=[
+            [
+                f"{p.update_fraction * 100:.0f}%",
+                f"{p.saving_factor.mean:.1f}",
+                f"{p.saving_factor.std:.1f}",
+            ]
+            for p in points
+        ],
+        title="Figure 11. Average distance saving factor: incremental "
+        "bubbles (with triangle inequality) vs complete rebuild (without).",
+    )

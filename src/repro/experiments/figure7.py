@@ -1,0 +1,212 @@
+"""Figure 7 — β quality measure vs the extent-based baseline.
+
+The paper's qualitative experiment: a simple database with two clusters;
+during the updates the middle cluster disappears and two new clusters
+appear far to the right. With the **extent** measure, the bubbles freed by
+the deleted cluster are repositioned, but the inserted clusters never
+attract bubbles — one pre-existing bubble silently absorbs both, and the
+clustering structure is distorted. With the **β** measure the absorbing
+bubble's point fraction explodes, it is flagged over-filled, and the
+merge/split machinery moves bubbles into the new region.
+
+:func:`run_figure7` quantifies the picture: it drives the same update
+stream through two incremental maintainers that differ only in their
+quality measure and reports, per measure, the number of (non-empty)
+bubbles that ended up summarizing the new clusters, the overall clustering
+F-score, and the F-score restricted to the two appeared clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clustering import BubbleOptics, extract_candidates
+from ..core import (
+    BetaQuality,
+    BubbleBuilder,
+    BubbleConfig,
+    ExtentQuality,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+)
+from ..core.quality import QualityMeasure
+from ..data import Figure7Scenario, UpdateStream, apply_raw, clone_batch_for
+from ..database import PointStore, UpdateBatch
+from ..evaluation import best_match_fscore
+from .harness import ExperimentConfig, candidate_point_sets, score_summary
+from .reporting import render_table
+
+__all__ = ["Figure7Result", "run_figure7", "render_figure7"]
+
+#: Ground-truth labels Figure7Scenario assigns to its appearing clusters.
+_NEW_CLUSTER_LABELS: tuple[int, int] = (2, 3)
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Outcome of the quality-measure comparison.
+
+    Attributes:
+        beta_fscore: final overall F-score under the β measure.
+        extent_fscore: final overall F-score under the extent measure.
+        beta_bubbles_on_new: non-empty bubbles summarizing the appeared
+            clusters under the β measure.
+        extent_bubbles_on_new: same under the extent measure.
+        beta_new_cluster_fscore: F restricted to the appeared clusters.
+        extent_new_cluster_fscore: same under the extent measure.
+    """
+
+    beta_fscore: float
+    extent_fscore: float
+    beta_bubbles_on_new: int
+    extent_bubbles_on_new: int
+    beta_new_cluster_fscore: float
+    extent_new_cluster_fscore: float
+
+
+def _bubbles_near(
+    bubbles, centers: tuple[np.ndarray, ...], radius: float
+) -> int:
+    """Count non-empty bubbles whose representative lies near any centre."""
+    count = 0
+    for bubble in bubbles:
+        if bubble.is_empty():
+            continue
+        if any(
+            float(np.linalg.norm(bubble.rep - center)) <= radius
+            for center in centers
+        ):
+            count += 1
+    return count
+
+
+def _new_cluster_fscore(
+    bubbles, store: PointStore, config: ExperimentConfig
+) -> float:
+    """F-score counting only the two appeared clusters as ground truth."""
+    alive_ids, _, truth = store.snapshot()
+    result = BubbleOptics(min_pts=config.min_pts).fit(bubbles)
+    expanded = result.expanded()
+    min_size = max(2, int(config.min_cluster_size * store.size))
+    spans = extract_candidates(
+        expanded.reachability, min_size=min_size, num_levels=config.num_levels
+    )
+    candidates = candidate_point_sets(expanded, spans, bubbles, alive_ids)
+    masked = np.where(np.isin(truth, list(_NEW_CLUSTER_LABELS)), truth, -1)
+    return best_match_fscore(masked, candidates).overall
+
+
+def _replay_arm(
+    quality: QualityMeasure,
+    scenario: Figure7Scenario,
+    points: np.ndarray,
+    labels: np.ndarray,
+    raw_batches: list[UpdateBatch],
+    config: ExperimentConfig,
+) -> tuple[float, int, float]:
+    """Drive one quality measure over the shared batch stream."""
+    # A reference store replays the raw updates so batch deletion ids
+    # (generated against the original stream store) can be translated.
+    reference = PointStore(dim=config.dim)
+    reference.insert(points, labels)
+    store = PointStore(dim=config.dim)
+    store.insert(points, labels)
+
+    bubbles = BubbleBuilder(
+        BubbleConfig(num_bubbles=config.num_bubbles, seed=config.seed)
+    ).build(store)
+    maintainer = IncrementalMaintainer(
+        bubbles,
+        store,
+        config=MaintenanceConfig(
+            probability=config.probability, seed=config.seed
+        ),
+        quality=quality,
+    )
+    for batch in raw_batches:
+        translated = clone_batch_for(batch, reference, store)
+        apply_raw(reference, batch)
+        maintainer.apply_batch(translated)
+
+    fscore, _ = score_summary(bubbles, store, config)
+    near = _bubbles_near(bubbles, scenario.new_cluster_centers, radius=5.0)
+    new_fscore = _new_cluster_fscore(bubbles, store, config)
+    return fscore, near, new_fscore
+
+
+def run_figure7(config: ExperimentConfig | None = None) -> Figure7Result:
+    """Run the Figure 7 comparison (β vs extent quality measure)."""
+    if config is None:
+        config = ExperimentConfig(
+            scenario="figure7",
+            dim=2,
+            initial_size=4000,
+            num_bubbles=50,
+            update_fraction=0.1,
+            num_batches=12,
+        )
+    scenario = Figure7Scenario(
+        dim=config.dim, initial_size=config.initial_size, seed=config.seed
+    )
+    points, labels = scenario.initial()
+
+    # Generate one shared stream of batches; each arm replays a clone.
+    stream_store = PointStore(dim=config.dim)
+    stream_store.insert(points, labels)
+    raw_batches: list[UpdateBatch] = []
+    stream = UpdateStream(
+        scenario,
+        stream_store,
+        update_fraction=config.update_fraction,
+        num_batches=config.num_batches,
+    )
+    for batch in stream:
+        raw_batches.append(batch)
+        apply_raw(stream_store, batch)
+
+    beta_f, beta_near, beta_new = _replay_arm(
+        BetaQuality(config.probability),
+        scenario, points, labels, raw_batches, config,
+    )
+    extent_f, extent_near, extent_new = _replay_arm(
+        ExtentQuality(config.probability),
+        scenario, points, labels, raw_batches, config,
+    )
+    return Figure7Result(
+        beta_fscore=beta_f,
+        extent_fscore=extent_f,
+        beta_bubbles_on_new=beta_near,
+        extent_bubbles_on_new=extent_near,
+        beta_new_cluster_fscore=beta_new,
+        extent_new_cluster_fscore=extent_new,
+    )
+
+
+def render_figure7(result: Figure7Result) -> str:
+    """Format the Figure 7 comparison as a small table."""
+    return render_table(
+        headers=[
+            "Quality measure",
+            "Fscore",
+            "Fscore (new clusters)",
+            "Bubbles on new clusters",
+        ],
+        rows=[
+            [
+                "fraction of points (beta)",
+                f"{result.beta_fscore:.4f}",
+                f"{result.beta_new_cluster_fscore:.4f}",
+                result.beta_bubbles_on_new,
+            ],
+            [
+                "extent",
+                f"{result.extent_fscore:.4f}",
+                f"{result.extent_new_cluster_fscore:.4f}",
+                result.extent_bubbles_on_new,
+            ],
+        ],
+        title="Figure 7. Adaptation of data bubbles under the two quality "
+        "measures (middle cluster deleted, two clusters inserted far right).",
+    )

@@ -1,0 +1,78 @@
+"""Figure 9 — average percentage of rebuilt data bubbles vs update volume.
+
+"Typically, the number of these sub-regions is small and thus the majority
+of the data bubbles can adapt easily" (Section 1): the fraction of bubbles
+touched by merge/split per batch stays low and grows only slowly with the
+update volume. :func:`run_figure9` sweeps the update percentage over the
+complex scenario and reports, per sweep point, the mean over batches and
+repetitions of ``rebuilt bubbles / total bubbles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..evaluation import RunSummary, summarize
+from .harness import ExperimentConfig, run_comparison
+from .reporting import render_table
+
+__all__ = ["Figure9Point", "DEFAULT_UPDATE_FRACTIONS", "run_figure9", "render_figure9"]
+
+#: The sweep of Figures 9–11: 2% to 10% of the database updated per batch.
+DEFAULT_UPDATE_FRACTIONS: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10)
+
+
+@dataclass(frozen=True)
+class Figure9Point:
+    """One sweep point of Figure 9.
+
+    Attributes:
+        update_fraction: fraction of the database updated per batch.
+        rebuilt_fraction: summary (over batches × repetitions) of the
+            fraction of bubbles rebuilt per batch.
+    """
+
+    update_fraction: float
+    rebuilt_fraction: RunSummary
+
+
+def run_figure9(
+    base: ExperimentConfig | None = None,
+    update_fractions: tuple[float, ...] = DEFAULT_UPDATE_FRACTIONS,
+    repetitions: int = 3,
+) -> list[Figure9Point]:
+    """Regenerate the Figure 9 series on the complex scenario."""
+    if base is None:
+        base = ExperimentConfig(scenario="complex")
+    points: list[Figure9Point] = []
+    for fraction in update_fractions:
+        config = replace(base, scenario="complex", update_fraction=fraction)
+        values: list[float] = []
+        for rep in range(repetitions):
+            result = run_comparison(config, repetition=rep)
+            values.extend(
+                result.incremental.rebuilt_fractions(config.num_bubbles)
+            )
+        points.append(
+            Figure9Point(
+                update_fraction=fraction, rebuilt_fraction=summarize(values)
+            )
+        )
+    return points
+
+
+def render_figure9(points: list[Figure9Point]) -> str:
+    """Format the Figure 9 series."""
+    return render_table(
+        headers=["% points updated", "% bubbles rebuilt (mean)", "std"],
+        rows=[
+            [
+                f"{p.update_fraction * 100:.0f}%",
+                f"{p.rebuilt_fraction.mean * 100:.2f}%",
+                f"{p.rebuilt_fraction.std * 100:.2f}%",
+            ]
+            for p in points
+        ],
+        title="Figure 9. Average percentage of rebuilt data bubbles vs "
+        "percentage of points updated (complex scenario).",
+    )

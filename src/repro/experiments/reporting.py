@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness "prints the same rows/series the paper reports":
+Table 1 rows (dataset × scheme × F-score/compactness mean/std) and the
+Figure 9/10/11 series (x = update percentage, y = the measured quantity).
+These helpers produce aligned ASCII tables so the regenerated artifacts are
+directly comparable to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller (each experiment knows its own precision).
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return render_table(
+        headers=[x_label, y_label],
+        rows=[list(p) for p in points],
+        title=title,
+    )

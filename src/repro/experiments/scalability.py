@@ -1,0 +1,194 @@
+"""Scalability sweep — database size and dimensionality.
+
+Section 5 opens with the claim that the scheme "is scalable and well
+suited for high dimensional data", and argues that larger databases
+behave like smaller ones with proportionally more bubbles. This
+experiment makes both claims measurable:
+
+* a **size sweep** at fixed points-per-bubble: per database size, the
+  incremental cost per batch, the complete-rebuild cost per batch, and
+  their ratio (the saving factor's N-dependence discussed in
+  EXPERIMENTS.md);
+* a **dimension sweep** at fixed size: F-scores of both schemes and the
+  triangle-inequality pruning rate per dimensionality (2/5/10/20, the
+  paper's grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..evaluation import RunSummary, summarize
+from .harness import ExperimentConfig, run_comparison
+from .reporting import render_table
+
+__all__ = [
+    "SizePoint",
+    "DimensionPoint",
+    "run_size_sweep",
+    "run_dimension_sweep",
+    "render_size_sweep",
+    "render_dimension_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SizePoint:
+    """One database-size sweep point.
+
+    Attributes:
+        size: initial database size.
+        num_bubbles: bubbles used (size / points-per-bubble).
+        incremental_cost: distance computations per batch (summary).
+        complete_cost: distance computations per rebuild (summary).
+        saving_factor: complete ÷ incremental per batch (summary).
+    """
+
+    size: int
+    num_bubbles: int
+    incremental_cost: RunSummary
+    complete_cost: RunSummary
+    saving_factor: RunSummary
+
+
+@dataclass(frozen=True)
+class DimensionPoint:
+    """One dimensionality sweep point.
+
+    Attributes:
+        dim: data dimensionality.
+        incremental_fscore: incremental scheme's F-score (summary).
+        complete_fscore: complete rebuild's F-score (summary).
+        pruned_fraction: insertion-assignment pruning rate (summary).
+    """
+
+    dim: int
+    incremental_fscore: RunSummary
+    complete_fscore: RunSummary
+    pruned_fraction: RunSummary
+
+
+def run_size_sweep(
+    base: ExperimentConfig | None = None,
+    sizes: tuple[int, ...] = (2_500, 5_000, 10_000, 20_000),
+    points_per_bubble: int = 100,
+    repetitions: int = 2,
+) -> list[SizePoint]:
+    """Sweep the database size at a fixed compression rate."""
+    if base is None:
+        base = ExperimentConfig(scenario="complex", num_batches=4)
+    points: list[SizePoint] = []
+    for size in sizes:
+        num_bubbles = max(2, size // points_per_bubble)
+        config = replace(
+            base, initial_size=size, num_bubbles=num_bubbles
+        )
+        inc_cost, cmp_cost, ratios = [], [], []
+        for rep in range(repetitions):
+            result = run_comparison(config, repetition=rep)
+            inc = np.array(
+                [
+                    m.report.computed_distances
+                    for m in result.incremental.measurements
+                ],
+                dtype=np.float64,
+            )
+            cmp_ = np.array(
+                [
+                    m.report.computed_distances
+                    for m in result.complete.measurements
+                ],
+                dtype=np.float64,
+            )
+            inc_cost.extend(inc.tolist())
+            cmp_cost.extend(cmp_.tolist())
+            ratios.extend((cmp_[inc > 0] / inc[inc > 0]).tolist())
+        points.append(
+            SizePoint(
+                size=size,
+                num_bubbles=num_bubbles,
+                incremental_cost=summarize(inc_cost),
+                complete_cost=summarize(cmp_cost),
+                saving_factor=summarize(ratios),
+            )
+        )
+    return points
+
+
+def run_dimension_sweep(
+    base: ExperimentConfig | None = None,
+    dims: tuple[int, ...] = (2, 5, 10, 20),
+    repetitions: int = 2,
+) -> list[DimensionPoint]:
+    """Sweep the dimensionality of the complex scenario."""
+    if base is None:
+        base = ExperimentConfig(scenario="complex", num_batches=4)
+    points: list[DimensionPoint] = []
+    for dim in dims:
+        config = replace(base, dim=dim)
+        inc_f, cmp_f, pruned = [], [], []
+        for rep in range(repetitions):
+            result = run_comparison(config, repetition=rep)
+            inc_f.append(result.incremental.mean_fscore())
+            cmp_f.append(result.complete.mean_fscore())
+            pruned.extend(
+                result.incremental.insertion_pruned_fractions().tolist()
+            )
+        points.append(
+            DimensionPoint(
+                dim=dim,
+                incremental_fscore=summarize(inc_f),
+                complete_fscore=summarize(cmp_f),
+                pruned_fraction=summarize(pruned),
+            )
+        )
+    return points
+
+
+def render_size_sweep(points: list[SizePoint]) -> str:
+    """Format the size sweep table."""
+    return render_table(
+        headers=[
+            "database size",
+            "bubbles",
+            "incremental dists/batch",
+            "rebuild dists/batch",
+            "saving factor",
+        ],
+        rows=[
+            [
+                f"{p.size:,}",
+                p.num_bubbles,
+                f"{p.incremental_cost.mean:,.0f}",
+                f"{p.complete_cost.mean:,.0f}",
+                f"{p.saving_factor.mean:.1f}",
+            ]
+            for p in points
+        ],
+        title="Scalability: database size sweep at fixed compression rate "
+        "(complex scenario).",
+    )
+
+
+def render_dimension_sweep(points: list[DimensionPoint]) -> str:
+    """Format the dimensionality sweep table."""
+    return render_table(
+        headers=[
+            "dimension",
+            "incremental F",
+            "complete F",
+            "pruned distance computations",
+        ],
+        rows=[
+            [
+                f"{p.dim}d",
+                f"{p.incremental_fscore.mean:.4f}",
+                f"{p.complete_fscore.mean:.4f}",
+                f"{p.pruned_fraction.mean:.1%}",
+            ]
+            for p in points
+        ],
+        title="Scalability: dimensionality sweep (complex scenario).",
+    )

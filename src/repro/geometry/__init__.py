@@ -1,0 +1,27 @@
+"""Distance substrate: Euclidean kernels and instrumented counting.
+
+See :mod:`repro.geometry.distance` for the raw kernels and
+:mod:`repro.geometry.counting` for the :class:`DistanceCounter` used to
+reproduce the paper's distance-calculation metrics (Figures 10–11).
+"""
+
+from .counting import CounterSnapshot, DistanceCounter
+from .distance import (
+    cross_pairwise,
+    euclidean,
+    nearest_index,
+    pairwise,
+    point_to_points,
+    squared_euclidean,
+)
+
+__all__ = [
+    "CounterSnapshot",
+    "DistanceCounter",
+    "cross_pairwise",
+    "euclidean",
+    "nearest_index",
+    "pairwise",
+    "point_to_points",
+    "squared_euclidean",
+]

@@ -1,0 +1,128 @@
+"""Persistence of stores and summaries (numpy ``.npz`` archives).
+
+An incremental summarization is only useful if it survives process
+restarts — rebuilding bubbles from scratch at startup would forfeit the
+incremental savings. This module round-trips a whole session (the
+:class:`~repro.database.PointStore` plus its
+:class:`~repro.core.bubble_set.BubbleSet`) through a single compressed
+``.npz`` file:
+
+* the store is saved as its alive ids, coordinates, labels, ownership and
+  id counter (ids are preserved exactly, including deletion gaps — they
+  are the keys the bubbles' member sets refer to);
+* the summary is saved structurally (seeds + member id lists); sufficient
+  statistics are *recomputed* from the member coordinates on load, which
+  both keeps the file format minimal and guarantees the loaded statistics
+  agree with the membership (a corrupted file cannot produce an
+  inconsistent summary).
+
+Example:
+    >>> save_session("session.npz", store, bubbles)   # doctest: +SKIP
+    >>> store2, bubbles2 = load_session("session.npz")  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .core.bubble_set import BubbleSet
+from .database import PointStore
+
+__all__ = ["save_session", "load_session"]
+
+_FORMAT_VERSION = 1
+
+
+def save_session(
+    path: str | pathlib.Path,
+    store: PointStore,
+    bubbles: BubbleSet | None = None,
+) -> None:
+    """Persist a store (and optionally its summary) to ``path``.
+
+    Raises:
+        ValueError: if the summary's members are not all alive in the
+            store (a desynchronized pair would not survive the round
+            trip, so it is rejected up front).
+    """
+    ids, points, labels = store.snapshot()
+    owners = np.asarray(
+        [
+            -1 if store.owner(int(pid)) is None else store.owner(int(pid))
+            for pid in ids
+        ],
+        dtype=np.int64,
+    )
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "dim": np.int64(store.dim),
+        "next_id": np.int64(int(ids[-1]) + 1 if ids.size else 0),
+        "ids": ids,
+        "points": points,
+        "labels": labels,
+        "owners": owners,
+        "has_summary": np.bool_(bubbles is not None),
+    }
+    if bubbles is not None:
+        alive = set(int(i) for i in ids)
+        member_chunks: list[np.ndarray] = []
+        offsets = [0]
+        seeds = bubbles.seeds()
+        for bubble in bubbles:
+            members = bubble.member_ids()
+            if not set(int(i) for i in members) <= alive:
+                raise ValueError(
+                    f"bubble {bubble.bubble_id} references points not alive "
+                    "in the store"
+                )
+            member_chunks.append(members)
+            offsets.append(offsets[-1] + members.size)
+        payload["seeds"] = seeds
+        payload["member_offsets"] = np.asarray(offsets, dtype=np.int64)
+        payload["member_ids"] = (
+            np.concatenate(member_chunks)
+            if member_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+    np.savez_compressed(pathlib.Path(path), **payload)
+
+
+def load_session(
+    path: str | pathlib.Path,
+) -> tuple[PointStore, BubbleSet | None]:
+    """Load a session saved by :func:`save_session`.
+
+    Returns:
+        ``(store, bubbles)``; ``bubbles`` is ``None`` when the session was
+        saved without a summary.
+    """
+    with np.load(pathlib.Path(path)) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported session format version {version}"
+            )
+        dim = int(archive["dim"])
+        store = PointStore.from_snapshot(
+            dim=dim,
+            ids=archive["ids"],
+            points=archive["points"],
+            labels=archive["labels"],
+            owners=archive["owners"],
+            next_id=int(archive["next_id"]),
+        )
+        if not bool(archive["has_summary"]):
+            return store, None
+        seeds = archive["seeds"]
+        offsets = archive["member_offsets"]
+        member_ids = archive["member_ids"]
+
+    bubbles = BubbleSet(dim=dim)
+    for index in range(seeds.shape[0]):
+        bubble = bubbles.add_bubble(seeds[index])
+        members = member_ids[offsets[index] : offsets[index + 1]]
+        if members.size:
+            bubble.absorb_many(members, store.points_of(members))
+    return store, bubbles

@@ -1,0 +1,208 @@
+"""Sliding-window stream summarization — the paper's other future-work item.
+
+Section 1 positions a data stream as "a degenerate case of an incremental
+database where the database size is extremely small (the size of a window
+in a stream), and insertions and deletions arise such that the current
+database content is completely replaced"; Section 6 lists "compressing
+data streams ... using incremental data bubbles" as future research.
+
+:class:`SlidingWindowSummarizer` is exactly that degenerate case wired up:
+every appended chunk of stream points is one :class:`UpdateBatch` whose
+insertions are the chunk and whose deletions are the points that fall out
+of the window (FIFO — point ids are handed out monotonically, so the
+oldest alive ids are the smallest). The summary is maintained by an
+:class:`~repro.core.adaptive.AdaptiveMaintainer`, so the bubble count also
+tracks the window as it fills.
+
+Example:
+    >>> import numpy as np
+    >>> stream = SlidingWindowSummarizer(dim=2, window_size=1_000,
+    ...                                  points_per_bubble=50, seed=0)
+    >>> rng = np.random.default_rng(0)
+    >>> for _ in range(20):
+    ...     _ = stream.append(rng.normal(size=(100, 2)))
+    >>> stream.size
+    1000
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import (
+    AdaptiveMaintainer,
+    BubbleBuilder,
+    BubbleConfig,
+    BubbleSet,
+    MaintenanceConfig,
+)
+from .core.maintenance import BatchReport
+from .database import PointStore, UpdateBatch
+from .exceptions import InvalidConfigError, NotFittedError
+from .geometry import DistanceCounter
+from .types import Label
+
+__all__ = ["SlidingWindowSummarizer"]
+
+
+class SlidingWindowSummarizer:
+    """Incremental data bubbles over the most recent ``window_size`` points.
+
+    Args:
+        dim: stream dimensionality.
+        window_size: how many of the most recent points the summary
+            describes.
+        points_per_bubble: target compression rate (the adaptive
+            maintainer steers the bubble count toward
+            ``window / points_per_bubble``).
+        config: maintenance parameters; defaults to the paper's.
+        seed: RNG seed for construction and maintenance randomness.
+
+    The summarizer bootstraps lazily: chunks are buffered in the store
+    until at least ``2 · points_per_bubble`` points have arrived, then the
+    initial bubbles are built and maintenance takes over.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        window_size: int,
+        points_per_bubble: int,
+        config: MaintenanceConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if window_size < 2:
+            raise InvalidConfigError(
+                f"window_size must be >= 2, got {window_size}"
+            )
+        if points_per_bubble < 1:
+            raise InvalidConfigError(
+                f"points_per_bubble must be >= 1, got {points_per_bubble}"
+            )
+        if points_per_bubble * 2 > window_size:
+            raise InvalidConfigError(
+                "window_size must hold at least two bubbles' worth of points"
+            )
+        self._window = window_size
+        self._points_per_bubble = points_per_bubble
+        self._config = (
+            config if config is not None else MaintenanceConfig(seed=seed)
+        )
+        self._seed = seed
+        self._store = PointStore(dim=dim)
+        self._counter = DistanceCounter()
+        self._maintainer: AdaptiveMaintainer | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        """The window capacity in points."""
+        return self._window
+
+    @property
+    def size(self) -> int:
+        """How many points the window currently holds."""
+        return self._store.size
+
+    @property
+    def store(self) -> PointStore:
+        """The live window content."""
+        return self._store
+
+    @property
+    def counter(self) -> DistanceCounter:
+        """Distance-computation accounting across the whole stream."""
+        return self._counter
+
+    def is_ready(self) -> bool:
+        """Whether the summary has been bootstrapped."""
+        return self._maintainer is not None
+
+    @property
+    def summary(self) -> BubbleSet:
+        """The current bubble summary.
+
+        Raises:
+            NotFittedError: before enough points arrived to bootstrap.
+        """
+        if self._maintainer is None:
+            raise NotFittedError(
+                "the stream summary is not bootstrapped yet; append more "
+                "points"
+            )
+        return self._maintainer.bubbles
+
+    @property
+    def maintainer(self) -> AdaptiveMaintainer | None:
+        """The underlying adaptive maintainer (``None`` while buffering)."""
+        return self._maintainer
+
+    # ------------------------------------------------------------------
+    # Stream ingestion
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        points: np.ndarray,
+        labels: list[Label] | np.ndarray | None = None,
+    ) -> BatchReport | None:
+        """Ingest one chunk of stream points.
+
+        Evicts the oldest points beyond the window capacity in the same
+        batch. Returns the maintainer's :class:`BatchReport`, or ``None``
+        while the summarizer is still buffering toward bootstrap.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.shape[0] > self._window:
+            raise ValueError(
+                f"chunk of {points.shape[0]} exceeds the window of "
+                f"{self._window}"
+            )
+        if labels is None:
+            label_tuple = tuple([-1] * points.shape[0])
+        else:
+            label_tuple = tuple(int(l) for l in np.asarray(labels))
+
+        overflow = max(0, self._store.size + points.shape[0] - self._window)
+        evicted = (
+            tuple(int(i) for i in self._store.ids()[:overflow])
+            if overflow
+            else ()
+        )
+
+        if self._maintainer is None:
+            # Buffering phase: mutate the store directly.
+            if evicted:
+                self._store.delete(np.asarray(evicted, dtype=np.int64))
+            self._store.insert(points, label_tuple)
+            self._maybe_bootstrap()
+            return None
+
+        batch = UpdateBatch(
+            deletions=evicted,
+            insertions=points,
+            insertion_labels=label_tuple,
+        )
+        return self._maintainer.apply_batch(batch)
+
+    def _maybe_bootstrap(self) -> None:
+        if self._store.size < 2 * self._points_per_bubble:
+            return
+        num_bubbles = max(
+            2, self._store.size // self._points_per_bubble
+        )
+        builder = BubbleBuilder(
+            BubbleConfig(num_bubbles=num_bubbles, seed=self._seed),
+            counter=self._counter,
+        )
+        bubbles = builder.build(self._store)
+        self._maintainer = AdaptiveMaintainer(
+            bubbles,
+            self._store,
+            points_per_bubble=self._points_per_bubble,
+            config=self._config,
+            counter=self._counter,
+        )

@@ -1,0 +1,17 @@
+"""Sufficient statistics ``(n, LS, SS)`` and derived bubble quantities.
+
+The additive statistics live in :class:`SufficientStatistics`; the
+representative / extent / nnDist derivations of Definition 1 are the pure
+functions in :mod:`repro.sufficient.derived`.
+"""
+
+from .derived import extent, nn_dist, radius_std, representative
+from .stats import SufficientStatistics
+
+__all__ = [
+    "SufficientStatistics",
+    "extent",
+    "nn_dist",
+    "radius_std",
+    "representative",
+]

@@ -1,0 +1,109 @@
+"""Derived bubble quantities: representative, extent, nnDist.
+
+Definition 1 of the paper (following Breunig et al. 2001, "Data Bubbles:
+Quality Preserving Performance Boosting for Hierarchical Clustering")
+describes a data bubble ``B = (rep, n, extent, nnDist)``. All three derived
+quantities can be computed from the sufficient statistics ``(n, LS, SS)``:
+
+* ``rep = LS / n`` — the mean of the summarized points;
+* ``extent`` — the radius around ``rep`` enclosing "the majority" of the
+  points, estimated as the *average pairwise distance* within the bubble::
+
+      extent = sqrt( (2 · n · SS - 2 · |LS|²) / (n · (n - 1)) )
+
+  which follows from ``Σ_i Σ_j |x_i - x_j|² = 2n·SS - 2·|LS|²``;
+* ``nnDist(k, B)`` — the expected ``k``-nearest-neighbour distance inside
+  the bubble under a uniformity assumption::
+
+      nnDist(k, B) = (k / n)^(1/d) · extent
+
+These formulas are pure functions of ``(n, LS, SS, d)``; they are kept
+separate from :class:`~repro.sufficient.stats.SufficientStatistics` so they
+can also be applied to ad-hoc statistics (e.g. in tests and in the
+extent-based baseline quality measure).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import EmptyBubbleError
+from .stats import SufficientStatistics
+
+__all__ = ["representative", "extent", "nn_dist", "radius_std"]
+
+
+def representative(stats: SufficientStatistics) -> np.ndarray:
+    """The bubble representative ``rep = LS / n`` (Definition 1).
+
+    Raises:
+        EmptyBubbleError: for empty statistics.
+    """
+    return stats.mean()
+
+
+def extent(stats: SufficientStatistics) -> float:
+    """Average pairwise distance of the summarized points.
+
+    Returns ``0.0`` for singleton bubbles (a single point has no pairwise
+    distances; its radius is zero). Floating point cancellation can push the
+    value under the square root slightly negative for near-degenerate
+    bubbles; it is clamped to zero.
+
+    Raises:
+        EmptyBubbleError: for empty statistics.
+    """
+    n = stats.n
+    if n == 0:
+        raise EmptyBubbleError("extent of an empty bubble is undefined")
+    if n == 1:
+        return 0.0
+    ls = stats.linear_sum
+    sq = (2.0 * n * stats.square_sum - 2.0 * float(np.dot(ls, ls))) / (
+        n * (n - 1)
+    )
+    return math.sqrt(max(sq, 0.0))
+
+
+def radius_std(stats: SufficientStatistics) -> float:
+    """Standard deviation of the distance from the mean.
+
+    ``sqrt(SS/n - |LS/n|²)`` — the "spatial extent" statistic implicitly
+    used as a quality measure by BIRCH-style clustering features, which
+    Section 4.1 argues against. Provided for the extent-based baseline.
+    """
+    n = stats.n
+    if n == 0:
+        raise EmptyBubbleError("radius of an empty bubble is undefined")
+    mean = stats.linear_sum / n
+    sq = stats.square_sum / n - float(np.dot(mean, mean))
+    return math.sqrt(max(sq, 0.0))
+
+
+def nn_dist(stats: SufficientStatistics, k: int) -> float:
+    """Expected ``k``-nearest-neighbour distance inside the bubble.
+
+    Under the uniformity assumption of Breunig et al. 2001::
+
+        nnDist(k, B) = (k / n)^(1/d) · extent(B)
+
+    For ``k >= n`` the estimate saturates at the extent itself (there are no
+    ``k`` neighbours inside the bubble; callers needing cross-bubble
+    neighbourhoods handle that case explicitly, see
+    :mod:`repro.clustering.bubble_optics`).
+
+    Raises:
+        EmptyBubbleError: for empty statistics.
+        ValueError: for non-positive ``k``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    n = stats.n
+    if n == 0:
+        raise EmptyBubbleError("nnDist of an empty bubble is undefined")
+    ext = extent(stats)
+    if k >= n:
+        return ext
+    return (k / n) ** (1.0 / stats.dim) * ext

@@ -1,0 +1,219 @@
+"""Sufficient statistics ``(n, LS, SS)`` for data summarization.
+
+Both BIRCH clustering features and data bubbles are built on the same
+sufficient statistics of a point set ``X = {x_1 .. x_n}``:
+
+* ``n`` — the number of points,
+* ``LS`` — the linear sum ``Σ x_i`` (a ``d``-dimensional vector),
+* ``SS`` — the square sum ``Σ x_i · x_i`` (a scalar).
+
+They are *additive*: inserting a point ``p`` updates them to
+``(n + 1, LS + p, SS + p·p)`` and deleting an assigned point to
+``(n - 1, LS - p, SS - p·p)`` — exactly the incremental update rule of
+Section 4 of the paper. Two disjoint sets' statistics merge by element-wise
+addition, which the split/merge operations rely on.
+
+:class:`SufficientStatistics` is intentionally a mutable value object: a
+data bubble owns exactly one and mutates it as points come and go.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, EmptyBubbleError
+from ..types import Point, PointMatrix
+
+__all__ = ["SufficientStatistics"]
+
+
+class SufficientStatistics:
+    """Additive sufficient statistics ``(n, LS, SS)`` of a point set.
+
+    Args:
+        dim: dimensionality of the points that will be absorbed.
+
+    Example:
+        >>> stats = SufficientStatistics(dim=2)
+        >>> stats.insert(np.array([1.0, 2.0]))
+        >>> stats.insert(np.array([3.0, 4.0]))
+        >>> stats.n
+        2
+        >>> stats.mean().tolist()
+        [2.0, 3.0]
+    """
+
+    __slots__ = ("_n", "_linear_sum", "_square_sum", "_dim")
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self._dim = int(dim)
+        self._n = 0
+        self._linear_sum = np.zeros(dim, dtype=np.float64)
+        self._square_sum = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: PointMatrix) -> "SufficientStatistics":
+        """Build statistics for a whole point matrix at once (vectorised)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("from_points expects a (m, d) matrix")
+        stats = cls(dim=points.shape[1])
+        stats._n = points.shape[0]
+        stats._linear_sum = points.sum(axis=0)
+        stats._square_sum = float(np.einsum("ij,ij->", points, points))
+        return stats
+
+    def copy(self) -> "SufficientStatistics":
+        """Independent deep copy."""
+        dup = SufficientStatistics(self._dim)
+        dup._n = self._n
+        dup._linear_sum = self._linear_sum.copy()
+        dup._square_sum = self._square_sum
+        return dup
+
+    # ------------------------------------------------------------------
+    # Incremental updates (Section 4 of the paper)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Absorb one point: ``(n, LS, SS) -> (n + 1, LS + p, SS + p·p)``."""
+        self._check_dim(point)
+        self._n += 1
+        self._linear_sum += point
+        self._square_sum += float(np.dot(point, point))
+
+    def remove(self, point: Point) -> None:
+        """Release one previously absorbed point.
+
+        ``(n, LS, SS) -> (n - 1, LS - p, SS - p·p)``. Removing from empty
+        statistics is a logic error and raises :class:`EmptyBubbleError`.
+        """
+        if self._n == 0:
+            raise EmptyBubbleError("cannot remove a point from empty statistics")
+        self._check_dim(point)
+        self._n -= 1
+        self._linear_sum -= point
+        self._square_sum -= float(np.dot(point, point))
+        if self._n == 0:
+            # Snap accumulated floating point noise back to exact zero so an
+            # emptied bubble is bit-identical to a fresh one.
+            self._linear_sum[:] = 0.0
+            self._square_sum = 0.0
+
+    def insert_many(self, points: PointMatrix) -> None:
+        """Absorb a batch of points with one vectorised update."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return
+        if points.ndim != 2 or points.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"expected (m, {self._dim}) points, got shape {points.shape}"
+            )
+        self._n += points.shape[0]
+        self._linear_sum += points.sum(axis=0)
+        self._square_sum += float(np.einsum("ij,ij->", points, points))
+
+    def remove_many(self, points: PointMatrix) -> None:
+        """Release a batch of previously absorbed points in one update."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return
+        if points.ndim != 2 or points.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"expected (m, {self._dim}) points, got shape {points.shape}"
+            )
+        if points.shape[0] > self._n:
+            raise EmptyBubbleError(
+                f"cannot remove {points.shape[0]} points from statistics of "
+                f"{self._n}"
+            )
+        self._n -= points.shape[0]
+        self._linear_sum -= points.sum(axis=0)
+        self._square_sum -= float(np.einsum("ij,ij->", points, points))
+        if self._n == 0:
+            self._linear_sum[:] = 0.0
+            self._square_sum = 0.0
+
+    def merge(self, other: "SufficientStatistics") -> None:
+        """Absorb another statistic (disjoint point sets): element-wise addition."""
+        if other._dim != self._dim:
+            raise DimensionMismatchError(
+                f"cannot merge dim {other._dim} into dim {self._dim}"
+            )
+        self._n += other._n
+        self._linear_sum += other._linear_sum
+        self._square_sum += other._square_sum
+
+    def clear(self) -> None:
+        """Reset to the empty statistics."""
+        self._n = 0
+        self._linear_sum[:] = 0.0
+        self._square_sum = 0.0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of points currently summarized."""
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the summarized points."""
+        return self._dim
+
+    @property
+    def linear_sum(self) -> np.ndarray:
+        """The linear sum ``LS`` (read-only view)."""
+        view = self._linear_sum.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def square_sum(self) -> float:
+        """The square sum ``SS``."""
+        return self._square_sum
+
+    def mean(self) -> np.ndarray:
+        """``LS / n`` — the representative of Definition 1.
+
+        Raises:
+            EmptyBubbleError: when no points are summarized.
+        """
+        if self._n == 0:
+            raise EmptyBubbleError("mean of empty statistics is undefined")
+        return self._linear_sum / self._n
+
+    def is_empty(self) -> bool:
+        """Whether no points are currently summarized."""
+        return self._n == 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_dim(self, point: Point) -> None:
+        if point.shape != (self._dim,):
+            raise DimensionMismatchError(
+                f"expected a ({self._dim},) point, got shape {point.shape}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SufficientStatistics):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._dim == other._dim
+            and np.array_equal(self._linear_sum, other._linear_sum)
+            and self._square_sum == other._square_sum
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SufficientStatistics(n={self._n}, dim={self._dim}, "
+            f"SS={self._square_sum:.4g})"
+        )

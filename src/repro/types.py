@@ -1,0 +1,78 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The library works with plain numpy arrays at its boundaries:
+
+* a *point* is a 1-d ``float64`` array of shape ``(d,)``;
+* a *point matrix* is a 2-d ``float64`` array of shape ``(m, d)``;
+* *point ids* are opaque non-negative integers handed out by
+  :class:`repro.database.PointStore` and stable across updates;
+* *labels* are integers, with :data:`NOISE_LABEL` (``-1``) marking noise
+  both in ground truth and in clustering results.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+from numpy.typing import NDArray
+
+Point: TypeAlias = NDArray[np.float64]
+"""A single ``d``-dimensional point, shape ``(d,)``."""
+
+PointMatrix: TypeAlias = NDArray[np.float64]
+"""A batch of points, shape ``(m, d)``."""
+
+PointId: TypeAlias = int
+"""Stable identifier of a point inside a :class:`~repro.database.PointStore`."""
+
+BubbleId: TypeAlias = int
+"""Stable identifier of a data bubble inside a bubble set."""
+
+Label: TypeAlias = int
+"""Cluster label; ``NOISE_LABEL`` marks noise points."""
+
+NOISE_LABEL: int = -1
+"""Label reserved for noise, in ground truth and in clustering output."""
+
+
+def as_point_matrix(points: object, dim: int | None = None) -> PointMatrix:
+    """Coerce ``points`` to a C-contiguous float64 matrix of shape ``(m, d)``.
+
+    Accepts any array-like (lists of lists, 1-d arrays promoted to a single
+    row, existing matrices). When ``dim`` is given, the result is validated
+    against it.
+
+    Raises:
+        ValueError: if the input cannot be shaped into ``(m, d)`` or the
+            dimensionality does not match ``dim``.
+    """
+    matrix = np.ascontiguousarray(points, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"expected a (m, d) point matrix, got ndim={matrix.ndim}"
+        )
+    if dim is not None and matrix.shape[1] != dim:
+        raise ValueError(
+            f"expected {dim}-dimensional points, got {matrix.shape[1]}-dimensional"
+        )
+    return matrix
+
+
+def as_point(point: object, dim: int | None = None) -> Point:
+    """Coerce ``point`` to a 1-d float64 array of shape ``(d,)``.
+
+    Raises:
+        ValueError: if the input is not 1-dimensional or does not match
+            ``dim`` when given.
+    """
+    vector = np.ascontiguousarray(point, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a (d,) point, got ndim={vector.ndim}")
+    if dim is not None and vector.shape[0] != dim:
+        raise ValueError(
+            f"expected a {dim}-dimensional point, got {vector.shape[0]}-dimensional"
+        )
+    return vector

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BubbleBuilder,
+    BubbleConfig,
+    PointStore,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_cluster_points(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Two well-separated 2-d Gaussian clusters plus light noise."""
+    points = np.vstack(
+        [
+            rng.normal([0.0, 0.0], 0.5, size=(300, 2)),
+            rng.normal([10.0, 10.0], 0.5, size=(300, 2)),
+            rng.uniform(-3.0, 13.0, size=(30, 2)),
+        ]
+    )
+    labels = np.concatenate(
+        [
+            np.zeros(300, dtype=np.int64),
+            np.ones(300, dtype=np.int64),
+            np.full(30, -1, dtype=np.int64),
+        ]
+    )
+    return points, labels
+
+
+@pytest.fixture
+def populated_store(
+    two_cluster_points: tuple[np.ndarray, np.ndarray],
+) -> PointStore:
+    """A store holding the two-cluster dataset."""
+    points, labels = two_cluster_points
+    store = PointStore(dim=2)
+    store.insert(points, labels)
+    return store
+
+
+@pytest.fixture
+def built_bubbles(populated_store: PointStore):
+    """A freshly built 12-bubble summary of the two-cluster store."""
+    builder = BubbleBuilder(BubbleConfig(num_bubbles=12, seed=7))
+    return builder.build(populated_store)

@@ -1,0 +1,147 @@
+"""Unit tests for the BIRCH CF-tree substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.birch import CFTree, ClusteringFeature, cluster_cf_tree
+from repro.sufficient import SufficientStatistics
+
+
+class TestClusteringFeature:
+    def test_of_point(self):
+        cf = ClusteringFeature.of_point(np.array([1.0, 2.0]))
+        assert cf.n == 1
+        assert cf.centroid() == pytest.approx([1.0, 2.0])
+        assert cf.radius() == pytest.approx(0.0)
+
+    def test_radius_matches_definition(self, rng):
+        points = rng.normal(size=(50, 3))
+        cf = ClusteringFeature(dim=3)
+        for p in points:
+            cf.absorb(p)
+        mean = points.mean(axis=0)
+        expected = np.sqrt(((points - mean) ** 2).sum(axis=1).mean())
+        assert cf.radius() == pytest.approx(expected, rel=1e-9)
+
+    def test_radius_if_absorbed_is_prospective(self):
+        cf = ClusteringFeature.of_point(np.array([0.0, 0.0]))
+        prospective = cf.radius_if_absorbed(np.array([2.0, 0.0]))
+        assert cf.n == 1  # unchanged
+        cf.absorb(np.array([2.0, 0.0]))
+        assert cf.radius() == pytest.approx(prospective)
+
+    def test_merge_is_additive(self, rng):
+        a_points = rng.normal(size=(20, 2))
+        b_points = rng.normal(size=(30, 2))
+        a = ClusteringFeature(dim=2)
+        b = ClusteringFeature(dim=2)
+        for p in a_points:
+            a.absorb(p)
+        for p in b_points:
+            b.absorb(p)
+        a.merge(b)
+        union = SufficientStatistics.from_points(
+            np.vstack([a_points, b_points])
+        )
+        assert a.n == union.n
+        assert a.centroid() == pytest.approx(union.mean())
+
+    def test_centroid_distance(self):
+        a = ClusteringFeature.of_point(np.array([0.0, 0.0]))
+        b = ClusteringFeature.of_point(np.array([3.0, 4.0]))
+        assert a.centroid_distance(b) == pytest.approx(5.0)
+
+
+class TestCFTree:
+    def test_counts_every_point(self, rng):
+        tree = CFTree(threshold=0.5)
+        points = rng.normal(size=(300, 2))
+        tree.insert_many(points)
+        assert tree.num_points == 300
+        assert sum(cf.n for cf in tree.leaf_entries()) == 300
+
+    def test_threshold_caps_leaf_radius(self, rng):
+        tree = CFTree(threshold=0.3)
+        tree.insert_many(rng.normal(size=(500, 2)) * 3.0)
+        for cf in tree.leaf_entries():
+            assert cf.radius() <= 0.3 + 1e-9
+
+    def test_tight_threshold_many_entries(self, rng):
+        points = rng.normal(size=(200, 2)) * 10.0
+        loose = CFTree(threshold=5.0)
+        loose.insert_many(points)
+        tight = CFTree(threshold=0.05)
+        tight.insert_many(points)
+        assert tight.num_leaf_entries > loose.num_leaf_entries
+
+    def test_tree_grows_in_height(self, rng):
+        tree = CFTree(threshold=0.01, branching=3, leaf_capacity=3)
+        tree.insert_many(rng.normal(size=(200, 2)) * 100.0)
+        assert tree.height > 2
+
+    def test_identical_points_absorb_into_one_entry(self):
+        tree = CFTree(threshold=0.5)
+        tree.insert_many(np.zeros((50, 2)))
+        assert tree.num_leaf_entries == 1
+        assert tree.leaf_entries()[0].n == 50
+
+    def test_dimension_checked(self):
+        tree = CFTree(threshold=1.0)
+        tree.insert(np.zeros(2))
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(3))
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            CFTree(threshold=0.0)
+        with pytest.raises(ValueError):
+            CFTree(threshold=1.0, branching=1)
+        with pytest.raises(ValueError):
+            CFTree(threshold=1.0, leaf_capacity=1)
+
+    def test_fit_threshold_respects_budget(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.5, size=(500, 2)),
+                rng.normal([20, 0], 0.5, size=(500, 2)),
+            ]
+        )
+        tree = CFTree.fit_threshold(points, max_leaf_entries=40)
+        assert tree.num_leaf_entries <= 40
+        assert tree.num_points == 1000
+
+    def test_fit_threshold_validation(self, rng):
+        with pytest.raises(ValueError):
+            CFTree.fit_threshold(np.empty((0, 2)), max_leaf_entries=10)
+        with pytest.raises(ValueError):
+            CFTree.fit_threshold(np.zeros((5, 2)), max_leaf_entries=0)
+
+
+class TestClusterCFTree:
+    def test_blobs_separate(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.4, size=(800, 2)),
+                rng.normal([18, 0], 0.4, size=(800, 2)),
+            ]
+        )
+        tree = CFTree.fit_threshold(points, max_leaf_entries=50)
+        result = cluster_cf_tree(tree, min_pts=40)
+        expanded = result.expanded()
+        assert len(expanded) == 1600
+        from repro.clustering import extract_cluster_tree
+
+        ctree = extract_cluster_tree(expanded.reachability, min_size=300)
+        # The top-level split separates the two 800-point blobs (leaves
+        # may legitimately sub-segment further).
+        top = ctree.root.children
+        assert len(top) == 2
+        sizes = sorted(node.size for node in top)
+        assert sizes[0] == pytest.approx(800, abs=80)
+        assert sizes[1] == pytest.approx(800, abs=80)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_cf_tree(CFTree(threshold=1.0))

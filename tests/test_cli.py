@@ -1,0 +1,128 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure7", "figure9", "figure10", "figure11", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_option_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.size == 10_000
+        assert args.bubbles == 100
+        assert args.reps is None
+        assert not args.quick
+
+    def test_option_parsing(self):
+        args = build_parser().parse_args(
+            ["figure9", "--size", "500", "--reps", "2", "--quick"]
+        )
+        assert args.size == 500
+        assert args.reps == 2
+        assert args.quick
+
+
+class TestMain:
+    def test_figure9_quick(self, capsys):
+        code = main(
+            [
+                "figure9",
+                "--quick",
+                "--size", "600",
+                "--bubbles", "15",
+                "--batches", "1",
+                "--reps", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "% bubbles rebuilt" in out
+
+    def test_table1_quick(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--quick",
+                "--size", "600",
+                "--bubbles", "15",
+                "--batches", "1",
+                "--reps", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "complete" in out and "inc" in out
+
+    def test_figure11_quick(self, capsys):
+        code = main(
+            [
+                "figure11",
+                "--quick",
+                "--size", "600",
+                "--bubbles", "15",
+                "--batches", "1",
+                "--reps", "1",
+            ]
+        )
+        assert code == 0
+        assert "saving factor" in capsys.readouterr().out
+
+    def test_figure8_quick(self, capsys):
+        code = main(
+            [
+                "figure8",
+                "--quick",
+                "--size", "800",
+                "--bubbles", "15",
+                "--batches", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "max finite reachability" in out
+
+    def test_staleness_quick(self, capsys):
+        code = main(
+            [
+                "staleness",
+                "--quick",
+                "--size", "800",
+                "--bubbles", "15",
+                "--batches", "10",
+                "--reps", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Staleness" in out
+
+    def test_scalability_quick(self, capsys):
+        code = main(
+            [
+                "scalability",
+                "--quick",
+                "--size", "800",
+                "--bubbles", "15",
+                "--batches", "1",
+                "--reps", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "size sweep" in out
+        assert "dimensionality sweep" in out

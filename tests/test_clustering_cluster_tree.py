@@ -1,0 +1,60 @@
+"""Unit tests for the cluster tree structures."""
+
+from __future__ import annotations
+
+from repro.clustering import ClusterNode, ClusterTree
+
+
+def make_tree() -> ClusterTree:
+    root = ClusterNode(start=0, end=100)
+    left = ClusterNode(start=0, end=40, split_value=5.0)
+    right = ClusterNode(start=40, end=100, split_value=5.0)
+    leaf_a = ClusterNode(start=0, end=20, split_value=2.0)
+    leaf_b = ClusterNode(start=20, end=40, split_value=2.0)
+    left.children = [leaf_a, leaf_b]
+    root.children = [left, right]
+    return ClusterTree(root=root)
+
+
+class TestClusterNode:
+    def test_size(self):
+        assert ClusterNode(start=5, end=17).size == 12
+
+    def test_is_leaf(self):
+        tree = make_tree()
+        assert not tree.root.is_leaf()
+        assert tree.root.children[1].is_leaf()
+
+    def test_contains(self):
+        node = ClusterNode(start=10, end=20)
+        assert 10 in node
+        assert 19 in node
+        assert 20 not in node
+        assert "x" not in node
+
+    def test_iter_nodes_preorder(self):
+        tree = make_tree()
+        spans = [node.span() for node in tree.root.iter_nodes()]
+        assert spans == [(0, 100), (0, 40), (0, 20), (20, 40), (40, 100)]
+
+
+class TestClusterTree:
+    def test_leaves(self):
+        leaves = [leaf.span() for leaf in make_tree().leaves()]
+        assert leaves == [(0, 20), (20, 40), (40, 100)]
+
+    def test_nodes_count(self):
+        assert len(make_tree().nodes()) == 5
+
+    def test_clusters_excludes_root(self):
+        clusters = [node.span() for node in make_tree().clusters()]
+        assert (0, 100) not in clusters
+        assert len(clusters) == 4
+
+    def test_single_node_tree_cluster_is_root(self):
+        tree = ClusterTree(root=ClusterNode(start=0, end=10))
+        assert [n.span() for n in tree.clusters()] == [(0, 10)]
+
+    def test_depth(self):
+        assert make_tree().depth == 3
+        assert ClusterTree(root=ClusterNode(0, 5)).depth == 1

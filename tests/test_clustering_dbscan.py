@@ -1,0 +1,81 @@
+"""Unit tests for the DBSCAN reference substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN, PointOptics, clusters_at_threshold
+
+
+class TestDbscan:
+    def test_two_blobs(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(50, 2)),
+                rng.normal([10, 10], 0.2, size=(50, 2)),
+            ]
+        )
+        labels = DBSCAN(eps=1.0, min_pts=5).fit(points)
+        assert set(labels[:50].tolist()) == {labels[0]}
+        assert set(labels[50:].tolist()) == {labels[50]}
+        assert labels[0] != labels[50]
+        assert (labels >= 0).all()
+
+    def test_noise_detected(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.1, size=(50, 2)),
+                np.array([[100.0, 100.0]]),
+            ]
+        )
+        labels = DBSCAN(eps=1.0, min_pts=5).fit(points)
+        assert labels[-1] == -1
+
+    def test_all_noise_when_sparse(self, rng):
+        points = rng.uniform(0, 1000, size=(20, 2))
+        labels = DBSCAN(eps=0.001, min_pts=3).fit(points)
+        assert (labels == -1).all()
+
+    def test_single_cluster_when_eps_huge(self, rng):
+        points = rng.normal(size=(30, 2))
+        labels = DBSCAN(eps=1000.0, min_pts=3).fit(points)
+        assert (labels == 0).all()
+
+    def test_empty_input(self):
+        assert DBSCAN(eps=1.0).fit(np.empty((0, 2))).shape == (0,)
+
+    def test_chain_connectivity(self):
+        # Points in a chain, each within eps of the next: single cluster.
+        points = np.array([[float(i) * 0.9, 0.0] for i in range(20)])
+        labels = DBSCAN(eps=1.0, min_pts=2).fit(points)
+        assert (labels == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0, min_pts=0)
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0).fit(np.zeros(3))
+
+
+class TestOpticsConsistency:
+    def test_optics_cut_matches_dbscan_components(self, rng):
+        """A horizontal cut of the OPTICS plot at eps recovers DBSCAN's
+        clusters (up to border points, absent in well-separated blobs)."""
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.15, size=(60, 2)),
+                rng.normal([8, 0], 0.15, size=(60, 2)),
+                rng.normal([4, 7], 0.15, size=(60, 2)),
+            ]
+        )
+        eps, min_pts = 1.0, 5
+        db_labels = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+        plot = PointOptics(min_pts=min_pts).fit(points)
+        spans = clusters_at_threshold(plot.reachability, eps, min_size=min_pts)
+        assert len(spans) == len(set(db_labels[db_labels >= 0].tolist()))
+        for start, end in spans:
+            members = plot.ordering[start:end]
+            assert len(set(db_labels[members].tolist())) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the cluster-tree utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ClusterNode,
+    ClusterTree,
+    labels_at_depth,
+    leaf_labels,
+    render_tree,
+)
+
+
+def nested_tree() -> ClusterTree:
+    root = ClusterNode(start=0, end=100)
+    left = ClusterNode(start=0, end=40, split_value=5.0)
+    right = ClusterNode(start=40, end=100, split_value=5.0)
+    leaf_a = ClusterNode(start=0, end=20, split_value=2.0)
+    leaf_b = ClusterNode(start=20, end=40, split_value=2.0)
+    left.children = [leaf_a, leaf_b]
+    root.children = [left, right]
+    return ClusterTree(root=root)
+
+
+class TestLabelsAtDepth:
+    def test_depth_one_is_root_children(self):
+        labels = labels_at_depth(nested_tree(), depth=1)
+        assert (labels[:40] == 0).all()
+        assert (labels[40:] == 1).all()
+
+    def test_depth_two_expands_where_possible(self):
+        labels = labels_at_depth(nested_tree(), depth=2)
+        assert (labels[:20] == 0).all()
+        assert (labels[20:40] == 1).all()
+        # The right child is a leaf at depth 1: it keeps its span.
+        assert (labels[40:] == 2).all()
+
+    def test_depth_beyond_tree_equals_leaves(self):
+        tree = nested_tree()
+        deep = labels_at_depth(tree, depth=10)
+        assert deep.tolist() == leaf_labels(tree).tolist()
+
+    def test_childless_root_single_cluster(self):
+        tree = ClusterTree(root=ClusterNode(start=0, end=10))
+        labels = labels_at_depth(tree, depth=1)
+        assert (labels == 0).all()
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            labels_at_depth(nested_tree(), depth=0)
+
+
+class TestLeafLabels:
+    def test_covers_everything(self):
+        labels = leaf_labels(nested_tree())
+        assert labels.shape == (100,)
+        assert (labels >= 0).all()
+        assert sorted(set(labels.tolist())) == [0, 1, 2]
+
+    def test_leaf_order_is_plot_order(self):
+        labels = leaf_labels(nested_tree())
+        assert labels[0] == 0 and labels[25] == 1 and labels[50] == 2
+
+
+class TestRenderTree:
+    def test_structure_markers(self):
+        text = render_tree(nested_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("[0, 100)")
+        assert any("├──" in line for line in lines)
+        assert any("└──" in line for line in lines)
+        assert "split@5" in text
+
+    def test_root_without_split_height(self):
+        text = render_tree(nested_tree())
+        assert "split@inf" not in text
+
+    def test_single_node(self):
+        tree = ClusterTree(root=ClusterNode(start=0, end=7))
+        assert render_tree(tree) == "[0, 7)  n=7"
+
+    def test_end_to_end(self, rng):
+        from repro.clustering import PointOptics, extract_cluster_tree
+
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(60, 2)),
+                rng.normal([9, 0], 0.2, size=(60, 2)),
+            ]
+        )
+        plot = PointOptics(min_pts=5).fit(points)
+        tree = extract_cluster_tree(plot.reachability, min_size=20)
+        labels = labels_at_depth(tree, depth=1)
+        # Ordering positions of the two blobs get distinct labels.
+        assert len(set(labels.tolist())) == 2
+        text = render_tree(tree)
+        assert "n=120" in text

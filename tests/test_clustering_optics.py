@@ -1,0 +1,124 @@
+"""Unit tests for OPTICS over raw points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import PointOptics, clusters_at_threshold
+
+
+@pytest.fixture
+def three_blobs(rng):
+    points = np.vstack(
+        [
+            rng.normal([0, 0], 0.2, size=(60, 2)),
+            rng.normal([10, 0], 0.2, size=(60, 2)),
+            rng.normal([5, 10], 0.2, size=(60, 2)),
+        ]
+    )
+    labels = np.repeat([0, 1, 2], 60)
+    return points, labels
+
+
+class TestOrdering:
+    def test_is_permutation(self, three_blobs):
+        points, _ = three_blobs
+        plot = PointOptics(min_pts=5).fit(points)
+        assert sorted(plot.ordering.tolist()) == list(range(len(points)))
+        assert len(plot) == len(points)
+
+    def test_first_reachability_is_infinite(self, three_blobs):
+        points, _ = three_blobs
+        plot = PointOptics(min_pts=5).fit(points)
+        assert np.isinf(plot.reachability[0])
+
+    def test_blobs_are_contiguous_in_ordering(self, three_blobs):
+        # Cutting the plot at a low threshold must recover the 3 blobs.
+        points, labels = three_blobs
+        plot = PointOptics(min_pts=5).fit(points)
+        spans = clusters_at_threshold(plot.reachability, 1.0, min_size=10)
+        assert len(spans) == 3
+        for start, end in spans:
+            members = plot.ordering[start:end]
+            blob_labels = set(labels[members].tolist())
+            assert len(blob_labels) == 1
+        covered = sum(end - start for start, end in spans)
+        assert covered == len(points)
+
+    def test_reachability_within_blob_is_small(self, three_blobs):
+        points, _ = three_blobs
+        plot = PointOptics(min_pts=5).fit(points)
+        finite = plot.finite_reachability()
+        # Two large separations (between blobs), everything else tiny.
+        large = (finite > 2.0).sum()
+        assert large == 2
+
+    def test_core_distances_indexed_by_object(self, three_blobs):
+        points, _ = three_blobs
+        plot = PointOptics(min_pts=5).fit(points)
+        assert plot.core_distances.shape == (len(points),)
+        assert np.isfinite(plot.core_distances).all()
+
+    def test_reachability_of_lookup(self, three_blobs):
+        points, _ = three_blobs
+        plot = PointOptics(min_pts=5).fit(points)
+        obj = int(plot.ordering[3])
+        assert plot.reachability_of(obj) == plot.reachability[3]
+        with pytest.raises(KeyError):
+            plot.reachability_of(10_000)
+
+
+class TestCoreDistance:
+    def test_min_pts_one_gives_zero_core(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        plot = PointOptics(min_pts=1).fit(points)
+        # With min_pts=1 the core distance is the distance to itself: 0.
+        assert plot.core_distances == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_min_pts_two_is_nearest_neighbour(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        plot = PointOptics(min_pts=2).fit(points)
+        assert plot.core_distances[0] == pytest.approx(1.0)
+        assert plot.core_distances[1] == pytest.approx(1.0)
+        assert plot.core_distances[2] == pytest.approx(2.0)
+
+    def test_finite_eps_limits_neighbourhoods(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [50.0, 0.0], [50.1, 0.0]])
+        plot = PointOptics(min_pts=2, eps=1.0).fit(points)
+        # Two components: two infinite reachabilities in the ordering.
+        assert np.isinf(plot.reachability).sum() == 2
+
+    def test_isolated_points_not_core(self):
+        points = np.array([[0.0, 0.0], [100.0, 100.0]])
+        plot = PointOptics(min_pts=2, eps=1.0).fit(points)
+        assert np.isinf(plot.core_distances).all()
+
+
+class TestSingleLinkEquivalence:
+    def test_min_pts_one_reachabilities_are_mst_edges(self, rng):
+        # With min_pts = 1 (core distance 0), OPTICS reachabilities are the
+        # edges of a minimum spanning tree — the single-link dendrogram
+        # heights. Cross-check against our SingleLink substrate.
+        from repro.clustering import SingleLink
+
+        points = rng.normal(size=(40, 2))
+        plot = PointOptics(min_pts=1).fit(points)
+        optics_edges = sorted(plot.finite_reachability().tolist())
+        dendro = SingleLink().fit(points)
+        sl_edges = sorted(dendro.heights.tolist())
+        assert optics_edges == pytest.approx(sl_edges)
+
+
+class TestValidation:
+    def test_min_pts_positive(self):
+        with pytest.raises(ValueError):
+            PointOptics(min_pts=0)
+
+    def test_eps_positive(self):
+        with pytest.raises(ValueError):
+            PointOptics(eps=0.0)
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            PointOptics().fit(np.empty((0, 2)))

@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII reachability renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import PointOptics, render_reachability
+
+INF = np.inf
+
+
+class TestRenderReachability:
+    def test_dimensions(self):
+        reach = np.array([INF, 0.5, 0.2, 0.9, 0.1])
+        text = render_reachability(reach, width=5, height=4)
+        lines = text.splitlines()
+        assert len(lines) == 4 + 2  # bars + rule + annotation
+        assert all(len(line) == 5 for line in lines[:5])
+
+    def test_tallest_finite_bar_reaches_top(self):
+        reach = np.array([INF, 0.1, 1.0, 0.1])
+        text = render_reachability(reach, width=4, height=6)
+        top_row = text.splitlines()[0]
+        assert "#" in top_row
+
+    def test_infinite_bars_hit_ceiling(self):
+        # The inf bar and the finite maximum reach the top; a small finite
+        # bar does not.
+        reach = np.array([INF, 0.1, 0.5])
+        top_row = render_reachability(reach, width=3, height=5).splitlines()[0]
+        assert top_row[0] == "#"
+        assert top_row[1] == " "
+        assert top_row[2] == "#"
+
+    def test_separator_survives_downsampling(self):
+        # 1000 low entries with a single tall separator: max-pooling must
+        # keep it visible at width 50.
+        reach = np.full(1000, 0.1)
+        reach[0] = INF
+        reach[500] = 10.0
+        text = render_reachability(reach, width=50, height=8)
+        top_row = text.splitlines()[0]
+        assert top_row.count("#") >= 2  # the inf opener and the separator
+
+    def test_annotation_mentions_max(self):
+        reach = np.array([INF, 0.25])
+        assert "0.25" in render_reachability(reach, width=2, height=3)
+
+    def test_custom_bar_character(self):
+        reach = np.array([INF, 0.5])
+        text = render_reachability(reach, width=2, height=3, bar="*")
+        assert "*" in text and "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_reachability(np.empty(0))
+        with pytest.raises(ValueError):
+            render_reachability(np.array([1.0]), width=0)
+        with pytest.raises(ValueError):
+            render_reachability(np.array([1.0]), height=0)
+
+    def test_all_infinite_plot(self):
+        text = render_reachability(np.array([INF, INF]), width=2, height=3)
+        assert text.splitlines()[0] == "##"
+
+    def test_end_to_end_with_optics(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(50, 2)),
+                rng.normal([10, 0], 0.2, size=(50, 2)),
+            ]
+        )
+        plot = PointOptics(min_pts=5).fit(points)
+        text = render_reachability(plot.reachability, width=60, height=10)
+        # Two valleys separated by one tall column: the top row has very
+        # few filled cells.
+        top_row = text.splitlines()[0]
+        assert 1 <= top_row.count("#") <= 4

@@ -1,0 +1,97 @@
+"""Unit tests for the single-link hierarchical clustering substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import SingleLink
+
+
+class TestDendrogram:
+    def test_merge_count(self, rng):
+        points = rng.normal(size=(25, 3))
+        dendro = SingleLink().fit(points)
+        assert dendro.merges.shape == (24, 2)
+        assert dendro.heights.shape == (24,)
+        assert dendro.num_points == 25
+
+    def test_heights_ascending(self, rng):
+        points = rng.normal(size=(40, 2))
+        heights = SingleLink().fit(points).heights
+        assert (np.diff(heights) >= -1e-12).all()
+
+    def test_two_blob_cut(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.1, size=(20, 2)),
+                rng.normal([10, 0], 0.1, size=(20, 2)),
+            ]
+        )
+        dendro = SingleLink().fit(points)
+        labels = dendro.cut(2.0)
+        assert dendro.num_clusters_at(2.0) == 2
+        assert len(set(labels[:20].tolist())) == 1
+        assert len(set(labels[20:].tolist())) == 1
+        assert labels[0] != labels[20]
+
+    def test_cut_below_everything_gives_singletons(self, rng):
+        points = rng.normal(size=(10, 2)) * 100.0
+        dendro = SingleLink().fit(points)
+        assert dendro.num_clusters_at(0.0) == 10
+
+    def test_cut_above_everything_gives_one_cluster(self, rng):
+        points = rng.normal(size=(10, 2))
+        dendro = SingleLink().fit(points)
+        assert dendro.num_clusters_at(1e9) == 1
+
+    def test_heights_are_mst_edges(self, rng):
+        # Single-link merge heights equal the sorted MST edge weights;
+        # verify against a brute-force Kruskal over all pairs.
+        points = rng.normal(size=(15, 2))
+        dendro = SingleLink().fit(points)
+
+        import itertools
+
+        edges = sorted(
+            (
+                float(np.linalg.norm(points[i] - points[j])),
+                i,
+                j,
+            )
+            for i, j in itertools.combinations(range(15), 2)
+        )
+        parent = list(range(15))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        mst = []
+        for w, i, j in edges:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[ri] = rj
+                mst.append(w)
+        assert dendro.heights.tolist() == pytest.approx(sorted(mst))
+
+    def test_single_point(self):
+        dendro = SingleLink().fit(np.array([[1.0, 2.0]]))
+        assert dendro.num_points == 1
+        assert dendro.cut(1.0).tolist() == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SingleLink().fit(np.empty((0, 2)))
+
+    def test_merge_ids_valid(self, rng):
+        points = rng.normal(size=(12, 2))
+        dendro = SingleLink().fit(points)
+        seen = set(range(12))
+        for i, (a, b) in enumerate(dendro.merges):
+            assert int(a) in seen
+            assert int(b) in seen
+            assert int(a) != int(b)
+            seen.add(12 + i)

@@ -1,0 +1,83 @@
+"""Unit tests for the ξ-method cluster extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import PointOptics, extract_xi
+
+INF = np.inf
+
+
+class TestExtractXi:
+    def test_two_deep_valleys(self):
+        reach = np.concatenate(
+            [[INF], np.full(19, 0.1), [5.0], np.full(19, 0.1)]
+        )
+        clusters = extract_xi(reach, xi=0.1, min_size=10)
+        spans = [c.span() for c in clusters]
+        # Both valleys must be recovered (possibly among larger candidates).
+        assert any(s[0] <= 1 and 18 <= s[1] <= 21 for s in spans)
+        assert any(19 <= s[0] <= 21 and s[1] >= 38 for s in spans)
+
+    def test_flat_plot_has_no_clusters(self):
+        reach = np.concatenate([[INF], np.full(30, 1.0)])
+        assert extract_xi(reach, xi=0.05, min_size=5) == []
+
+    def test_min_size_respected(self):
+        reach = np.concatenate([[INF], np.full(3, 0.1), [5.0], np.full(3, 0.1)])
+        clusters = extract_xi(reach, xi=0.1, min_size=10)
+        assert all(c.size >= 10 for c in clusters)
+
+    def test_empty_plot(self):
+        assert extract_xi(np.empty(0)) == []
+
+    def test_xi_validated(self):
+        with pytest.raises(ValueError):
+            extract_xi(np.array([INF, 1.0]), xi=0.0)
+        with pytest.raises(ValueError):
+            extract_xi(np.array([INF, 1.0]), xi=1.0)
+
+    def test_cluster_size_property(self):
+        clusters = extract_xi(
+            np.concatenate([[INF], np.full(9, 0.1), [9.0], np.full(9, 0.1)]),
+            xi=0.2,
+            min_size=5,
+        )
+        for cluster in clusters:
+            assert cluster.size == cluster.end - cluster.start
+
+    def test_recovers_gaussian_blobs(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(80, 2)),
+                rng.normal([10, 0], 0.2, size=(80, 2)),
+                rng.normal([5, 9], 0.2, size=(80, 2)),
+            ]
+        )
+        labels = np.repeat([0, 1, 2], 80)
+        plot = PointOptics(min_pts=5).fit(points)
+        clusters = extract_xi(plot.reachability, xi=0.05, min_size=40)
+        # Every blob must appear as a (near-)pure cluster among the
+        # extracted candidates.
+        recovered = set()
+        for cluster in clusters:
+            members = plot.ordering[cluster.start : cluster.end]
+            values, counts = np.unique(labels[members], return_counts=True)
+            top = values[np.argmax(counts)]
+            if counts.max() / counts.sum() > 0.95 and counts.max() >= 60:
+                recovered.add(int(top))
+        assert recovered == {0, 1, 2}
+
+    def test_smaller_xi_finds_at_least_as_many(self, rng):
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.3, size=(60, 2)),
+                rng.normal([8, 0], 0.3, size=(60, 2)),
+            ]
+        )
+        plot = PointOptics(min_pts=5).fit(points)
+        shallow = extract_xi(plot.reachability, xi=0.3, min_size=20)
+        deep = extract_xi(plot.reachability, xi=0.02, min_size=20)
+        assert len(deep) >= len(shallow)

@@ -1,0 +1,158 @@
+"""Unit tests for the point-to-seed assigners (Section 3 / Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NaiveAssigner,
+    TriangleInequalityAssigner,
+    make_assigner,
+)
+from repro.geometry import DistanceCounter
+
+
+@pytest.fixture
+def seeds(rng) -> np.ndarray:
+    return rng.normal(size=(25, 3)) * 10.0
+
+
+class TestNaiveAssigner:
+    def test_assign_finds_nearest(self, seeds, rng):
+        assigner = NaiveAssigner(seeds)
+        for _ in range(20):
+            point = rng.normal(size=3) * 10.0
+            expected = int(
+                np.argmin(np.linalg.norm(seeds - point, axis=1))
+            )
+            assert assigner.assign(point) == expected
+
+    def test_assign_counts_all_seeds(self, seeds):
+        counter = DistanceCounter()
+        assigner = NaiveAssigner(seeds, counter)
+        assigner.assign(np.zeros(3))
+        assert counter.computed == len(seeds)
+        assert counter.pruned == 0
+
+    def test_assign_many_matches_assign(self, seeds, rng):
+        points = rng.normal(size=(50, 3)) * 10.0
+        bulk = NaiveAssigner(seeds).assign_many(points)
+        single = [NaiveAssigner(seeds).assign(p) for p in points]
+        assert bulk.tolist() == single
+
+    def test_assign_many_counting(self, seeds):
+        counter = DistanceCounter()
+        assigner = NaiveAssigner(seeds, counter)
+        assigner.assign_many(np.zeros((10, 3)))
+        assert counter.computed == 10 * len(seeds)
+
+    def test_assign_many_empty(self, seeds):
+        result = NaiveAssigner(seeds).assign_many(np.empty((0, 3)))
+        assert result.shape == (0,)
+
+    def test_rejects_empty_locations(self):
+        with pytest.raises(ValueError):
+            NaiveAssigner(np.empty((0, 2)))
+
+
+class TestTriangleInequalityAssigner:
+    def test_always_agrees_with_naive(self, seeds, rng):
+        pruning = TriangleInequalityAssigner(
+            seeds, rng=np.random.default_rng(0)
+        )
+        naive = NaiveAssigner(seeds)
+        for _ in range(200):
+            point = rng.normal(size=3) * 12.0
+            assert pruning.assign(point) == naive.assign(point)
+
+    def test_agreement_on_clustered_data(self, rng):
+        # Clustered seeds are where pruning is most aggressive.
+        seeds = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(10, 2)),
+                rng.normal([50, 50], 0.2, size=(10, 2)),
+            ]
+        )
+        pruning = TriangleInequalityAssigner(
+            seeds, rng=np.random.default_rng(1)
+        )
+        naive = NaiveAssigner(seeds)
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 1.0, size=(100, 2)),
+                rng.normal([50, 50], 1.0, size=(100, 2)),
+            ]
+        )
+        assert pruning.assign_many(points).tolist() == naive.assign_many(
+            points
+        ).tolist()
+
+    def test_accounting_is_complete(self, seeds):
+        # computed + pruned must equal B for every assignment: every seed
+        # is either probed or discharged by Lemma 1.
+        counter = DistanceCounter()
+        assigner = TriangleInequalityAssigner(
+            seeds, counter, rng=np.random.default_rng(2)
+        )
+        base = counter.snapshot()
+        assigner.assign(np.zeros(3))
+        delta = counter.snapshot() - base
+        assert delta.computed + delta.pruned == len(seeds)
+        assert assigner.assign_computed + assigner.assign_pruned == len(seeds)
+
+    def test_prunes_on_well_separated_seeds(self, rng):
+        seeds = np.vstack(
+            [
+                rng.normal([0, 0], 0.1, size=(20, 2)),
+                rng.normal([100, 100], 0.1, size=(20, 2)),
+            ]
+        )
+        assigner = TriangleInequalityAssigner(
+            seeds, rng=np.random.default_rng(3)
+        )
+        points = rng.normal([0, 0], 0.5, size=(100, 2))
+        assigner.assign_many(points)
+        # Points near the first blob should discharge the entire second
+        # blob without distance computations most of the time.
+        assert assigner.pruned_fraction > 0.3
+
+    def test_setup_cost_recorded(self, seeds):
+        counter = DistanceCounter()
+        assigner = TriangleInequalityAssigner(seeds, counter)
+        b = len(seeds)
+        assert assigner.setup_computed == b * (b - 1) // 2
+        assert counter.computed == assigner.setup_computed
+
+    def test_setup_cost_can_be_excluded(self, seeds):
+        counter = DistanceCounter()
+        TriangleInequalityAssigner(seeds, counter, count_setup=False)
+        assert counter.computed == 0
+
+    def test_single_seed(self):
+        assigner = TriangleInequalityAssigner(np.zeros((1, 2)))
+        assert assigner.assign(np.array([5.0, 5.0])) == 0
+
+    def test_deterministic_given_rng(self, seeds):
+        a = TriangleInequalityAssigner(seeds, rng=np.random.default_rng(9))
+        b = TriangleInequalityAssigner(seeds, rng=np.random.default_rng(9))
+        points = np.random.default_rng(10).normal(size=(30, 3))
+        assert a.assign_many(points).tolist() == b.assign_many(points).tolist()
+
+
+class TestMakeAssigner:
+    def test_selects_pruning_by_default(self, seeds):
+        assert isinstance(make_assigner(seeds), TriangleInequalityAssigner)
+
+    def test_naive_when_disabled(self, seeds):
+        assigner = make_assigner(seeds, use_triangle_inequality=False)
+        assert isinstance(assigner, NaiveAssigner)
+
+    def test_single_location_shortcircuits(self):
+        assigner = make_assigner(np.zeros((1, 2)))
+        assert isinstance(assigner, NaiveAssigner)
+
+    def test_shared_counter_is_used(self, seeds):
+        counter = DistanceCounter()
+        assigner = make_assigner(seeds, counter=counter)
+        assert assigner.counter is counter

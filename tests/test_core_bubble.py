@@ -1,0 +1,158 @@
+"""Unit tests for a single data bubble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataBubble
+from repro.exceptions import EmptyBubbleError
+
+
+def make_bubble(seed=(0.0, 0.0)) -> DataBubble:
+    return DataBubble(bubble_id=0, seed=np.asarray(seed, dtype=float))
+
+
+class TestLifecycle:
+    def test_starts_empty(self):
+        bubble = make_bubble()
+        assert bubble.is_empty()
+        assert bubble.n == 0
+        assert bubble.extent == 0.0
+        assert bubble.nn_dist(5) == 0.0
+
+    def test_empty_rep_is_seed(self):
+        bubble = make_bubble((3.0, 4.0))
+        assert bubble.rep == pytest.approx([3.0, 4.0])
+
+    def test_absorb_updates_rep(self):
+        bubble = make_bubble()
+        bubble.absorb(1, np.array([2.0, 2.0]))
+        bubble.absorb(2, np.array([4.0, 4.0]))
+        assert bubble.n == 2
+        assert bubble.rep == pytest.approx([3.0, 3.0])
+        assert bubble.members == {1, 2}
+
+    def test_double_absorb_rejected(self):
+        bubble = make_bubble()
+        bubble.absorb(1, np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            bubble.absorb(1, np.array([1.0, 1.0]))
+
+    def test_release_restores_empty(self):
+        bubble = make_bubble()
+        point = np.array([1.0, 2.0])
+        bubble.absorb(5, point)
+        bubble.release(5, point)
+        assert bubble.is_empty()
+        assert bubble.members == frozenset()
+
+    def test_release_nonmember_rejected(self):
+        bubble = make_bubble()
+        with pytest.raises(ValueError):
+            bubble.release(9, np.array([0.0, 0.0]))
+
+    def test_clear_returns_member_ids(self):
+        bubble = make_bubble()
+        for i in range(3):
+            bubble.absorb(i, np.array([float(i), 0.0]))
+        released = bubble.clear()
+        assert released == [0, 1, 2]
+        assert bubble.is_empty()
+
+
+class TestBulkOperations:
+    def test_absorb_many_matches_loop(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 2))
+        ids = np.arange(20)
+        bulk = make_bubble()
+        bulk.absorb_many(ids, points)
+        loop = make_bubble()
+        for i, p in zip(ids, points):
+            loop.absorb(int(i), p)
+        assert bulk.n == loop.n
+        assert bulk.rep == pytest.approx(loop.rep)
+        assert bulk.extent == pytest.approx(loop.extent)
+        assert bulk.members == loop.members
+
+    def test_absorb_many_rejects_duplicates(self):
+        bubble = make_bubble()
+        with pytest.raises(ValueError):
+            bubble.absorb_many(np.array([1, 1]), np.zeros((2, 2)))
+
+    def test_absorb_many_rejects_existing_member(self):
+        bubble = make_bubble()
+        bubble.absorb(1, np.zeros(2))
+        with pytest.raises(ValueError):
+            bubble.absorb_many(np.array([1]), np.zeros((1, 2)))
+
+    def test_release_many(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(10, 2))
+        bubble = make_bubble()
+        bubble.absorb_many(np.arange(10), points)
+        bubble.release_many(np.arange(5), points[:5])
+        assert bubble.n == 5
+        assert bubble.members == set(range(5, 10))
+
+    def test_release_many_nonmember_rejected(self):
+        bubble = make_bubble()
+        bubble.absorb(0, np.zeros(2))
+        with pytest.raises(ValueError):
+            bubble.release_many(np.array([0, 1]), np.zeros((2, 2)))
+
+    def test_member_ids_sorted(self):
+        bubble = make_bubble()
+        for i in (5, 1, 3):
+            bubble.absorb(i, np.zeros(2))
+        assert bubble.member_ids().tolist() == [1, 3, 5]
+
+
+class TestReseed:
+    def test_reseed_requires_empty(self):
+        bubble = make_bubble()
+        bubble.absorb(1, np.ones(2))
+        with pytest.raises(EmptyBubbleError):
+            bubble.reseed(np.zeros(2))
+
+    def test_reseed_moves_seed_and_rep(self):
+        bubble = make_bubble((0.0, 0.0))
+        bubble.reseed(np.array([7.0, 8.0]))
+        assert bubble.seed == pytest.approx([7.0, 8.0])
+        assert bubble.rep == pytest.approx([7.0, 8.0])
+
+    def test_reseed_shape_checked(self):
+        bubble = make_bubble()
+        with pytest.raises(ValueError):
+            bubble.reseed(np.zeros(3))
+
+    def test_seed_defensively_copied(self):
+        seed = np.array([1.0, 2.0])
+        bubble = DataBubble(bubble_id=0, seed=seed)
+        seed[0] = 99.0
+        assert bubble.seed == pytest.approx([1.0, 2.0])
+
+    def test_seed_view_is_readonly(self):
+        bubble = make_bubble()
+        with pytest.raises(ValueError):
+            bubble.seed[0] = 5.0
+
+
+class TestDerivedQuantities:
+    def test_extent_matches_sufficient_stats(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(30, 3))
+        bubble = DataBubble(bubble_id=0, seed=np.zeros(3))
+        bubble.absorb_many(np.arange(30), points)
+        from repro.sufficient import SufficientStatistics, extent
+
+        expected = extent(SufficientStatistics.from_points(points))
+        assert bubble.extent == pytest.approx(expected)
+
+    def test_nn_dist_zero_when_empty(self):
+        assert make_bubble().nn_dist(1) == 0.0
+
+    def test_invalid_seed_shape(self):
+        with pytest.raises(ValueError):
+            DataBubble(bubble_id=0, seed=np.zeros((2, 2)))

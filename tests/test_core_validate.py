@@ -1,0 +1,99 @@
+"""Unit tests for the deep consistency validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BubbleBuilder,
+    BubbleConfig,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+    PointStore,
+    UpdateBatch,
+)
+from repro.core import verify_consistency
+
+
+@pytest.fixture
+def consistent_world(rng):
+    store = PointStore(dim=2)
+    store.insert(rng.normal(size=(300, 2)), np.zeros(300, dtype=np.int64))
+    bubbles = BubbleBuilder(BubbleConfig(num_bubbles=10, seed=0)).build(store)
+    return store, bubbles
+
+
+class TestVerifyConsistency:
+    def test_fresh_build_is_consistent(self, consistent_world):
+        store, bubbles = consistent_world
+        report = verify_consistency(bubbles, store)
+        assert report.ok
+        assert report.violations == ()
+        report.raise_if_invalid()  # no-op when ok
+
+    def test_consistent_after_maintenance(self, consistent_world, rng):
+        store, bubbles = consistent_world
+        maintainer = IncrementalMaintainer(
+            bubbles, store, MaintenanceConfig(seed=0)
+        )
+        for _ in range(3):
+            victims = tuple(
+                int(i) for i in rng.choice(store.ids(), 30, replace=False)
+            )
+            maintainer.apply_batch(
+                UpdateBatch(
+                    deletions=victims,
+                    insertions=rng.normal(size=(30, 2)) * 20.0,
+                    insertion_labels=tuple([0] * 30),
+                )
+            )
+            assert verify_consistency(bubbles, store).ok
+
+    def test_detects_double_membership(self, consistent_world):
+        store, bubbles = consistent_world
+        donor = bubbles.non_empty_ids()[0]
+        pid = next(iter(bubbles[donor].members))
+        other = bubbles.non_empty_ids()[1]
+        bubbles[other].absorb(pid, store.point(pid))  # corrupt on purpose
+        report = verify_consistency(bubbles, store)
+        assert not report.ok
+        assert any("member of bubbles" in v for v in report.violations)
+        with pytest.raises(AssertionError):
+            report.raise_if_invalid()
+
+    def test_detects_uncovered_point(self, consistent_world):
+        store, bubbles = consistent_world
+        store.insert(np.zeros((1, 2)))  # alive but owned by nobody
+        report = verify_consistency(bubbles, store)
+        assert not report.ok
+        assert any("belong to no bubble" in v for v in report.violations)
+
+    def test_detects_dead_member(self, consistent_world):
+        store, bubbles = consistent_world
+        donor = bubbles.non_empty_ids()[0]
+        pid = next(iter(bubbles[donor].members))
+        # Delete from the store without telling the bubble.
+        store.delete([pid])
+        report = verify_consistency(bubbles, store)
+        assert not report.ok
+        assert any("dead point" in v for v in report.violations)
+
+    def test_detects_ownership_mismatch(self, consistent_world):
+        store, bubbles = consistent_world
+        donor = bubbles.non_empty_ids()[0]
+        pid = next(iter(bubbles[donor].members))
+        store.set_owner(pid, donor + 1)  # lie about the owner
+        report = verify_consistency(bubbles, store)
+        assert not report.ok
+        assert any("store owner" in v for v in report.violations)
+
+    def test_detects_statistics_drift(self, consistent_world):
+        store, bubbles = consistent_world
+        donor = bubbles.non_empty_ids()[0]
+        # Corrupt statistics directly (simulating a missed update).
+        bubbles[donor].stats.insert(np.array([1e6, 1e6]))
+        bubbles[donor].stats.remove(np.array([0.0, 0.0]))
+        report = verify_consistency(bubbles, store)
+        assert not report.ok
+        assert any("drifted" in v or "n=" in v for v in report.violations)

@@ -1,0 +1,154 @@
+"""Unit tests for the Gaussian mixture generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ClusterSpec, MixtureModel, well_separated_mixture
+
+
+class TestClusterSpec:
+    def test_sampling_statistics(self, rng):
+        spec = ClusterSpec(center=np.array([5.0, -3.0]), std=0.5, label=1)
+        points = spec.sample(5000, rng)
+        assert points.mean(axis=0) == pytest.approx([5.0, -3.0], abs=0.05)
+        assert points.std(axis=0) == pytest.approx([0.5, 0.5], abs=0.05)
+
+    def test_shifted(self):
+        spec = ClusterSpec(center=np.array([1.0, 1.0]), std=1.0, label=0)
+        moved = spec.shifted(np.array([2.0, -1.0]))
+        assert moved.center == pytest.approx([3.0, 0.0])
+        assert moved.label == 0
+        assert spec.center == pytest.approx([1.0, 1.0])  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(center=np.zeros((2, 2)), std=1.0, label=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(center=np.zeros(2), std=0.0, label=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(center=np.zeros(2), std=1.0, label=-1)
+
+
+class TestMixtureModel:
+    def make_mixture(self, noise=0.2) -> MixtureModel:
+        return MixtureModel(
+            [
+                ClusterSpec(center=np.array([0.0, 0.0]), std=0.5, label=0),
+                ClusterSpec(center=np.array([20.0, 0.0]), std=0.5, label=1),
+            ],
+            noise_fraction=noise,
+        )
+
+    def test_sample_shapes(self, rng):
+        mixture = self.make_mixture()
+        points, labels = mixture.sample(500, rng)
+        assert points.shape == (500, 2)
+        assert labels.shape == (500,)
+
+    def test_label_set(self, rng):
+        mixture = self.make_mixture()
+        _, labels = mixture.sample(2000, rng)
+        assert set(labels.tolist()) == {-1, 0, 1}
+
+    def test_noise_fraction_respected(self, rng):
+        mixture = self.make_mixture(noise=0.3)
+        _, labels = mixture.sample(20_000, rng)
+        noise_rate = (labels == -1).mean()
+        assert noise_rate == pytest.approx(0.3, abs=0.02)
+
+    def test_labels_match_generating_cluster(self, rng):
+        mixture = self.make_mixture(noise=0.0)
+        points, labels = mixture.sample(1000, rng)
+        # Cluster centres are 20 apart with std 0.5: nearest-centre
+        # assignment must agree with the labels.
+        nearest = (points[:, 0] > 10.0).astype(int)
+        assert (nearest == labels).all()
+
+    def test_zero_count(self, rng):
+        points, labels = self.make_mixture().sample(0, rng)
+        assert points.shape == (0, 2)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            self.make_mixture().sample(-1, rng)
+
+    def test_without_removes_cluster(self, rng):
+        reduced = self.make_mixture(noise=0.0).without(0)
+        _, labels = reduced.sample(100, rng)
+        assert set(labels.tolist()) == {1}
+
+    def test_without_unknown_label(self):
+        with pytest.raises(KeyError):
+            self.make_mixture().without(99)
+
+    def test_with_cluster_adds(self, rng):
+        extended = self.make_mixture(noise=0.0).with_cluster(
+            ClusterSpec(center=np.array([0.0, 50.0]), std=0.5, label=7)
+        )
+        _, labels = extended.sample(3000, rng)
+        assert 7 in set(labels.tolist())
+
+    def test_weights(self, rng):
+        mixture = MixtureModel(
+            [
+                ClusterSpec(center=np.zeros(2), std=0.1, label=0),
+                ClusterSpec(center=np.ones(2), std=0.1, label=1),
+            ],
+            noise_fraction=0.0,
+            weights=np.array([3.0, 1.0]),
+        )
+        _, labels = mixture.sample(8000, rng)
+        assert (labels == 0).mean() == pytest.approx(0.75, abs=0.03)
+
+    def test_invalid_weights(self):
+        clusters = [ClusterSpec(center=np.zeros(2), std=0.1, label=0)]
+        with pytest.raises(ValueError):
+            MixtureModel(clusters, weights=np.array([-1.0]))
+        with pytest.raises(ValueError):
+            MixtureModel(clusters, weights=np.array([0.0]))
+
+    def test_noise_fraction_validated(self):
+        clusters = [ClusterSpec(center=np.zeros(2), std=0.1, label=0)]
+        with pytest.raises(ValueError):
+            MixtureModel(clusters, noise_fraction=1.5)
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureModel(
+                [
+                    ClusterSpec(center=np.zeros(2), std=0.1, label=0),
+                    ClusterSpec(center=np.zeros(3), std=0.1, label=1),
+                ]
+            )
+
+    def test_default_bounds_cover_clusters(self):
+        mixture = self.make_mixture()
+        low, high = mixture.bounds
+        assert (low <= 0.0).all()
+        assert high[0] >= 20.0
+
+
+class TestWellSeparatedMixture:
+    @pytest.mark.parametrize("dim", [2, 5, 10, 20])
+    def test_separation_holds(self, dim, rng):
+        mixture = well_separated_mixture(dim, 4, rng, std=1.0, separation=10.0)
+        centers = [c.center for c in mixture.clusters]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.linalg.norm(centers[i] - centers[j]) >= 10.0
+
+    def test_labels_are_dense(self, rng):
+        mixture = well_separated_mixture(3, 5, rng)
+        assert sorted(mixture.labels()) == [0, 1, 2, 3, 4]
+
+    def test_impossible_placement_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            well_separated_mixture(
+                2, 50, rng, std=1.0, separation=50.0, box=10.0, max_tries=100
+            )
+
+    def test_cluster_count_validated(self, rng):
+        with pytest.raises(ValueError):
+            well_separated_mixture(2, 0, rng)

@@ -1,0 +1,208 @@
+"""Unit tests for the six dynamic scenarios (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SCENARIO_KINDS,
+    AppearScenario,
+    ComplexScenario,
+    DisappearScenario,
+    ExtremeAppearScenario,
+    Figure7Scenario,
+    GradMoveScenario,
+    RandomScenario,
+    make_scenario,
+)
+from repro.data.stream import apply_raw
+from repro.database import PointStore
+
+
+def drive(scenario, num_batches: int, fraction: float = 0.1) -> PointStore:
+    """Populate a store and apply raw batches (no summary involved)."""
+    store = PointStore(dim=scenario.dim)
+    scenario.populate(store)
+    for _ in range(num_batches):
+        batch = scenario.make_batch(store, fraction)
+        apply_raw(store, batch)
+    return store
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_all_kinds_constructible(self, kind):
+        scenario = make_scenario(kind, dim=2, initial_size=500, seed=0)
+        points, labels = scenario.initial()
+        assert points.shape == (500, 2)
+        assert labels.shape == (500,)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            make_scenario("nope", dim=2, initial_size=100)
+
+    def test_figure7_constructible(self):
+        scenario = make_scenario("figure7", dim=2, initial_size=400, seed=0)
+        assert isinstance(scenario, Figure7Scenario)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_scenario("random", dim=0, initial_size=100)
+        with pytest.raises(ValueError):
+            make_scenario("random", dim=2, initial_size=0)
+
+
+class TestBatchVolume:
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_database_size_constant(self, kind):
+        scenario = make_scenario(kind, dim=2, initial_size=800, seed=1)
+        store = drive(scenario, num_batches=5)
+        assert store.size == 800
+
+    def test_half_and_half(self):
+        scenario = RandomScenario(dim=2, initial_size=1000, seed=0)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        batch = scenario.make_batch(store, update_fraction=0.1)
+        assert batch.num_deletions == 50
+        assert batch.num_insertions == 50
+
+    def test_invalid_fraction(self):
+        scenario = RandomScenario(dim=2, initial_size=100, seed=0)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        with pytest.raises(ValueError):
+            scenario.make_batch(store, update_fraction=0.0)
+        with pytest.raises(ValueError):
+            scenario.make_batch(store, update_fraction=1.5)
+
+    def test_deletions_are_alive_and_unique(self):
+        scenario = RandomScenario(dim=2, initial_size=500, seed=2)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        batch = scenario.make_batch(store, 0.2)
+        assert len(set(batch.deletions)) == len(batch.deletions)
+        for pid in batch.deletions:
+            assert pid in store
+
+
+class TestAppear:
+    def test_new_cluster_grows_to_target(self):
+        scenario = AppearScenario(dim=2, initial_size=1000, seed=3)
+        store = drive(scenario, num_batches=20, fraction=0.1)
+        new_label = scenario.new_cluster.label
+        count = store.ids_with_label(new_label).size
+        assert count >= scenario.target_size * 0.6
+
+    def test_new_cluster_inside_noise_region(self):
+        scenario = AppearScenario(dim=2, initial_size=500, seed=4)
+        low, high = scenario.mixture.bounds
+        center = scenario.new_cluster.center
+        assert (center >= low).all() and (center <= high).all()
+
+    def test_extreme_appear_outside_all_previous_data(self):
+        scenario = ExtremeAppearScenario(dim=2, initial_size=500, seed=5)
+        low, high = scenario.mixture.bounds
+        center = scenario.new_cluster.center
+        assert (center > high).all()
+
+    def test_new_label_is_fresh(self):
+        scenario = AppearScenario(dim=2, initial_size=500, seed=6)
+        assert scenario.new_cluster.label not in scenario.mixture.labels()
+
+
+class TestDisappear:
+    def test_victim_drains(self):
+        scenario = DisappearScenario(dim=2, initial_size=1000, seed=7)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        before = store.ids_with_label(scenario.victim_label).size
+        for _ in range(8):
+            apply_raw(store, scenario.make_batch(store, 0.2))
+        after = store.ids_with_label(scenario.victim_label).size
+        assert before > 0
+        assert after < before * 0.2
+
+    def test_no_victim_insertions(self):
+        scenario = DisappearScenario(dim=2, initial_size=500, seed=8)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        batch = scenario.make_batch(store, 0.1)
+        assert scenario.victim_label not in batch.insertion_labels
+
+
+class TestGradMove:
+    def test_cluster_centroid_moves(self):
+        scenario = GradMoveScenario(dim=2, initial_size=1000, seed=9)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        label = scenario.mover_label
+        start = store.points_of(store.ids_with_label(label)).mean(axis=0)
+        for _ in range(10):
+            apply_raw(store, scenario.make_batch(store, 0.2))
+        end = store.points_of(store.ids_with_label(label)).mean(axis=0)
+        assert np.linalg.norm(end - start) > 3.0
+
+    def test_mover_population_stable(self):
+        scenario = GradMoveScenario(dim=2, initial_size=1000, seed=10)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        label = scenario.mover_label
+        before = store.ids_with_label(label).size
+        for _ in range(5):
+            apply_raw(store, scenario.make_batch(store, 0.1))
+        after = store.ids_with_label(label).size
+        assert after == pytest.approx(before, rel=0.3)
+
+    def test_step_validated(self):
+        with pytest.raises(ValueError):
+            GradMoveScenario(dim=2, initial_size=100, seed=0, step_stds=0.0)
+
+
+class TestComplex:
+    def test_all_dynamics_progress(self):
+        scenario = ComplexScenario(dim=2, initial_size=2000, seed=11)
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        victim_before = store.ids_with_label(scenario.victim_label).size
+        mover_start = store.points_of(
+            store.ids_with_label(scenario.mover_label)
+        ).mean(axis=0)
+        for _ in range(12):
+            apply_raw(store, scenario.make_batch(store, 0.1))
+        assert store.size == 2000
+        # Disappear progressed.
+        assert (
+            store.ids_with_label(scenario.victim_label).size < victim_before
+        )
+        # Appear progressed.
+        assert store.ids_with_label(scenario.appearing_label).size > 0
+        # Move progressed.
+        mover_end = store.points_of(
+            store.ids_with_label(scenario.mover_label)
+        ).mean(axis=0)
+        assert np.linalg.norm(mover_end - mover_start) > 1.0
+
+    def test_distinct_roles(self):
+        scenario = ComplexScenario(dim=2, initial_size=500, seed=12)
+        labels = {
+            scenario.victim_label,
+            scenario.mover_label,
+            scenario.appearing_label,
+        }
+        assert len(labels) == 3
+
+
+class TestFigure7:
+    def test_middle_disappears_and_two_appear(self):
+        scenario = Figure7Scenario(dim=2, initial_size=1000, seed=13)
+        store = drive(scenario, num_batches=12, fraction=0.1)
+        assert store.ids_with_label(1).size < 50  # middle drained
+        assert store.ids_with_label(2).size > 100
+        assert store.ids_with_label(3).size > 100
+
+    def test_new_clusters_far_right(self):
+        scenario = Figure7Scenario(dim=2, initial_size=400, seed=14)
+        one, two = scenario.new_cluster_centers
+        assert one[0] > 50.0 and two[0] > 50.0

@@ -1,0 +1,99 @@
+"""Scenario behaviour across the paper's dimensionalities (2/5/10/20)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SCENARIO_KINDS, make_scenario
+from repro.data.stream import apply_raw
+from repro.database import PointStore
+
+DIMS = (5, 10, 20)
+
+
+@pytest.mark.parametrize("dim", DIMS)
+@pytest.mark.parametrize("kind", SCENARIO_KINDS)
+class TestScenariosAcrossDimensions:
+    def test_initial_shape_and_labels(self, kind, dim):
+        scenario = make_scenario(kind, dim=dim, initial_size=400, seed=0)
+        points, labels = scenario.initial()
+        assert points.shape == (400, dim)
+        assert labels.shape == (400,)
+        assert (labels >= -1).all()
+
+    def test_three_batches_preserve_size(self, kind, dim):
+        scenario = make_scenario(kind, dim=dim, initial_size=400, seed=1)
+        store = PointStore(dim=dim)
+        scenario.populate(store)
+        for _ in range(3):
+            batch = scenario.make_batch(store, 0.1)
+            assert batch.insertions.shape[1] == dim
+            apply_raw(store, batch)
+        assert store.size == 400
+
+
+@pytest.mark.parametrize("dim", DIMS)
+class TestHighDimensionalSeparation:
+    def test_clusters_remain_well_separated(self, dim):
+        scenario = make_scenario("random", dim=dim, initial_size=600, seed=2)
+        centers = [c.center for c in scenario.mixture.clusters]
+        stds = [c.std for c in scenario.mixture.clusters]
+        for i in range(len(centers)):
+            for j in range(i + 1, len(centers)):
+                gap = float(np.linalg.norm(centers[i] - centers[j]))
+                assert gap >= 10.0 * max(stds[i], stds[j])
+
+    def test_full_pipeline_in_high_dim(self, dim):
+        """Construction + one batch + scoring works at every paper dim."""
+        from repro import (
+            BubbleBuilder,
+            BubbleConfig,
+            IncrementalMaintainer,
+            MaintenanceConfig,
+        )
+        from repro.experiments import ExperimentConfig, score_summary
+
+        scenario = make_scenario("complex", dim=dim, initial_size=1_200, seed=3)
+        store = PointStore(dim=dim)
+        scenario.populate(store)
+        bubbles = BubbleBuilder(BubbleConfig(num_bubbles=24, seed=3)).build(
+            store
+        )
+        maintainer = IncrementalMaintainer(
+            bubbles, store, MaintenanceConfig(seed=3)
+        )
+        maintainer.apply_batch(scenario.make_batch(store, 0.1))
+        config = ExperimentConfig(
+            dim=dim, min_pts=20, min_cluster_size=0.05
+        )
+        fscore, compact = score_summary(bubbles, store, config)
+        assert fscore > 0.75
+        assert np.isfinite(compact)
+
+
+class TestExamplesImportable:
+    """Import smoke test: every example module parses and exposes main()."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "customer_segmentation",
+            "fraud_monitoring",
+            "high_dimensional_stream",
+            "stream_window",
+            "summary_methods",
+        ],
+    )
+    def test_example_has_main(self, name):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).parent.parent / "examples" / f"{name}.py"
+        )
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)

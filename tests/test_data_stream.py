@@ -1,0 +1,110 @@
+"""Unit tests for update streams and batch mirroring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    RandomScenario,
+    UpdateStream,
+    apply_raw,
+    clone_batch_for,
+)
+from repro.database import PointStore, UpdateBatch
+
+
+@pytest.fixture
+def scenario():
+    return RandomScenario(dim=2, initial_size=300, seed=0)
+
+
+class TestUpdateStream:
+    def test_bounded_stream_length(self, scenario):
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        stream = UpdateStream(scenario, store, 0.1, num_batches=4)
+        batches = []
+        for batch in stream:
+            batches.append(batch)
+            apply_raw(store, batch)
+        assert len(batches) == 4
+        assert stream.produced == 4
+
+    def test_zero_batches(self, scenario):
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        assert list(UpdateStream(scenario, store, 0.1, num_batches=0)) == []
+
+    def test_parameters_validated(self, scenario):
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        with pytest.raises(ValueError):
+            UpdateStream(scenario, store, 0.0)
+        with pytest.raises(ValueError):
+            UpdateStream(scenario, store, 0.1, num_batches=-1)
+
+    def test_stream_does_not_mutate_store(self, scenario):
+        store = PointStore(dim=2)
+        scenario.populate(store)
+        stream = UpdateStream(scenario, store, 0.1, num_batches=1)
+        next(iter(stream))
+        assert store.size == 300
+
+
+class TestCloneBatchFor:
+    def test_translated_deletions_match_coordinates(self, scenario):
+        source = PointStore(dim=2)
+        scenario.populate(source)
+        ids, points, labels = source.snapshot()
+        target = PointStore(dim=2)
+        target.insert(points, labels)
+        # Make the id spaces diverge.
+        extra_src = source.insert(np.zeros((2, 2)), labels=[-1, -1])
+        extra_tgt = target.insert(np.zeros((2, 2)), labels=[-1, -1])
+        source.delete(extra_src)
+        target.delete(extra_tgt)
+
+        batch = scenario.make_batch(source, 0.2)
+        mirrored = clone_batch_for(batch, source, target)
+        for src_id, tgt_id in zip(batch.deletions, mirrored.deletions):
+            assert source.point(src_id) == pytest.approx(target.point(tgt_id))
+        assert mirrored.insertions is batch.insertions
+
+    def test_diverged_stores_rejected(self, scenario):
+        source = PointStore(dim=2)
+        scenario.populate(source)
+        target = PointStore(dim=2)
+        target.insert(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            clone_batch_for(UpdateBatch.empty(2), source, target)
+
+    def test_apply_both_keeps_stores_identical(self, scenario):
+        source = PointStore(dim=2)
+        scenario.populate(source)
+        _, points, labels = source.snapshot()
+        target = PointStore(dim=2)
+        target.insert(points, labels)
+        for _ in range(5):
+            batch = scenario.make_batch(source, 0.15)
+            mirrored = clone_batch_for(batch, source, target)
+            apply_raw(source, batch)
+            apply_raw(target, mirrored)
+            _, src_points, src_labels = source.snapshot()
+            _, tgt_points, tgt_labels = target.snapshot()
+            assert src_points == pytest.approx(tgt_points)
+            assert src_labels.tolist() == tgt_labels.tolist()
+
+
+class TestApplyRaw:
+    def test_deletes_and_inserts(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((4, 2)), labels=[0, 0, 0, 0])
+        batch = UpdateBatch(
+            deletions=(ids[0], ids[1]),
+            insertions=np.ones((3, 2)),
+            insertion_labels=(1, 1, 1),
+        )
+        apply_raw(store, batch)
+        assert store.size == 5
+        assert store.ids_with_label(1).size == 3

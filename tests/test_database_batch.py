@@ -1,0 +1,48 @@
+"""Unit tests for update batches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.database import UpdateBatch
+
+
+class TestUpdateBatch:
+    def test_counts(self):
+        batch = UpdateBatch(
+            deletions=(1, 2, 3),
+            insertions=np.zeros((2, 2)),
+            insertion_labels=(0, 0),
+        )
+        assert batch.num_deletions == 3
+        assert batch.num_insertions == 2
+        assert batch.num_updates == 5
+        assert not batch.is_empty()
+
+    def test_empty_factory(self):
+        batch = UpdateBatch.empty(dim=4)
+        assert batch.is_empty()
+        assert batch.insertions.shape == (0, 4)
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(
+                insertions=np.zeros((2, 2)),
+                insertion_labels=(0,),
+            )
+
+    def test_non_matrix_insertions_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(insertions=np.zeros(3), insertion_labels=(0, 0, 0))
+
+    def test_default_is_empty(self):
+        batch = UpdateBatch()
+        assert batch.is_empty()
+
+    def test_insertions_coerced_to_float(self):
+        batch = UpdateBatch(
+            insertions=np.array([[1, 2]], dtype=np.int64),
+            insertion_labels=(0,),
+        )
+        assert batch.insertions.dtype == np.float64

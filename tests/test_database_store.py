@@ -1,0 +1,178 @@
+"""Unit tests for the dynamic point store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.database import PointStore
+from repro.exceptions import DimensionMismatchError, UnknownPointError
+
+
+class TestInsert:
+    def test_ids_are_sequential(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((3, 2)))
+        assert ids == [0, 1, 2]
+        more = store.insert(np.ones((2, 2)))
+        assert more == [3, 4]
+
+    def test_size_tracks_alive_points(self):
+        store = PointStore(dim=2)
+        store.insert(np.zeros((5, 2)))
+        assert store.size == 5
+        assert len(store) == 5
+
+    def test_default_labels_are_noise(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((2, 2)))
+        assert store.label(ids[0]) == -1
+
+    def test_single_point_promoted_to_row(self):
+        store = PointStore(dim=3)
+        ids = store.insert(np.array([1.0, 2.0, 3.0]))
+        assert ids == [0]
+        assert store.point(0) == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_dimension_mismatch(self):
+        store = PointStore(dim=2)
+        with pytest.raises(DimensionMismatchError):
+            store.insert(np.zeros((3, 4)))
+
+    def test_label_count_mismatch(self):
+        store = PointStore(dim=2)
+        with pytest.raises(ValueError):
+            store.insert(np.zeros((3, 2)), labels=[1, 2])
+
+    def test_growth_beyond_initial_capacity(self):
+        store = PointStore(dim=2)
+        store.insert(np.zeros((5000, 2)))
+        assert store.size == 5000
+        assert store.point(4999) == pytest.approx([0.0, 0.0])
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            PointStore(dim=0)
+
+
+class TestDelete:
+    def test_delete_removes_from_size_and_ids(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.arange(10.0).reshape(5, 2))
+        store.delete([ids[1], ids[3]])
+        assert store.size == 3
+        assert set(store.ids().tolist()) == {0, 2, 4}
+
+    def test_delete_unknown_raises(self):
+        store = PointStore(dim=2)
+        store.insert(np.zeros((2, 2)))
+        with pytest.raises(UnknownPointError):
+            store.delete([5])
+
+    def test_double_delete_raises(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((2, 2)))
+        store.delete([ids[0]])
+        with pytest.raises(UnknownPointError):
+            store.delete([ids[0]])
+
+    def test_delete_empty_is_noop(self):
+        store = PointStore(dim=2)
+        store.insert(np.zeros((2, 2)))
+        store.delete([])
+        assert store.size == 2
+
+    def test_ids_never_reused(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((3, 2)))
+        store.delete(ids)
+        fresh = store.insert(np.ones((1, 2)))
+        assert fresh == [3]
+
+    def test_contains(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((2, 2)))
+        assert ids[0] in store
+        store.delete([ids[0]])
+        assert ids[0] not in store
+        assert "x" not in store
+
+
+class TestOwnership:
+    def test_owner_roundtrip(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((2, 2)))
+        assert store.owner(ids[0]) is None
+        store.set_owner(ids[0], 7)
+        assert store.owner(ids[0]) == 7
+
+    def test_set_owners_bulk(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((3, 2)))
+        store.set_owners(ids, [1, 2, 3])
+        assert [store.owner(i) for i in ids] == [1, 2, 3]
+
+    def test_set_owners_misaligned(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            store.set_owners(ids, [1, 2])
+
+    def test_clear_owners(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((2, 2)))
+        store.set_owners(ids, [0, 1])
+        store.clear_owners()
+        assert store.owner(ids[0]) is None
+
+    def test_deleted_point_loses_owner(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((1, 2)))
+        store.set_owner(ids[0], 3)
+        store.delete(ids)
+        with pytest.raises(UnknownPointError):
+            store.owner(ids[0])
+
+
+class TestLookup:
+    def test_snapshot_contents(self):
+        store = PointStore(dim=2)
+        points = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        ids = store.insert(points, labels=[0, 1, -1])
+        store.delete([ids[1]])
+        snap_ids, snap_points, snap_labels = store.snapshot()
+        assert snap_ids.tolist() == [0, 2]
+        assert snap_points == pytest.approx(points[[0, 2]])
+        assert snap_labels.tolist() == [0, -1]
+
+    def test_points_of_dead_raises(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((2, 2)))
+        store.delete([ids[0]])
+        with pytest.raises(UnknownPointError):
+            store.points_of([ids[0]])
+
+    def test_ids_with_label(self):
+        store = PointStore(dim=2)
+        store.insert(np.zeros((4, 2)), labels=[0, 1, 0, -1])
+        assert store.ids_with_label(0).tolist() == [0, 2]
+        assert store.ids_with_label(99).tolist() == []
+
+    def test_iter_alive(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.arange(6.0).reshape(3, 2))
+        store.delete([ids[1]])
+        seen = {pid: tuple(p) for pid, p in store.iter_alive()}
+        assert set(seen) == {0, 2}
+
+    def test_point_view_is_readonly(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((1, 2)))
+        view = store.point(ids[0])
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_labels_of(self):
+        store = PointStore(dim=2)
+        ids = store.insert(np.zeros((3, 2)), labels=[5, 6, 7])
+        assert store.labels_of(ids[::-1]).tolist() == [7, 6, 5]

@@ -1,0 +1,145 @@
+"""Unit tests for structural change detection between clusterings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import detect_change
+
+
+class TestDetectChange:
+    def test_identical_clusterings_are_stable(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        report = detect_change(labels, labels)
+        assert report.change_score == pytest.approx(0.0)
+        assert report.is_stable
+        assert report.appeared == ()
+        assert report.vanished == ()
+        assert len(report.matches) == 2
+        for match in report.matches:
+            assert match.jaccard == pytest.approx(1.0)
+            assert match.drift == pytest.approx(0.0)
+
+    def test_relabeling_is_stable(self):
+        old = np.array([0] * 50 + [1] * 50)
+        new = np.array([7] * 50 + [3] * 50)
+        report = detect_change(old, new)
+        assert report.is_stable
+        assert {(m.old_label, m.new_label) for m in report.matches} == {
+            (0, 7),
+            (1, 3),
+        }
+
+    def test_appeared_cluster(self):
+        old = np.array([0] * 60 + [-1] * 40)
+        new = np.array([0] * 60 + [5] * 40)  # noise crystallised into 5
+        report = detect_change(old, new)
+        assert report.appeared == (5,)
+        assert report.vanished == ()
+        assert not report.is_stable
+
+    def test_vanished_cluster(self):
+        old = np.array([0] * 60 + [1] * 40)
+        new = np.array([0] * 60 + [-1] * 40)
+        report = detect_change(old, new)
+        assert report.vanished == (1,)
+        assert report.appeared == ()
+
+    def test_split_cluster_is_match_plus_appearance(self):
+        old = np.array([0] * 100)
+        new = np.array([0] * 70 + [1] * 30)
+        report = detect_change(old, new)
+        matched_new = {m.new_label for m in report.matches}
+        assert matched_new == {0}  # the bigger half keeps the identity
+        assert report.appeared == (1,)
+
+    def test_drift_measured(self):
+        old = np.array([0] * 100 + [1] * 100)
+        new = old.copy()
+        new[80:100] = 1  # 20 points migrate from cluster 0 to 1
+        report = detect_change(old, new)
+        drifted = report.drifted(tolerance=0.05)
+        assert len(drifted) == 2
+        drift_of_zero = next(
+            m for m in report.matches if m.old_label == 0
+        )
+        # |∩| = 80, |∪| = 100 → jaccard 0.8 → drift 0.2.
+        assert drift_of_zero.drift == pytest.approx(0.2)
+
+    def test_min_overlap_splits_identity(self):
+        old = np.array([0] * 100)
+        new = np.array([1] * 45 + [2] * 55)
+        strict = detect_change(old, new, min_overlap=0.7)
+        assert strict.matches == ()
+        assert set(strict.appeared) == {1, 2}
+        assert strict.vanished == (0,)
+        loose = detect_change(old, new, min_overlap=0.3)
+        assert len(loose.matches) == 1
+        assert loose.matches[0].new_label == 2
+
+    def test_pure_noise_both_sides(self):
+        noise = np.full(50, -1)
+        report = detect_change(noise, noise)
+        assert report.matches == ()
+        assert report.appeared == ()
+        assert report.vanished == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_change(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            detect_change(np.array([0]), np.array([0]), min_overlap=0.0)
+
+    def test_end_to_end_with_snapshots(self, rng):
+        """The intro use case: detect an appearing segment between two
+        snapshots of an incrementally maintained summary."""
+        from repro import (
+            BubbleBuilder,
+            BubbleConfig,
+            IncrementalMaintainer,
+            MaintenanceConfig,
+            PointStore,
+            UpdateBatch,
+        )
+        from repro.clustering import ClusteringSnapshot
+
+        store = PointStore(dim=2)
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.4, size=(600, 2)),
+                rng.normal([20, 0], 0.4, size=(600, 2)),
+            ]
+        )
+        store.insert(points, np.repeat([0, 1], 600))
+        bubbles = BubbleBuilder(BubbleConfig(num_bubbles=24, seed=0)).build(
+            store
+        )
+        maintainer = IncrementalMaintainer(
+            bubbles, store, MaintenanceConfig(seed=0)
+        )
+        before = ClusteringSnapshot.build(bubbles, min_pts=30)
+        ids_before = store.ids()
+        labels_before = before.point_labels(store)
+
+        # A new segment emerges over a few batches.
+        for _ in range(3):
+            maintainer.apply_batch(
+                UpdateBatch(
+                    insertions=rng.normal([10, 18], 0.4, size=(150, 2)),
+                    insertion_labels=tuple([2] * 150),
+                )
+            )
+        after = ClusteringSnapshot.build(maintainer.bubbles, min_pts=30)
+        labels_after_all = after.point_labels(store)
+        # Restrict to the surviving points (none were deleted here).
+        position = {int(pid): i for i, pid in enumerate(store.ids())}
+        surviving = np.asarray(
+            [position[int(pid)] for pid in ids_before], dtype=np.int64
+        )
+        report = detect_change(labels_before, labels_after_all[surviving])
+        # The two old segments persist; the new one only holds new points,
+        # so over the surviving universe it shows as near-stable matches.
+        assert len(report.matches) == 2
+        # And the full current labelling has one more cluster than before.
+        assert after.num_clusters == before.num_clusters + 1

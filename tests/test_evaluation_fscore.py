@@ -1,0 +1,111 @@
+"""Unit tests for the clustering F-score (Larsen & Aone)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import best_match_fscore, fscore_from_labels
+
+
+class TestBestMatchFscore:
+    def test_perfect_match(self):
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        candidates = [np.array([0, 1, 2]), np.array([3, 4, 5])]
+        result = best_match_fscore(truth, candidates)
+        assert result.overall == pytest.approx(1.0)
+        for match in result.matches:
+            assert match.precision == 1.0
+            assert match.recall == 1.0
+
+    def test_no_candidates(self):
+        truth = np.array([0, 0, 1, 1])
+        result = best_match_fscore(truth, [])
+        assert result.overall == 0.0
+        assert all(m.candidate == -1 for m in result.matches)
+
+    def test_pure_noise_truth(self):
+        truth = np.array([-1, -1, -1])
+        result = best_match_fscore(truth, [np.array([0, 1, 2])])
+        assert result.overall == 0.0
+        assert result.matches == ()
+
+    def test_half_split_cluster(self):
+        truth = np.array([0, 0, 0, 0])
+        candidates = [np.array([0, 1]), np.array([2, 3])]
+        result = best_match_fscore(truth, candidates)
+        # Best match: p=1, r=0.5 -> F = 2/3.
+        assert result.overall == pytest.approx(2.0 / 3.0)
+
+    def test_polluted_candidate(self):
+        truth = np.array([0, 0, 0, -1, -1, -1])
+        candidates = [np.arange(6)]
+        result = best_match_fscore(truth, candidates)
+        # p = 0.5 (noise pollutes), r = 1 -> F = 2/3.
+        assert result.overall == pytest.approx(2.0 / 3.0)
+
+    def test_weighted_average(self):
+        truth = np.array([0] * 9 + [1])
+        candidates = [np.arange(9)]  # perfect for class 0, nothing for 1
+        result = best_match_fscore(truth, candidates)
+        assert result.overall == pytest.approx(0.9)
+
+    def test_each_class_picks_its_own_best(self):
+        truth = np.array([0, 0, 1, 1])
+        candidates = [
+            np.array([0, 1]),
+            np.array([2, 3]),
+            np.array([0, 1, 2, 3]),
+        ]
+        result = best_match_fscore(truth, candidates)
+        assert result.overall == pytest.approx(1.0)
+        assert result.match_for(0).candidate == 0
+        assert result.match_for(1).candidate == 1
+
+    def test_match_for_unknown_class(self):
+        result = best_match_fscore(np.array([0, 0]), [np.array([0, 1])])
+        with pytest.raises(KeyError):
+            result.match_for(42)
+
+    def test_empty_candidate_ignored(self):
+        truth = np.array([0, 0])
+        result = best_match_fscore(
+            truth, [np.empty(0, dtype=np.int64), np.array([0, 1])]
+        )
+        assert result.overall == pytest.approx(1.0)
+
+    def test_fscore_formula(self):
+        truth = np.array([0] * 10 + [-1] * 5)
+        candidates = [np.arange(8)]  # covers 8 of 10 class points, no noise
+        result = best_match_fscore(truth, candidates)
+        p, r = 1.0, 0.8
+        assert result.overall == pytest.approx(2 * p * r / (p + r))
+
+
+class TestFscoreFromLabels:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert fscore_from_labels(labels, labels).overall == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.array([5, 5, 3, 3])
+        assert fscore_from_labels(truth, predicted).overall == pytest.approx(
+            1.0
+        )
+
+    def test_predicted_noise_not_a_candidate(self):
+        truth = np.array([0, 0, 0])
+        predicted = np.array([-1, -1, -1])
+        assert fscore_from_labels(truth, predicted).overall == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fscore_from_labels(np.array([0, 1]), np.array([0]))
+
+    def test_merged_clusters_penalized(self):
+        truth = np.array([0] * 10 + [1] * 10)
+        predicted = np.zeros(20, dtype=np.int64)
+        result = fscore_from_labels(truth, predicted)
+        # Each class: p = 0.5, r = 1 -> F = 2/3.
+        assert result.overall == pytest.approx(2.0 / 3.0)

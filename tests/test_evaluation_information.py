@@ -1,0 +1,90 @@
+"""Unit tests for purity and normalized mutual information."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import normalized_mutual_information, purity
+
+
+class TestPurity:
+    def test_pure_clustering(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.array([5, 5, 9, 9])
+        assert purity(truth, predicted) == 1.0
+
+    def test_merged_clusters(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.zeros(4, dtype=np.int64)
+        assert purity(truth, predicted) == 0.5
+
+    def test_singletons_game_purity(self):
+        # The known weakness: all-singleton predictions are perfectly pure.
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.arange(4)
+        assert purity(truth, predicted) == 1.0
+
+    def test_partial(self):
+        truth = np.array([0, 0, 0, 1])
+        predicted = np.array([7, 7, 7, 7])
+        assert purity(truth, predicted) == pytest.approx(0.75)
+
+
+class TestNmi:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(
+            1.0
+        )
+
+    def test_relabeled(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([9, 9, 4, 4])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.integers(0, 4, size=10_000)
+        b = rng.integers(0, 4, size=10_000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, size=300)
+        b = rng.integers(0, 5, size=300)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_trivial_partitions(self):
+        ones = np.zeros(10, dtype=np.int64)
+        assert normalized_mutual_information(ones, ones) == 1.0
+
+    def test_one_trivial_side_is_zero(self):
+        truth = np.array([0, 0, 1, 1])
+        trivial = np.zeros(4, dtype=np.int64)
+        assert normalized_mutual_information(truth, trivial) == 0.0
+
+    def test_bounded(self, rng):
+        for _ in range(10):
+            a = rng.integers(0, 6, size=100)
+            b = rng.integers(0, 6, size=100)
+            value = normalized_mutual_information(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_agrees_with_ari_direction(self, rng):
+        """NMI and ARI must rank a good clustering above a noisy one."""
+        from repro.evaluation import adjusted_rand_index
+
+        truth = np.repeat(np.arange(4), 100)
+        good = truth.copy()
+        flip = rng.choice(400, size=20, replace=False)
+        good[flip] = rng.integers(0, 4, size=20)
+        bad = truth.copy()
+        flip = rng.choice(400, size=200, replace=False)
+        bad[flip] = rng.integers(0, 4, size=200)
+        assert normalized_mutual_information(
+            truth, good
+        ) > normalized_mutual_information(truth, bad)
+        assert adjusted_rand_index(truth, good) > adjusted_rand_index(
+            truth, bad
+        )

@@ -1,0 +1,44 @@
+"""Unit tests for the Figure 8 snapshot experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ExperimentConfig,
+    render_figure8,
+    run_figure8,
+)
+
+QUICK = ExperimentConfig(
+    scenario="complex",
+    dim=2,
+    initial_size=1_500,
+    num_bubbles=30,
+    update_fraction=0.1,
+    num_batches=4,
+    min_pts=15,
+    seed=0,
+)
+
+
+class TestFigure8:
+    def test_snapshots_at_checkpoints(self):
+        snapshots = run_figure8(QUICK, checkpoints=(0, 2, 4))
+        assert [s.batch_index for s in snapshots] == [0, 2, 4]
+        for snap in snapshots:
+            assert "max finite reachability" in snap.plot_text
+        assert snapshots[0].num_rebuilt == 0
+
+    def test_initial_checkpoint_optional(self):
+        snapshots = run_figure8(QUICK, checkpoints=(1, 3))
+        assert [s.batch_index for s in snapshots] == [1, 3]
+
+    def test_render_concatenates(self):
+        snapshots = run_figure8(QUICK, checkpoints=(0, 2))
+        text = render_figure8(snapshots)
+        assert "Figure 8" in text
+        assert "after 0 update batch(es)" in text
+        assert "after 2 update batch(es)" in text
+
+    def test_plots_differ_over_time(self):
+        snapshots = run_figure8(QUICK, checkpoints=(0, 4))
+        assert snapshots[0].plot_text != snapshots[1].plot_text

@@ -1,0 +1,90 @@
+"""Unit tests for the figure 9/10/11 runner modules (structure level).
+
+The shape claims are covered in ``test_experiments_figures.py``; these
+tests pin the runners' mechanics: sweep-point structure, repetition
+accounting, and the construction-pruning anchor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    construction_pruning,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+)
+
+TINY = ExperimentConfig(
+    scenario="complex",
+    dim=2,
+    initial_size=1_000,
+    num_bubbles=20,
+    update_fraction=0.1,
+    num_batches=2,
+    min_pts=15,
+    seed=0,
+)
+
+
+class TestFigure9Runner:
+    def test_points_follow_requested_fractions(self):
+        points = run_figure9(
+            TINY, update_fractions=(0.05, 0.1), repetitions=1
+        )
+        assert [p.update_fraction for p in points] == [0.05, 0.1]
+
+    def test_summary_pools_batches_and_repetitions(self):
+        points = run_figure9(TINY, update_fractions=(0.1,), repetitions=2)
+        # 2 repetitions x 2 batches = 4 per-batch values pooled.
+        assert points[0].rebuilt_fraction.count == 4
+
+    def test_fractions_bounded(self):
+        points = run_figure9(TINY, update_fractions=(0.1,), repetitions=1)
+        summary = points[0].rebuilt_fraction
+        assert 0.0 <= summary.mean <= 1.0
+
+
+class TestFigure10Runner:
+    def test_points_and_pooling(self):
+        points = run_figure10(TINY, update_fractions=(0.1,), repetitions=2)
+        assert points[0].pruned_fraction.count == 4
+        assert 0.0 <= points[0].pruned_fraction.mean <= 1.0
+
+    def test_construction_pruning_anchor(self):
+        anchor = construction_pruning(TINY, repetitions=2)
+        assert anchor.count == 2
+        assert 0.0 < anchor.mean < 1.0
+
+
+class TestFigure11Runner:
+    def test_ratios_positive(self):
+        points = run_figure11(TINY, update_fractions=(0.1,), repetitions=1)
+        assert points[0].saving_factor.mean > 1.0
+
+    def test_multiple_fractions_ordered_output(self):
+        points = run_figure11(
+            TINY, update_fractions=(0.05, 0.1), repetitions=1
+        )
+        assert [p.update_fraction for p in points] == [0.05, 0.1]
+
+
+class TestConfigValidation:
+    def test_experiment_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            TINY.dim = 3  # type: ignore[misc]
+
+    def test_table1_row_counts(self):
+        from repro.experiments import run_table1
+
+        rows = run_table1(
+            TINY,
+            repetitions=1,
+            datasets=(("A", "random", 2), ("B", "appear", 2)),
+        )
+        assert [r.dataset for r in rows] == ["A", "A", "B", "B"]
+        assert [r.scheme for r in rows] == [
+            "complete", "inc", "complete", "inc",
+        ]

@@ -1,0 +1,79 @@
+"""Tests of the figure experiments' *shape claims* at small scale.
+
+Each test asserts the qualitative property the corresponding paper figure
+demonstrates — these are the reproduction's contract, checked in CI at
+reduced size (the benchmarks regenerate them at full size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    construction_pruning,
+    run_figure7,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+)
+
+QUICK = ExperimentConfig(
+    scenario="complex",
+    dim=2,
+    initial_size=2500,
+    num_bubbles=50,
+    num_batches=4,
+    min_pts=25,
+    seed=0,
+)
+
+
+class TestFigure7Claim:
+    def test_beta_measure_attracts_more_bubbles_to_new_clusters(self):
+        config = ExperimentConfig(
+            scenario="figure7",
+            dim=2,
+            initial_size=3000,
+            num_bubbles=50,
+            update_fraction=0.1,
+            num_batches=10,
+            seed=0,
+        )
+        result = run_figure7(config)
+        # The paper's claim: the β measure repositions bubbles onto the
+        # appearing clusters; the extent measure leaves them starved.
+        assert result.beta_bubbles_on_new > result.extent_bubbles_on_new
+        assert result.beta_fscore >= result.extent_fscore - 0.02
+
+
+class TestFigure9Claim:
+    def test_rebuilt_fraction_is_small(self):
+        points = run_figure9(
+            QUICK, update_fractions=(0.04, 0.10), repetitions=2
+        )
+        for point in points:
+            # "the majority of the data bubbles can adapt": rebuilt
+            # fraction stays far below one.
+            assert point.rebuilt_fraction.mean < 0.25
+
+
+class TestFigure10Claim:
+    def test_pruning_in_band_and_construction_anchor(self):
+        points = run_figure10(
+            QUICK, update_fractions=(0.04, 0.10), repetitions=2
+        )
+        for point in points:
+            assert 0.5 < point.pruned_fraction.mean < 0.95
+        anchor = construction_pruning(QUICK, repetitions=2)
+        assert 0.6 < anchor.mean < 0.95
+
+
+class TestFigure11Claim:
+    def test_saving_factor_large_and_decreasing(self):
+        points = run_figure11(
+            QUICK, update_fractions=(0.02, 0.10), repetitions=2
+        )
+        small_updates, large_updates = points[0], points[1]
+        assert small_updates.saving_factor.mean > large_updates.saving_factor.mean
+        assert large_updates.saving_factor.mean > 5.0

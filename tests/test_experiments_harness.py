@@ -1,0 +1,150 @@
+"""Unit tests for the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BubbleBuilder, BubbleConfig, PointStore
+from repro.clustering import BubbleOptics
+from repro.experiments import (
+    ExperimentConfig,
+    candidate_point_sets,
+    run_comparison,
+    score_summary,
+)
+
+
+SMALL = ExperimentConfig(
+    scenario="random",
+    dim=2,
+    initial_size=1200,
+    num_bubbles=30,
+    update_fraction=0.1,
+    num_batches=2,
+    min_pts=15,
+    seed=0,
+)
+
+
+class TestScoreSummary:
+    def test_clean_blobs_score_high(self, rng):
+        store = PointStore(dim=2)
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.3, size=(500, 2)),
+                rng.normal([30, 30], 0.3, size=(500, 2)),
+            ]
+        )
+        labels = np.repeat([0, 1], 500)
+        store.insert(points, labels)
+        bubbles = BubbleBuilder(BubbleConfig(num_bubbles=20, seed=0)).build(
+            store
+        )
+        fscore, compact = score_summary(bubbles, store, SMALL)
+        assert fscore > 0.95
+        assert compact > 0.0
+
+    def test_single_blob(self, rng):
+        store = PointStore(dim=2)
+        store.insert(
+            rng.normal(size=(600, 2)) * 0.3, np.zeros(600, dtype=np.int64)
+        )
+        bubbles = BubbleBuilder(BubbleConfig(num_bubbles=15, seed=1)).build(
+            store
+        )
+        fscore, _ = score_summary(bubbles, store, SMALL)
+        assert fscore > 0.9
+
+
+class TestCandidatePointSets:
+    def test_majority_rule_and_translation(self, rng):
+        store = PointStore(dim=2)
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(200, 2)),
+                rng.normal([20, 0], 0.2, size=(200, 2)),
+            ]
+        )
+        store.insert(points, np.repeat([0, 1], 200))
+        bubbles = BubbleBuilder(BubbleConfig(num_bubbles=8, seed=2)).build(
+            store
+        )
+        result = BubbleOptics(min_pts=20).fit(bubbles)
+        expanded = result.expanded()
+        alive_ids = store.ids()
+        spans = [(0, len(expanded))]
+        candidates = candidate_point_sets(expanded, spans, bubbles, alive_ids)
+        # The all-spanning candidate contains every point exactly once.
+        assert len(candidates) == 1
+        assert sorted(candidates[0].tolist()) == list(range(store.size))
+
+    def test_empty_span_gives_empty_candidate(self, rng):
+        store = PointStore(dim=2)
+        store.insert(rng.normal(size=(100, 2)))
+        bubbles = BubbleBuilder(BubbleConfig(num_bubbles=4, seed=3)).build(
+            store
+        )
+        result = BubbleOptics(min_pts=10).fit(bubbles)
+        expanded = result.expanded()
+        # A span of one entry cannot hold the majority of any multi-point
+        # bubble (unless some bubble has a single point).
+        spans = [(0, 1)]
+        candidates = candidate_point_sets(
+            expanded, spans, bubbles, store.ids()
+        )
+        first_bubble = int(expanded.source[0])
+        if bubbles[first_bubble].n > 2:
+            assert candidates[0].size == 0
+
+
+class TestRunComparison:
+    def test_traces_have_one_measurement_per_batch(self):
+        result = run_comparison(SMALL)
+        assert len(result.incremental.measurements) == 2
+        assert len(result.complete.measurements) == 2
+        assert result.config is SMALL
+
+    def test_stores_stay_in_sync(self):
+        # Indirect check: both arms' compactness and F-scores are finite
+        # and the reports carry identical batch volumes.
+        result = run_comparison(SMALL)
+        for inc, cmp_ in zip(
+            result.incremental.measurements, result.complete.measurements
+        ):
+            assert inc.report.num_deletions == cmp_.report.num_deletions
+            assert inc.report.num_insertions == cmp_.report.num_insertions
+            assert np.isfinite(inc.fscore) and np.isfinite(cmp_.fscore)
+
+    def test_repetitions_differ(self):
+        a = run_comparison(SMALL, repetition=0)
+        b = run_comparison(SMALL, repetition=1)
+        assert (
+            a.incremental.fscores().tolist()
+            != b.incremental.fscores().tolist()
+            or a.incremental.compactnesses().tolist()
+            != b.incremental.compactnesses().tolist()
+        )
+
+    def test_same_repetition_is_deterministic(self):
+        a = run_comparison(SMALL, repetition=3)
+        b = run_comparison(SMALL, repetition=3)
+        assert a.incremental.fscores().tolist() == b.incremental.fscores().tolist()
+        assert a.complete.compactnesses().tolist() == (
+            b.complete.compactnesses().tolist()
+        )
+
+    def test_incremental_is_cheaper(self):
+        result = run_comparison(SMALL)
+        assert (
+            result.incremental.total_computed()
+            < result.complete.total_computed()
+        )
+
+    def test_arm_trace_helpers(self):
+        result = run_comparison(SMALL)
+        trace = result.incremental
+        assert trace.mean_fscore() == pytest.approx(trace.fscores().mean())
+        assert trace.rebuilt_fractions(SMALL.num_bubbles).shape == (2,)
+        fractions = trace.insertion_pruned_fractions()
+        assert ((fractions >= 0) & (fractions <= 1)).all()

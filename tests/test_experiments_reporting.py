@@ -1,0 +1,122 @@
+"""Unit tests for the experiment report rendering and row builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import summarize
+from repro.experiments import (
+    ExperimentConfig,
+    render_figure9,
+    render_figure10,
+    render_figure11,
+    render_series,
+    render_table,
+    render_table1,
+    run_figure9,
+    run_table1,
+)
+from repro.experiments.figure9 import Figure9Point
+from repro.experiments.figure10 import Figure10Point
+from repro.experiments.figure11 import Figure11Point
+from repro.experiments.table1 import Table1Row
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            headers=["a", "long-header"],
+            rows=[["x", 1], ["yyyy", 22]],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+        # All data lines have equal length (aligned columns).
+        data = lines[2:]
+        assert len({len(line.rstrip()) for line in data if "yyyy" in line}) == 1
+        assert "long-header" in lines[2]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(headers=["a"], rows=[["x", "y"]])
+
+    def test_render_series(self):
+        text = render_series("x", "y", [(1, 2), (3, 4)])
+        assert "x" in text and "y" in text
+        assert "3" in text
+
+
+class TestRenderers:
+    def test_table1_renderer(self):
+        row = Table1Row(
+            dataset="Random2d",
+            scheme="inc",
+            fscore=summarize([0.9, 0.92]),
+            compactness=summarize([100.0, 110.0]),
+        )
+        text = render_table1([row])
+        assert "Random2d" in text
+        assert "0.9100" in text
+
+    def test_figure9_renderer(self):
+        point = Figure9Point(
+            update_fraction=0.02, rebuilt_fraction=summarize([0.01, 0.03])
+        )
+        text = render_figure9([point])
+        assert "2%" in text
+        assert "2.00%" in text
+
+    def test_figure10_renderer_with_anchor(self):
+        point = Figure10Point(
+            update_fraction=0.1, pruned_fraction=summarize([0.7])
+        )
+        text = render_figure10([point], construction=summarize([0.8]))
+        assert "static construction" in text
+        assert "80.0%" in text
+        assert "70.0%" in text
+
+    def test_figure11_renderer(self):
+        point = Figure11Point(
+            update_fraction=0.04, saving_factor=summarize([120.0, 140.0])
+        )
+        text = render_figure11([point])
+        assert "4%" in text
+        assert "130.0" in text
+
+
+class TestRunners:
+    QUICK = ExperimentConfig(
+        scenario="random",
+        dim=2,
+        initial_size=800,
+        num_bubbles=20,
+        update_fraction=0.1,
+        num_batches=1,
+        min_pts=10,
+        seed=0,
+    )
+
+    def test_run_table1_row_structure(self):
+        rows = run_table1(
+            self.QUICK,
+            repetitions=1,
+            datasets=(("Random2d", "random", 2),),
+        )
+        assert len(rows) == 2
+        assert rows[0].scheme == "complete"
+        assert rows[1].scheme == "inc"
+        assert rows[0].dataset == rows[1].dataset == "Random2d"
+        assert 0.0 <= rows[1].fscore.mean <= 1.0
+
+    def test_run_table1_validates_repetitions(self):
+        with pytest.raises(ValueError):
+            run_table1(self.QUICK, repetitions=0)
+
+    def test_run_figure9_points(self):
+        points = run_figure9(
+            self.QUICK, update_fractions=(0.1,), repetitions=1
+        )
+        assert len(points) == 1
+        assert points[0].update_fraction == 0.1
+        assert 0.0 <= points[0].rebuilt_fraction.mean <= 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for the scalability sweep experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ExperimentConfig,
+    render_dimension_sweep,
+    render_size_sweep,
+    run_dimension_sweep,
+    run_size_sweep,
+)
+
+QUICK = ExperimentConfig(
+    scenario="complex",
+    dim=2,
+    initial_size=1_000,
+    num_bubbles=20,
+    update_fraction=0.1,
+    num_batches=2,
+    min_pts=15,
+    seed=0,
+)
+
+
+class TestSizeSweep:
+    def test_structure(self):
+        points = run_size_sweep(
+            QUICK, sizes=(800, 1_600), points_per_bubble=80, repetitions=1
+        )
+        assert [p.size for p in points] == [800, 1_600]
+        assert points[0].num_bubbles == 10
+        assert points[1].num_bubbles == 20
+
+    def test_rebuild_cost_scales_superlinearly(self):
+        points = run_size_sweep(
+            QUICK, sizes=(800, 3_200), points_per_bubble=80, repetitions=1
+        )
+        small, large = points
+        # Complete rebuild pays N x B = N^2/ppb: 4x the size means 16x the
+        # rebuild cost (allow generous slack for batch-volume noise).
+        ratio = large.complete_cost.mean / small.complete_cost.mean
+        assert ratio > 8.0
+
+    def test_saving_factor_grows_with_size(self):
+        points = run_size_sweep(
+            QUICK, sizes=(800, 3_200), points_per_bubble=80, repetitions=1
+        )
+        assert points[1].saving_factor.mean > points[0].saving_factor.mean
+
+    def test_render(self):
+        points = run_size_sweep(
+            QUICK, sizes=(800,), points_per_bubble=80, repetitions=1
+        )
+        text = render_size_sweep(points)
+        assert "800" in text
+        assert "saving factor" in text
+
+
+class TestDimensionSweep:
+    def test_structure_and_quality(self):
+        points = run_dimension_sweep(QUICK, dims=(2, 5), repetitions=1)
+        assert [p.dim for p in points] == [2, 5]
+        for point in points:
+            assert point.incremental_fscore.mean > 0.7
+            assert point.complete_fscore.mean > 0.7
+            assert 0.0 <= point.pruned_fraction.mean <= 1.0
+
+    def test_render(self):
+        points = run_dimension_sweep(QUICK, dims=(2,), repetitions=1)
+        text = render_dimension_sweep(points)
+        assert "2d" in text
+        assert "incremental F" in text

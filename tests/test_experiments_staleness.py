@@ -1,0 +1,59 @@
+"""Unit tests for the staleness (incremental vs periodic rebuild) experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    render_staleness,
+    run_staleness,
+)
+
+QUICK = ExperimentConfig(
+    scenario="complex",
+    dim=2,
+    initial_size=1_500,
+    num_bubbles=30,
+    update_fraction=0.1,
+    num_batches=4,
+    min_pts=15,
+    seed=0,
+)
+
+
+class TestRunStaleness:
+    def test_trace_lengths(self):
+        result = run_staleness(QUICK, rebuild_every=2)
+        assert len(result.incremental_fscores) == 4
+        assert len(result.periodic_fscores) == 4
+        assert result.rebuild_every == 2
+
+    def test_incremental_at_least_matches_periodic(self):
+        result = run_staleness(QUICK, rebuild_every=4)
+        assert result.incremental_mean >= result.periodic_mean - 0.05
+
+    def test_periodic_cost_concentrates_on_rebuild_batches(self):
+        result = run_staleness(QUICK, rebuild_every=4)
+        costs = result.periodic_cost.values
+        # Non-rebuild batches cost nothing; the rebuild batch pays N·B.
+        assert costs[0] == 0.0
+        assert costs[3] > 0.0
+
+    def test_rebuild_every_one_equals_always_fresh(self):
+        result = run_staleness(QUICK, rebuild_every=1)
+        # Rebuilding every batch: the periodic arm is never stale, so its
+        # scores are in the same band as the incremental arm's.
+        assert abs(result.incremental_mean - result.periodic_mean) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_staleness(QUICK, rebuild_every=0)
+
+    def test_render(self):
+        result = run_staleness(QUICK, rebuild_every=2)
+        text = render_staleness(result)
+        assert "Staleness" in text
+        assert "rebuild" in text
+        assert "stale" in text
+        assert "means:" in text

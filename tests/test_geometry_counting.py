@@ -1,0 +1,80 @@
+"""Unit tests for the instrumented distance counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import CounterSnapshot, DistanceCounter
+
+
+class TestDistanceCounter:
+    def test_starts_at_zero(self):
+        counter = DistanceCounter()
+        assert counter.computed == 0
+        assert counter.pruned == 0
+
+    def test_euclidean_counts_and_computes(self):
+        counter = DistanceCounter()
+        dist = counter.euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert dist == 5.0
+        assert counter.computed == 1
+
+    def test_point_to_points_counts_rows(self):
+        counter = DistanceCounter()
+        points = np.zeros((7, 2))
+        counter.point_to_points(np.array([1.0, 0.0]), points)
+        assert counter.computed == 7
+
+    def test_record_computed_accumulates(self):
+        counter = DistanceCounter()
+        counter.record_computed(10)
+        counter.record_computed(5)
+        assert counter.computed == 15
+
+    def test_record_pruned_accumulates(self):
+        counter = DistanceCounter()
+        counter.record_pruned(3)
+        counter.record_pruned()
+        assert counter.pruned == 4
+
+    def test_negative_counts_rejected(self):
+        counter = DistanceCounter()
+        with pytest.raises(ValueError):
+            counter.record_computed(-1)
+        with pytest.raises(ValueError):
+            counter.record_pruned(-1)
+
+    def test_reset(self):
+        counter = DistanceCounter()
+        counter.record_computed(5)
+        counter.record_pruned(5)
+        counter.reset()
+        assert counter.computed == 0
+        assert counter.pruned == 0
+
+
+class TestCounterSnapshot:
+    def test_considered_and_fraction(self):
+        snap = CounterSnapshot(computed=30, pruned=70)
+        assert snap.considered == 100
+        assert snap.pruned_fraction == pytest.approx(0.7)
+
+    def test_empty_fraction_is_zero(self):
+        assert CounterSnapshot(0, 0).pruned_fraction == 0.0
+
+    def test_subtraction_gives_delta(self):
+        counter = DistanceCounter()
+        counter.record_computed(10)
+        before = counter.snapshot()
+        counter.record_computed(7)
+        counter.record_pruned(3)
+        delta = counter.snapshot() - before
+        assert delta.computed == 7
+        assert delta.pruned == 3
+
+    def test_snapshot_is_immutable_view(self):
+        counter = DistanceCounter()
+        snap = counter.snapshot()
+        counter.record_computed(100)
+        assert snap.computed == 0

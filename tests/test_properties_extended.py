@@ -1,0 +1,184 @@
+"""Additional property-based tests for the newer subsystems.
+
+Complements ``test_properties.py`` with invariants of the bubble distance
+function, the CF-tree, the stream summarizer and the deep consistency
+validator under randomized workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import (
+    BubbleBuilder,
+    BubbleConfig,
+    IncrementalMaintainer,
+    MaintenanceConfig,
+    PointStore,
+    SlidingWindowSummarizer,
+    UpdateBatch,
+)
+from repro.birch import CFTree
+from repro.clustering import BubbleOptics, extract_xi
+from repro.core import verify_consistency
+from repro.sufficient import SufficientStatistics
+
+coords = st.floats(-50.0, 50.0)
+
+
+def stats_pair(data, min_points=2, max_points=20, dim=3):
+    a = data.draw(
+        hnp.arrays(np.float64, (data.draw(st.integers(min_points, max_points)), dim), elements=coords)
+    )
+    b = data.draw(
+        hnp.arrays(np.float64, (data.draw(st.integers(min_points, max_points)), dim), elements=coords)
+    )
+    return (
+        SufficientStatistics.from_points(a),
+        SufficientStatistics.from_points(b),
+    )
+
+
+class TestBubbleDistanceProperties:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_symmetry(self, data):
+        stats_a, stats_b = stats_pair(data)
+        ab = BubbleOptics.distance(stats_a, stats_b)
+        ba = BubbleOptics.distance(stats_b, stats_a)
+        assert ab == pytest.approx(ba, rel=1e-9, abs=1e-9)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_non_negative(self, data):
+        stats_a, stats_b = stats_pair(data)
+        assert BubbleOptics.distance(stats_a, stats_b) >= 0.0
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data(), shift=hnp.arrays(np.float64, 3, elements=coords))
+    def test_translation_invariance(self, data, shift):
+        points_a = data.draw(hnp.arrays(np.float64, (5, 3), elements=coords))
+        points_b = data.draw(hnp.arrays(np.float64, (7, 3), elements=coords))
+        base = BubbleOptics.distance(
+            SufficientStatistics.from_points(points_a),
+            SufficientStatistics.from_points(points_b),
+        )
+        shifted = BubbleOptics.distance(
+            SufficientStatistics.from_points(points_a + shift),
+            SufficientStatistics.from_points(points_b + shift),
+        )
+        assert shifted == pytest.approx(base, rel=1e-6, abs=1e-5)
+
+
+class TestCfTreeProperties:
+    @settings(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        points=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 120), st.just(2)),
+            elements=coords,
+        ),
+        threshold=st.floats(0.05, 20.0),
+    )
+    def test_mass_conservation_and_radius_cap(self, points, threshold):
+        tree = CFTree(threshold=threshold, branching=4, leaf_capacity=4)
+        tree.insert_many(points)
+        entries = tree.leaf_entries()
+        assert sum(cf.n for cf in entries) == len(points)
+        for cf in entries:
+            assert cf.radius() <= threshold + 1e-6
+        # The summarized mass equals the input mass component-wise.
+        total_ls = sum(
+            (cf.stats.linear_sum.copy() for cf in entries),
+            start=np.zeros(2),
+        )
+        np.testing.assert_allclose(
+            total_ls, points.sum(axis=0), rtol=1e-9, atol=1e-6
+        )
+
+
+class TestXiProperties:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        reach=hnp.arrays(
+            np.float64,
+            st.integers(2, 60),
+            elements=st.floats(0.01, 10.0),
+        ),
+        xi=st.floats(0.01, 0.5),
+    )
+    def test_spans_are_within_bounds_and_min_size(self, reach, xi):
+        reach = reach.copy()
+        reach[0] = np.inf
+        clusters = extract_xi(reach, xi=xi, min_size=3)
+        for cluster in clusters:
+            assert 0 <= cluster.start < cluster.end <= len(reach)
+            assert cluster.size >= 3
+
+
+class TestStreamProperties:
+    @settings(
+        deadline=None,
+        max_examples=15,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 1000),
+        chunk_sizes=st.lists(st.integers(1, 120), min_size=3, max_size=10),
+    )
+    def test_window_never_overflows_and_stays_consistent(
+        self, seed, chunk_sizes
+    ):
+        rng = np.random.default_rng(seed)
+        stream = SlidingWindowSummarizer(
+            dim=2, window_size=200, points_per_bubble=25, seed=seed
+        )
+        for size in chunk_sizes:
+            stream.append(rng.normal(size=(size, 2)) * 10.0)
+            assert stream.size <= 200
+            if stream.is_ready():
+                report = verify_consistency(stream.summary, stream.store)
+                report.raise_if_invalid()
+
+
+class TestValidatorAgainstMaintainer:
+    @settings(
+        deadline=None,
+        max_examples=10,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 500))
+    def test_maintainer_always_passes_deep_validation(self, seed):
+        rng = np.random.default_rng(seed)
+        store = PointStore(dim=2)
+        store.insert(rng.normal(size=(150, 2)) * 20.0)
+        bubbles = BubbleBuilder(
+            BubbleConfig(num_bubbles=8, seed=seed)
+        ).build(store)
+        maintainer = IncrementalMaintainer(
+            bubbles, store, MaintenanceConfig(seed=seed)
+        )
+        for _ in range(3):
+            alive = store.ids()
+            victims = tuple(
+                int(i)
+                for i in rng.choice(
+                    alive, size=min(25, alive.size - 1), replace=False
+                )
+            )
+            maintainer.apply_batch(
+                UpdateBatch(
+                    deletions=victims,
+                    insertions=rng.normal(size=(25, 2)) * 20.0,
+                    insertion_labels=tuple([0] * 25),
+                )
+            )
+            verify_consistency(bubbles, store).raise_if_invalid()

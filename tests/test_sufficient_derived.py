@@ -1,0 +1,135 @@
+"""Unit tests for the derived bubble quantities (rep, extent, nnDist)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyBubbleError
+from repro.sufficient import (
+    SufficientStatistics,
+    extent,
+    nn_dist,
+    radius_std,
+    representative,
+)
+
+
+def brute_force_extent(points: np.ndarray) -> float:
+    """Average pairwise distance, squared-mean convention of Definition 1."""
+    n = len(points)
+    total = 0.0
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                total += float(np.sum((points[i] - points[j]) ** 2))
+    return float(np.sqrt(total / (n * (n - 1))))
+
+
+class TestRepresentative:
+    def test_is_mean(self):
+        points = np.array([[1.0, 0.0], [3.0, 2.0], [5.0, 4.0]])
+        stats = SufficientStatistics.from_points(points)
+        assert representative(stats) == pytest.approx(points.mean(axis=0))
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyBubbleError):
+            representative(SufficientStatistics(dim=2))
+
+
+class TestExtent:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(40, 3))
+        stats = SufficientStatistics.from_points(points)
+        assert extent(stats) == pytest.approx(
+            brute_force_extent(points), rel=1e-9
+        )
+
+    def test_singleton_extent_is_zero(self):
+        stats = SufficientStatistics.from_points(np.array([[5.0, 5.0]]))
+        assert extent(stats) == 0.0
+
+    def test_identical_points_extent_is_zero(self):
+        stats = SufficientStatistics.from_points(np.full((10, 2), 3.0))
+        assert extent(stats) == pytest.approx(0.0, abs=1e-6)
+
+    def test_two_points(self):
+        stats = SufficientStatistics.from_points(
+            np.array([[0.0, 0.0], [3.0, 4.0]])
+        )
+        # Average pairwise distance over the single pair is just 5.
+        assert extent(stats) == pytest.approx(5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyBubbleError):
+            extent(SufficientStatistics(dim=2))
+
+    def test_scale_equivariance(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(20, 2))
+        small = SufficientStatistics.from_points(points)
+        large = SufficientStatistics.from_points(points * 10.0)
+        assert extent(large) == pytest.approx(10.0 * extent(small))
+
+    def test_translation_invariance(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(20, 2))
+        base = SufficientStatistics.from_points(points)
+        shifted = SufficientStatistics.from_points(points + 1_000.0)
+        assert extent(shifted) == pytest.approx(extent(base), rel=1e-6)
+
+
+class TestRadiusStd:
+    def test_matches_deviation_from_mean(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(50, 4))
+        stats = SufficientStatistics.from_points(points)
+        mean = points.mean(axis=0)
+        expected = np.sqrt(((points - mean) ** 2).sum(axis=1).mean())
+        assert radius_std(stats) == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyBubbleError):
+            radius_std(SufficientStatistics(dim=2))
+
+
+class TestNnDist:
+    def test_k1_formula(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(100, 2))
+        stats = SufficientStatistics.from_points(points)
+        expected = (1 / 100) ** (1 / 2) * extent(stats)
+        assert nn_dist(stats, 1) == pytest.approx(expected)
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(5)
+        stats = SufficientStatistics.from_points(rng.normal(size=(50, 3)))
+        values = [nn_dist(stats, k) for k in range(1, 50)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_saturates_at_extent(self):
+        rng = np.random.default_rng(6)
+        stats = SufficientStatistics.from_points(rng.normal(size=(10, 2)))
+        assert nn_dist(stats, 10) == pytest.approx(extent(stats))
+        assert nn_dist(stats, 100) == pytest.approx(extent(stats))
+
+    def test_dimension_dependence(self):
+        # The (k/n)^(1/d) factor grows with d for k < n.
+        rng = np.random.default_rng(7)
+        points2 = rng.normal(size=(100, 2))
+        points10 = rng.normal(size=(100, 10))
+        stats2 = SufficientStatistics.from_points(points2)
+        stats10 = SufficientStatistics.from_points(points10)
+        ratio2 = nn_dist(stats2, 1) / extent(stats2)
+        ratio10 = nn_dist(stats10, 1) / extent(stats10)
+        assert ratio10 > ratio2
+
+    def test_invalid_k(self):
+        stats = SufficientStatistics.from_points(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            nn_dist(stats, 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyBubbleError):
+            nn_dist(SufficientStatistics(dim=2), 1)

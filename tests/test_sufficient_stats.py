@@ -1,0 +1,149 @@
+"""Unit tests for the additive sufficient statistics (n, LS, SS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, EmptyBubbleError
+from repro.sufficient import SufficientStatistics
+
+
+class TestConstruction:
+    def test_empty_start(self):
+        stats = SufficientStatistics(dim=3)
+        assert stats.n == 0
+        assert stats.is_empty()
+        assert stats.square_sum == 0.0
+        assert (stats.linear_sum == 0.0).all()
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            SufficientStatistics(dim=0)
+
+    def test_from_points(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        stats = SufficientStatistics.from_points(points)
+        assert stats.n == 3
+        assert stats.linear_sum == pytest.approx([9.0, 12.0])
+        assert stats.square_sum == pytest.approx((points**2).sum())
+
+    def test_from_points_rejects_vector(self):
+        with pytest.raises(ValueError):
+            SufficientStatistics.from_points(np.array([1.0, 2.0]))
+
+
+class TestIncrementalUpdates:
+    def test_insert_updates_all_three(self):
+        stats = SufficientStatistics(dim=2)
+        stats.insert(np.array([3.0, 4.0]))
+        assert stats.n == 1
+        assert stats.linear_sum == pytest.approx([3.0, 4.0])
+        assert stats.square_sum == pytest.approx(25.0)
+
+    def test_insert_then_remove_is_identity(self):
+        stats = SufficientStatistics(dim=2)
+        stats.insert(np.array([1.0, 1.0]))
+        reference = stats.copy()
+        point = np.array([-2.0, 7.0])
+        stats.insert(point)
+        stats.remove(point)
+        assert stats == reference
+
+    def test_remove_from_empty_raises(self):
+        stats = SufficientStatistics(dim=2)
+        with pytest.raises(EmptyBubbleError):
+            stats.remove(np.array([1.0, 1.0]))
+
+    def test_emptied_statistics_snap_to_zero(self):
+        stats = SufficientStatistics(dim=2)
+        # Values chosen to accumulate floating point residue.
+        stats.insert(np.array([0.1, 0.2]))
+        stats.insert(np.array([0.3, 0.7]))
+        stats.remove(np.array([0.1, 0.2]))
+        stats.remove(np.array([0.3, 0.7]))
+        assert stats.is_empty()
+        assert (stats.linear_sum == 0.0).all()
+        assert stats.square_sum == 0.0
+
+    def test_dimension_mismatch(self):
+        stats = SufficientStatistics(dim=2)
+        with pytest.raises(DimensionMismatchError):
+            stats.insert(np.array([1.0, 2.0, 3.0]))
+
+    def test_insert_many_matches_loop(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 4))
+        bulk = SufficientStatistics(dim=4)
+        bulk.insert_many(points)
+        loop = SufficientStatistics(dim=4)
+        for p in points:
+            loop.insert(p)
+        assert bulk.n == loop.n
+        assert bulk.linear_sum == pytest.approx(loop.linear_sum)
+        assert bulk.square_sum == pytest.approx(loop.square_sum)
+
+    def test_insert_many_empty_is_noop(self):
+        stats = SufficientStatistics(dim=2)
+        stats.insert_many(np.empty((0, 2)))
+        assert stats.is_empty()
+
+    def test_remove_many_matches_loop(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(30, 3))
+        stats = SufficientStatistics.from_points(points)
+        stats.remove_many(points[:10])
+        expected = SufficientStatistics.from_points(points[10:])
+        assert stats.n == expected.n
+        assert stats.linear_sum == pytest.approx(expected.linear_sum)
+        assert stats.square_sum == pytest.approx(expected.square_sum)
+
+    def test_remove_many_more_than_present_raises(self):
+        stats = SufficientStatistics.from_points(np.ones((2, 2)))
+        with pytest.raises(EmptyBubbleError):
+            stats.remove_many(np.ones((3, 2)))
+
+
+class TestMergeAndMean:
+    def test_merge_is_addition(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(10, 2))
+        b = rng.normal(size=(15, 2))
+        stats_a = SufficientStatistics.from_points(a)
+        stats_b = SufficientStatistics.from_points(b)
+        stats_a.merge(stats_b)
+        combined = SufficientStatistics.from_points(np.vstack([a, b]))
+        assert stats_a.n == combined.n
+        assert stats_a.linear_sum == pytest.approx(combined.linear_sum)
+        assert stats_a.square_sum == pytest.approx(combined.square_sum)
+
+    def test_merge_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            SufficientStatistics(dim=2).merge(SufficientStatistics(dim=3))
+
+    def test_mean_is_ls_over_n(self):
+        stats = SufficientStatistics.from_points(
+            np.array([[0.0, 0.0], [2.0, 4.0]])
+        )
+        assert stats.mean() == pytest.approx([1.0, 2.0])
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(EmptyBubbleError):
+            SufficientStatistics(dim=2).mean()
+
+    def test_clear(self):
+        stats = SufficientStatistics.from_points(np.ones((5, 2)))
+        stats.clear()
+        assert stats.is_empty()
+
+    def test_copy_is_independent(self):
+        stats = SufficientStatistics.from_points(np.ones((5, 2)))
+        dup = stats.copy()
+        dup.insert(np.array([9.0, 9.0]))
+        assert stats.n == 5
+        assert dup.n == 6
+
+    def test_linear_sum_view_is_readonly(self):
+        stats = SufficientStatistics.from_points(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            stats.linear_sum[0] = 99.0

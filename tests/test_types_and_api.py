@@ -1,0 +1,101 @@
+"""Tests for the shared type helpers and the public API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.types import NOISE_LABEL, as_point, as_point_matrix
+
+
+class TestAsPointMatrix:
+    def test_list_of_lists(self):
+        matrix = as_point_matrix([[1, 2], [3, 4]])
+        assert matrix.dtype == np.float64
+        assert matrix.shape == (2, 2)
+
+    def test_vector_promoted_to_row(self):
+        assert as_point_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            as_point_matrix([[1.0, 2.0]], dim=3)
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            as_point_matrix(np.zeros((2, 2, 2)))
+
+    def test_contiguity(self):
+        strided = np.zeros((4, 6))[:, ::2]
+        assert as_point_matrix(strided).flags["C_CONTIGUOUS"]
+
+
+class TestAsPoint:
+    def test_coercion(self):
+        point = as_point([1, 2])
+        assert point.dtype == np.float64
+        assert point.shape == (2,)
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            as_point([[1.0, 2.0]])
+
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            as_point([1.0, 2.0], dim=3)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.clustering
+        import repro.core
+        import repro.data
+        import repro.evaluation
+        import repro.experiments
+
+        for module in (
+            repro.core,
+            repro.clustering,
+            repro.data,
+            repro.evaluation,
+            repro.experiments,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_noise_label_constant(self):
+        assert NOISE_LABEL == -1
+
+    def test_exception_hierarchy(self):
+        from repro import (
+            DimensionMismatchError,
+            EmptyBubbleError,
+            InvalidConfigError,
+            NotFittedError,
+            ReproError,
+            UnknownPointError,
+        )
+
+        for exc in (
+            DimensionMismatchError,
+            EmptyBubbleError,
+            InvalidConfigError,
+            NotFittedError,
+            UnknownPointError,
+        ):
+            assert issubclass(exc, ReproError)
+            assert issubclass(exc, Exception)
+
+    def test_birch_and_streaming_available(self):
+        from repro import SlidingWindowSummarizer  # noqa: F401
+        from repro.birch import CFTree  # noqa: F401
+        from repro.clustering import WeightedKMeans  # noqa: F401
+        from repro.core import AdaptiveMaintainer  # noqa: F401
