@@ -53,12 +53,15 @@ from .exceptions import (
     EmptyBubbleError,
     InvalidConfigError,
     NotFittedError,
+    PersistenceError,
     ReproError,
+    SnapshotError,
     UnknownPointError,
+    WalCorruptionError,
 )
 from .geometry import CounterSnapshot, DistanceCounter
 from .io import load_session, save_session
-from .streaming import SlidingWindowSummarizer
+from .streaming import DurableSummarizer, SlidingWindowSummarizer
 from .sufficient import SufficientStatistics
 
 __version__ = "1.0.0"
@@ -79,6 +82,7 @@ __all__ = [
     "DistanceCounter",
     "DonorPolicy",
     "DuplicatePointError",
+    "DurableSummarizer",
     "EmptyBubbleError",
     "ExtentQuality",
     "IncrementalMaintainer",
@@ -86,16 +90,19 @@ __all__ = [
     "MaintenanceConfig",
     "NaiveAssigner",
     "NotFittedError",
+    "PersistenceError",
     "PointStore",
     "QualityMeasure",
     "QualityReport",
     "ReproError",
     "SlidingWindowSummarizer",
+    "SnapshotError",
     "SplitStrategy",
     "SufficientStatistics",
     "TriangleInequalityAssigner",
     "UnknownPointError",
     "UpdateBatch",
+    "WalCorruptionError",
     "chebyshev_k",
     "load_session",
     "make_assigner",

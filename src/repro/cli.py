@@ -8,10 +8,18 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles figure10 [--reps 3]
     repro-bubbles figure11 [--reps 3]
     repro-bubbles all      [--quick]
+    repro-bubbles summarize --wal-dir state/ [--resume] [--chunks 20] ...
 
-Every command prints the corresponding table/series in the paper's layout.
-``--quick`` shrinks sizes/repetitions for a fast smoke run; the defaults
-correspond to the numbers recorded in EXPERIMENTS.md.
+Every evaluation command prints the corresponding table/series in the
+paper's layout. ``--quick`` shrinks sizes/repetitions for a fast smoke run;
+the defaults correspond to the numbers recorded in EXPERIMENTS.md.
+
+``summarize`` runs a durable sliding-window summarization over a synthetic
+drifting stream: chunks are write-ahead logged to ``--wal-dir`` before
+being applied and the state is checkpointed every ``--checkpoint-every``
+batches. Re-running with ``--resume`` recovers the summary (snapshot +
+WAL-tail replay) and continues the stream where the previous process — or
+crash — left off. See docs/PERSISTENCE.md.
 """
 
 from __future__ import annotations
@@ -43,9 +51,69 @@ from .experiments import (
     run_staleness,
     run_table1,
 )
+from .exceptions import ReproError
 from .experiments.table1 import TABLE1_DATASETS
+from .streaming import DurableSummarizer
 
 __all__ = ["main", "build_parser"]
+
+
+def _stream_chunk(seed: int, index: int, size: int):
+    """Deterministic chunk ``index`` of the synthetic drifting stream.
+
+    Each chunk is seeded independently from ``(seed, index)``, so a
+    resumed process generates exactly the chunks a fresh one would —
+    the stream itself is durable, not just the summary.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng((int(seed), int(index)))
+    center = np.array([0.05 * index, -0.03 * index])
+    return rng.normal(loc=center, scale=1.0, size=(size, 2))
+
+
+def _run_summarize(args: argparse.Namespace) -> None:
+    if args.wal_dir is None:
+        raise SystemExit("summarize requires --wal-dir")
+    fsync = not args.no_fsync
+    if args.resume:
+        stream = DurableSummarizer.recover(args.wal_dir, fsync=fsync)
+        print(
+            f"recovered {args.wal_dir}: {stream.batches_applied} batches "
+            f"already applied, window holds {stream.size} points"
+        )
+    else:
+        stream = DurableSummarizer(
+            args.wal_dir,
+            dim=2,
+            window_size=args.window,
+            points_per_bubble=args.points_per_bubble,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+            fsync=fsync,
+        )
+        print(f"initialized durable state in {args.wal_dir}")
+    start = stream.batches_applied
+    for index in range(start, start + args.chunks):
+        stream.append(_stream_chunk(args.seed, index, args.chunk_size))
+    stream.close()  # final checkpoint + WAL truncation
+    maintainer = stream.maintainer
+    bubbles = (
+        f"{maintainer.active_count} active bubbles"
+        if maintainer is not None
+        else "still buffering (no summary yet)"
+    )
+    totals = stream.counter.snapshot()
+    print(
+        f"appended {args.chunks} chunks ({args.chunks * args.chunk_size} "
+        f"points); {stream.batches_applied} batches durable"
+    )
+    print(
+        f"window {stream.size}/{stream.window_size} points, {bubbles}, "
+        f"{totals.computed} distances computed "
+        f"({totals.pruned_fraction:.0%} pruned)"
+    )
+    print(f"re-run with --resume --wal-dir {args.wal_dir} to continue")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,9 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
             "figure11",
             "scalability",
             "staleness",
+            "summarize",
             "all",
         ],
-        help="which artifact to regenerate",
+        help="which artifact to regenerate (or 'summarize' to run a "
+        "durable stream summarization)",
     )
     parser.add_argument(
         "--size", type=int, default=10_000,
@@ -100,6 +170,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="small sizes and few repetitions (smoke run)",
     )
+    durable = parser.add_argument_group(
+        "summarize", "options for the durable streaming command"
+    )
+    durable.add_argument(
+        "--wal-dir", default=None,
+        help="durable state directory (required for 'summarize')",
+    )
+    durable.add_argument(
+        "--resume", action="store_true",
+        help="recover from --wal-dir instead of starting fresh",
+    )
+    durable.add_argument(
+        "--chunks", type=int, default=20,
+        help="stream chunks to append this run (default 20)",
+    )
+    durable.add_argument(
+        "--chunk-size", type=int, default=500,
+        help="points per stream chunk (default 500)",
+    )
+    durable.add_argument(
+        "--window", type=int, default=5_000,
+        help="sliding window capacity in points (default 5000)",
+    )
+    durable.add_argument(
+        "--points-per-bubble", type=int, default=50,
+        help="target compression rate (default 50)",
+    )
+    durable.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="snapshot cadence in batches (default 8)",
+    )
+    durable.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL appends/snapshots (faster; keeps "
+        "process-crash durability, loses power-loss durability)",
+    )
     return parser
 
 
@@ -122,6 +228,11 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _run_command(command: str, args: argparse.Namespace) -> None:
+    if command == "summarize":
+        started = time.perf_counter()
+        _run_summarize(args)
+        print(f"\n[summarize finished in {time.perf_counter() - started:.1f}s]")
+        return
     config = _base_config(args)
     table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)
     figure_reps = args.reps if args.reps is not None else (2 if args.quick else 3)
@@ -201,9 +312,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "all"
         else [args.command]
     )
-    for command in commands:
-        _run_command(command, args)
-        print()
+    try:
+        for command in commands:
+            _run_command(command, args)
+            print()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -88,6 +88,16 @@ class AdaptiveMaintainer(IncrementalMaintainer):
         return frozenset(self._retired)
 
     @property
+    def points_per_bubble(self) -> int:
+        """The target compression rate being steered toward."""
+        return self._points_per_bubble
+
+    @property
+    def max_adjust_per_batch(self) -> int:
+        """Maximum bubbles added or retired per batch."""
+        return self._max_adjust
+
+    @property
     def active_count(self) -> int:
         """Number of non-retired bubbles."""
         return len(self._bubbles) - len(self._retired)
@@ -142,11 +152,28 @@ class AdaptiveMaintainer(IncrementalMaintainer):
     def _merge_exclude(self) -> frozenset[int]:
         return frozenset(self._retired)
 
+    def restore_retired(self, retired: frozenset[int] | set[int]) -> None:
+        """Adopt a persisted retired-bubble set (recovery support).
+
+        Only legal when every named bubble exists and is empty — a retired
+        bubble never summarizes points, so anything else indicates a
+        desynchronized snapshot.
+        """
+        retired = set(int(i) for i in retired)
+        for bubble_id in retired:
+            if not (0 <= bubble_id < len(self._bubbles)):
+                raise ValueError(f"retired id {bubble_id} does not exist")
+            if not self._bubbles[bubble_id].is_empty():
+                raise ValueError(
+                    f"retired bubble {bubble_id} still summarizes points"
+                )
+        self._retired = retired
+
     # ------------------------------------------------------------------
     # The adaptive step
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: UpdateBatch) -> BatchReport:
-        report = super().apply_batch(batch)
+    def _apply_batch_inner(self, batch: UpdateBatch) -> BatchReport:
+        report = super()._apply_batch_inner(batch)
         self._steer_count()
         return report
 

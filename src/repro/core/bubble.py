@@ -195,6 +195,35 @@ class DataBubble:
         self._stats.remove_many(points)
         self._members -= leaving
 
+    def restore_state(
+        self, stats: SufficientStatistics, member_ids: np.ndarray
+    ) -> None:
+        """Adopt persisted statistics and membership verbatim.
+
+        Used by the persistence layer to rebuild a bubble bit-identically:
+        the statistics are installed as-is instead of being re-accumulated
+        from coordinates. Only legal on a freshly created (empty) bubble.
+        """
+        if not self._stats.is_empty() or self._members:
+            raise EmptyBubbleError(
+                f"bubble {self._id} already summarizes points; restore_state "
+                "is only legal on an empty bubble"
+            )
+        if stats.dim != self.dim:
+            raise ValueError(
+                f"stats dim {stats.dim} does not match bubble dim {self.dim}"
+            )
+        members = set(int(i) for i in member_ids)
+        if len(members) != len(member_ids):
+            raise ValueError("restore_state received duplicate member ids")
+        if stats.n != len(members):
+            raise ValueError(
+                f"stats count {stats.n} does not match "
+                f"{len(members)} member ids"
+            )
+        self._stats = stats.copy()
+        self._members = members
+
     def clear(self) -> list[PointId]:
         """Empty the bubble, returning the ids it used to summarize.
 

@@ -23,6 +23,7 @@ distance computations were spent and pruned (Figures 10–11).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -120,6 +121,9 @@ class IncrementalMaintainer:
         )
         self._counter = counter if counter is not None else DistanceCounter()
         self._rng = np.random.default_rng(self._config.seed)
+        self._batch_callbacks: list[
+            Callable[[UpdateBatch, BatchReport], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # Accessors
@@ -149,10 +153,55 @@ class IncrementalMaintainer:
         return self._quality.classify(self._bubbles, self._store.size)
 
     # ------------------------------------------------------------------
+    # Durability hooks
+    # ------------------------------------------------------------------
+    def add_batch_callback(
+        self, callback: Callable[[UpdateBatch, BatchReport], None]
+    ) -> None:
+        """Register ``callback(batch, report)`` to run after each batch.
+
+        Callbacks fire once the batch is *fully* applied — after quality
+        repair and any subclass post-processing (e.g. the adaptive count
+        steering) — which is the point where the summary is consistent and
+        safe to checkpoint. The persistence layer's checkpoint manager
+        subscribes here.
+        """
+        self._batch_callbacks.append(callback)
+
+    def remove_batch_callback(
+        self, callback: Callable[[UpdateBatch, BatchReport], None]
+    ) -> None:
+        """Unregister a callback added with :meth:`add_batch_callback`."""
+        self._batch_callbacks.remove(callback)
+
+    @property
+    def rng_state(self) -> dict:
+        """The maintenance RNG's bit-generator state (JSON-serializable).
+
+        Capturing and restoring this is what makes WAL replay reproduce an
+        uninterrupted run bit-for-bit: every random choice (candidate
+        probing order, split-seed selection) resumes exactly where the
+        crashed process left off.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     # The scheme of Figure 3
     # ------------------------------------------------------------------
     def apply_batch(self, batch: UpdateBatch) -> BatchReport:
         """Apply one batch of deletions + insertions and repair quality."""
+        report = self._apply_batch_inner(batch)
+        for callback in self._batch_callbacks:
+            callback(batch, report)
+        return report
+
+    def _apply_batch_inner(self, batch: UpdateBatch) -> BatchReport:
+        """The batch application itself (subclasses extend this, not
+        :meth:`apply_batch`, so callbacks always see a finished batch)."""
         before = self._counter.snapshot()
 
         self._apply_deletions(batch)

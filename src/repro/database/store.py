@@ -220,6 +220,17 @@ class PointStore:
         """Number of currently alive points (the paper's ``N``)."""
         return self._size
 
+    @property
+    def next_id(self) -> int:
+        """The id the next inserted point will receive.
+
+        Ids are handed out monotonically and never reused, so persisting
+        this counter (rather than deriving it from the alive ids) keeps id
+        assignment stable across a save/restore even when the most recently
+        inserted points have already been deleted again.
+        """
+        return self._next_id
+
     def __len__(self) -> int:
         return self._size
 
@@ -257,6 +268,13 @@ class PointStore:
         if ids.size and not self._alive[ids].all():
             raise UnknownPointError("requested a dead point")
         return self._points[ids].copy()
+
+    def owners_of(self, point_ids: Sequence[PointId]) -> np.ndarray:
+        """Bubble ownership for the given alive ids (``-1`` = unowned)."""
+        ids = np.asarray(point_ids, dtype=np.int64)
+        if ids.size and not self._alive[ids].all():
+            raise UnknownPointError("requested a dead point")
+        return self._owners[ids].copy()
 
     def labels_of(self, point_ids: Sequence[PointId]) -> np.ndarray:
         """Ground-truth labels for the given alive ids."""

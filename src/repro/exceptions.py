@@ -55,3 +55,22 @@ class NotFittedError(ReproError):
 
 class DimensionMismatchError(ReproError):
     """Points of differing dimensionality were mixed in one structure."""
+
+
+class PersistenceError(ReproError):
+    """Base class for durable-state failures (WAL, snapshots, recovery)."""
+
+
+class WalCorruptionError(PersistenceError):
+    """The write-ahead log contains an unreadable record.
+
+    Raised when a record *before* the log tail fails its checksum or has an
+    impossible header — data that was previously acknowledged as durable is
+    damaged, so recovery must not silently continue past it. A torn *final*
+    record (an interrupted append) is not corruption; it is truncated and
+    recovery proceeds.
+    """
+
+
+class SnapshotError(PersistenceError):
+    """A snapshot file is unreadable or has an unsupported format version."""

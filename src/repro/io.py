@@ -48,17 +48,11 @@ def save_session(
             trip, so it is rejected up front).
     """
     ids, points, labels = store.snapshot()
-    owners = np.asarray(
-        [
-            -1 if store.owner(int(pid)) is None else store.owner(int(pid))
-            for pid in ids
-        ],
-        dtype=np.int64,
-    )
+    owners = store.owners_of(ids)
     payload: dict[str, np.ndarray] = {
         "format_version": np.int64(_FORMAT_VERSION),
         "dim": np.int64(store.dim),
-        "next_id": np.int64(int(ids[-1]) + 1 if ids.size else 0),
+        "next_id": np.int64(store.next_id),
         "ids": ids,
         "points": points,
         "labels": labels,

@@ -1,0 +1,215 @@
+"""Checkpoint manager: directory layout, snapshot cadence, WAL truncation.
+
+One durable summarizer owns one state directory::
+
+    <wal_dir>/
+        manifest.json          construction parameters + format version
+        wal.log                the write-ahead log (repro.persistence.wal)
+        snapshot-000000000024.npz   state after the first 24 batches
+        snapshot-000000000016.npz   an older snapshot kept as fallback
+
+The manager snapshots every ``interval`` applied batches and then truncates
+the WAL. The ordering is what makes this crash-safe without any atomicity
+across the two files: the snapshot (written atomically, see
+``snapshot.py``) lands first, and only then is the log reset. A crash in
+between leaves old records whose ``seq`` precedes the snapshot's
+``batches_applied`` — recovery simply skips them.
+
+A bounded number of older snapshots is retained so that a damaged newest
+snapshot degrades recovery (older snapshot + longer replay) instead of
+defeating it. The WAL-truncation-at-checkpoint step means replaying from an
+older snapshot is only possible while its tail is still in the log, so
+``keep`` > 1 primarily guards against a snapshot corrupted *at rest* being
+the only copy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+
+from ..exceptions import PersistenceError, SnapshotError
+from .snapshot import read_snapshot, write_snapshot
+from .state import SummarizerState
+from .wal import WriteAheadLog
+
+__all__ = ["CheckpointManager", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.npz$")
+
+
+class CheckpointManager:
+    """Owns one durable-state directory.
+
+    Args:
+        wal_dir: the state directory; created when missing.
+        interval: snapshot every this many applied batches.
+        keep: how many snapshots to retain (newest first).
+        fsync: whether WAL appends and snapshot writes flush to disk.
+    """
+
+    def __init__(
+        self,
+        wal_dir: str | pathlib.Path,
+        interval: int = 16,
+        keep: int = 2,
+        fsync: bool = True,
+    ) -> None:
+        if interval < 1:
+            raise PersistenceError(
+                f"checkpoint interval must be >= 1, got {interval}"
+            )
+        if keep < 1:
+            raise PersistenceError(f"keep must be >= 1, got {keep}")
+        self._dir = pathlib.Path(wal_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._interval = int(interval)
+        self._keep = int(keep)
+        self._fsync = bool(fsync)
+        self._wal = WriteAheadLog(self._dir / "wal.log", fsync=fsync)
+
+    # ------------------------------------------------------------------
+    # Layout accessors
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> pathlib.Path:
+        """The managed state directory."""
+        return self._dir
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The directory's write-ahead log."""
+        return self._wal
+
+    @property
+    def interval(self) -> int:
+        """Batches between snapshots."""
+        return self._interval
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        """Location of the manifest file."""
+        return self._dir / "manifest.json"
+
+    def snapshot_paths(self) -> list[pathlib.Path]:
+        """Existing snapshot files, newest (highest batch count) first."""
+        found = []
+        for entry in self._dir.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        return [path for _, path in sorted(found, reverse=True)]
+
+    def has_state(self) -> bool:
+        """Whether the directory already holds durable state."""
+        return self.manifest_path.exists()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def write_manifest(self, params: dict) -> None:
+        """Persist construction parameters (atomically) for recovery."""
+        document = {"manifest_version": MANIFEST_VERSION, **params}
+        tmp = self.manifest_path.with_name("manifest.json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> dict:
+        """Load the manifest written at initialization.
+
+        Raises:
+            PersistenceError: when the manifest is missing or unreadable —
+                there is nothing to recover from.
+        """
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"{self._dir} holds no durable summarizer state "
+                "(manifest.json is missing)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PersistenceError(
+                f"unreadable manifest in {self._dir}: {exc}"
+            ) from exc
+        version = int(document.get("manifest_version", -1))
+        if version != MANIFEST_VERSION:
+            raise PersistenceError(
+                f"unsupported manifest version {version} in {self._dir}"
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, state: SummarizerState) -> bool:
+        """Snapshot if the cadence says so; returns whether it did."""
+        if state.batches_applied == 0:
+            return False
+        if state.batches_applied % self._interval != 0:
+            return False
+        self.checkpoint(state)
+        return True
+
+    def checkpoint(self, state: SummarizerState) -> pathlib.Path:
+        """Write a snapshot of ``state`` and compact the WAL.
+
+        The log keeps the records since the *oldest retained* snapshot:
+        the newest snapshot makes them redundant for the primary recovery
+        path, but they are exactly what lets
+        :meth:`latest_state`'s fallback to an older snapshot still replay
+        forward when the newest file is corrupted at rest.
+        """
+        path = self._dir / f"snapshot-{state.batches_applied:012d}.npz"
+        write_snapshot(path, state, fsync=self._fsync)
+        self._prune_snapshots()
+        retained = self.snapshot_paths()
+        oldest = (
+            min(
+                int(_SNAPSHOT_RE.match(p.name).group(1)) for p in retained
+            )
+            if retained
+            else state.batches_applied
+        )
+        self._wal.compact(oldest)
+        return path
+
+    def latest_state(self) -> SummarizerState | None:
+        """The newest snapshot that loads cleanly, or ``None``.
+
+        Damaged snapshots (torn at rest, version drift) are skipped in
+        favour of older ones — recovery then replays a longer WAL tail.
+        """
+        for path in self.snapshot_paths():
+            try:
+                return read_snapshot(path)
+            except SnapshotError:
+                continue
+        return None
+
+    def close(self) -> None:
+        """Release the WAL file handle."""
+        self._wal.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _prune_snapshots(self) -> None:
+        for stale in self.snapshot_paths()[self._keep:]:
+            stale.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointManager(dir={str(self._dir)!r}, "
+            f"interval={self._interval})"
+        )

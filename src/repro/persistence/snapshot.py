@@ -1,0 +1,157 @@
+"""Versioned snapshot files for summarizer state.
+
+A snapshot is one compressed ``.npz`` archive holding a
+:class:`~repro.persistence.state.SummarizerState`: every numeric array is
+stored as-is (raw sufficient statistics included — see ``state.py`` on why
+they are never recomputed) and the scalar/structured remainder travels as
+one JSON document under the ``meta_json`` key.
+
+Writes are **atomic**: the archive is written to a temporary sibling,
+flushed to disk, then ``os.replace``d over the final name. A crash mid-write
+leaves at most a stale ``*.tmp`` file, never a half-written snapshot under
+the real name — which is what lets recovery treat "the newest snapshot that
+loads" as "the newest snapshot that was fully written".
+
+Reads validate the format version and re-wrap every decoding failure in
+:class:`~repro.exceptions.SnapshotError` so recovery can fall back to an
+older snapshot instead of crashing on a damaged file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from ..exceptions import SnapshotError
+from .state import SummarizerState, config_from_dict, config_to_dict
+
+__all__ = ["SNAPSHOT_VERSION", "write_snapshot", "read_snapshot"]
+
+SNAPSHOT_VERSION = 1
+
+
+def write_snapshot(
+    path: str | pathlib.Path, state: SummarizerState, fsync: bool = True
+) -> pathlib.Path:
+    """Atomically persist ``state`` to ``path``; returns the final path."""
+    path = pathlib.Path(path)
+    meta = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "dim": state.dim,
+        "window_size": state.window_size,
+        "points_per_bubble": state.points_per_bubble,
+        "seed": state.seed,
+        "config": config_to_dict(state.config),
+        "batches_applied": state.batches_applied,
+        "bootstrapped": state.bootstrapped,
+        "store_next_id": state.store_next_id,
+        "counter_computed": state.counter_computed,
+        "counter_pruned": state.counter_pruned,
+        "retired": sorted(int(i) for i in state.retired),
+        "max_adjust": state.max_adjust,
+        "rng_state": state.rng_state,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            meta_json=np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+            store_ids=state.store_ids,
+            store_points=state.store_points,
+            store_labels=state.store_labels,
+            store_owners=state.store_owners,
+            seeds=state.seeds,
+            ns=state.ns,
+            linear_sums=state.linear_sums,
+            square_sums=state.square_sums,
+            member_offsets=state.member_offsets,
+            member_ids=state.member_ids,
+        )
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        # Persist the rename itself (the directory entry).
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return path
+
+
+def read_snapshot(path: str | pathlib.Path) -> SummarizerState:
+    """Load a snapshot written by :func:`write_snapshot`.
+
+    Raises:
+        SnapshotError: the file is unreadable, incomplete, or carries an
+            unsupported format version.
+    """
+    path = pathlib.Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(
+                bytes(archive["meta_json"].tobytes()).decode("utf-8")
+            )
+            version = int(meta.get("snapshot_version", -1))
+            if version != SNAPSHOT_VERSION:
+                raise SnapshotError(
+                    f"{path}: unsupported snapshot version {version} "
+                    f"(this build reads version {SNAPSHOT_VERSION})"
+                )
+            rng_state = meta["rng_state"]
+            if rng_state is not None:
+                # JSON round-trips the PCG64 state ints losslessly
+                # (arbitrary-precision), but the generator expects them
+                # as plain ints, which json already provides.
+                rng_state = _normalize_rng_state(rng_state)
+            return SummarizerState(
+                dim=int(meta["dim"]),
+                window_size=int(meta["window_size"]),
+                points_per_bubble=int(meta["points_per_bubble"]),
+                seed=None if meta["seed"] is None else int(meta["seed"]),
+                config=config_from_dict(meta["config"]),
+                batches_applied=int(meta["batches_applied"]),
+                bootstrapped=bool(meta["bootstrapped"]),
+                store_ids=archive["store_ids"],
+                store_points=archive["store_points"],
+                store_labels=archive["store_labels"],
+                store_owners=archive["store_owners"],
+                store_next_id=int(meta["store_next_id"]),
+                counter_computed=int(meta["counter_computed"]),
+                counter_pruned=int(meta["counter_pruned"]),
+                seeds=archive["seeds"],
+                ns=archive["ns"],
+                linear_sums=archive["linear_sums"],
+                square_sums=archive["square_sums"],
+                member_offsets=archive["member_offsets"],
+                member_ids=archive["member_ids"],
+                retired=tuple(int(i) for i in meta["retired"]),
+                max_adjust=int(meta["max_adjust"]),
+                rng_state=rng_state,
+            )
+    except SnapshotError:
+        raise
+    except Exception as exc:  # zipfile errors, KeyError, json errors, ...
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+
+
+def _normalize_rng_state(state: dict) -> dict:
+    """Recursively coerce JSON-decoded RNG state back to native ints."""
+    result: dict = {}
+    for key, value in state.items():
+        if isinstance(value, dict):
+            result[key] = _normalize_rng_state(value)
+        elif isinstance(value, bool):
+            result[key] = value
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            result[key] = int(value) if isinstance(value, int) else value
+        else:
+            result[key] = value
+    return result

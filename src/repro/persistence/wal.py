@@ -1,0 +1,274 @@
+"""Append-only write-ahead log of update batches.
+
+The durability contract of the persistence subsystem is write-ahead: every
+:class:`~repro.database.UpdateBatch` is appended to this log — and flushed
+to disk — *before* it is applied to the in-memory summary. After a crash,
+the summary is reconstructed by loading the last snapshot and replaying the
+logged batches through the normal maintenance path
+(:mod:`repro.persistence.recovery`).
+
+File format (version 1), all integers little-endian:
+
+* an 8-byte file magic ``b"RPROWAL1"``;
+* zero or more records, each ``[seq: u64][length: u32][crc32: u32][payload]``
+  where ``seq`` is the zero-based index of the batch in the stream's
+  lifetime, ``length`` is the payload size in bytes and ``crc32`` covers
+  the packed ``(seq, length)`` header *and* the payload;
+* the payload is an in-memory ``.npz`` archive with the batch's
+  ``deletions`` (int64 ids), ``insertions`` (float64 ``(m, d)`` matrix) and
+  ``labels`` (int64, one per insertion) — self-describing and free of
+  pickled objects.
+
+Failure semantics on read (:meth:`WriteAheadLog.replay`):
+
+* a **torn final record** — the file ends mid-header or mid-payload, the
+  signature of a crash during an append — is truncated away and replay
+  continues with what came before it (the torn batch was never
+  acknowledged as applied, so nothing is lost);
+* a **checksum or header failure on any complete record** raises
+  :class:`~repro.exceptions.WalCorruptionError`: previously fsync'd data
+  is damaged and silently skipping it would replay a wrong history.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..database import UpdateBatch
+from ..exceptions import WalCorruptionError
+
+__all__ = ["WalRecord", "WriteAheadLog", "encode_batch", "decode_batch"]
+
+_MAGIC = b"RPROWAL1"
+_HEADER = struct.Struct("<QII")  # seq, payload length, crc32
+
+#: Cap on a single record's payload (guards against reading a garbage
+#: length field as a multi-gigabyte allocation).
+_MAX_PAYLOAD = 1 << 31
+
+
+def encode_batch(batch: UpdateBatch) -> bytes:
+    """Serialize one batch to the WAL payload format."""
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        deletions=np.asarray(batch.deletions, dtype=np.int64),
+        insertions=np.asarray(batch.insertions, dtype=np.float64),
+        labels=np.asarray(batch.insertion_labels, dtype=np.int64),
+    )
+    return buffer.getvalue()
+
+
+def decode_batch(payload: bytes) -> UpdateBatch:
+    """Inverse of :func:`encode_batch`."""
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            deletions = archive["deletions"]
+            insertions = archive["insertions"]
+            labels = archive["labels"]
+    except Exception as exc:  # zipfile/KeyError/ValueError zoo
+        raise WalCorruptionError(
+            f"undecodable WAL payload: {exc}"
+        ) from exc
+    return UpdateBatch(
+        deletions=tuple(int(i) for i in deletions),
+        insertions=insertions,
+        insertion_labels=tuple(int(l) for l in labels),
+    )
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log entry: the ``seq``-th batch of the stream."""
+
+    seq: int
+    batch: UpdateBatch
+
+
+class WriteAheadLog:
+    """Checksummed, length-prefixed append-only log in a single file.
+
+    Args:
+        path: the log file; created (with its magic header) when missing.
+        fsync: whether appends flush through to the disk before returning.
+            Leave on for crash durability; tests and benchmarks may turn it
+            off for speed (process-crash safety is retained either way —
+            only power-loss safety is weakened).
+    """
+
+    def __init__(self, path: str | pathlib.Path, fsync: bool = True) -> None:
+        self._path = pathlib.Path(path)
+        self._fsync = bool(fsync)
+        if not self._path.exists():
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self._path, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self._path, "r+b")
+        magic = self._handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            self._handle.close()
+            raise WalCorruptionError(
+                f"{self._path} is not a version-1 WAL file "
+                f"(magic {magic!r})"
+            )
+        self._handle.seek(0, os.SEEK_END)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> pathlib.Path:
+        """The log file location."""
+        return self._path
+
+    def append(self, seq: int, batch: UpdateBatch) -> None:
+        """Durably append one batch as record ``seq``.
+
+        The record is flushed (and fsync'd unless disabled) before this
+        returns — the write-ahead guarantee callers rely on.
+        """
+        payload = encode_batch(batch)
+        header = _HEADER.pack(
+            int(seq),
+            len(payload),
+            zlib.crc32(struct.pack("<QI", int(seq), len(payload)) + payload),
+        )
+        self._handle.seek(0, os.SEEK_END)
+        self._handle.write(header)
+        self._handle.write(payload)
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def reset(self) -> None:
+        """Drop every record (checkpoint truncation after a snapshot)."""
+        self._handle.seek(len(_MAGIC))
+        self._handle.truncate()
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def compact(self, min_seq: int) -> None:
+        """Atomically drop records with ``seq < min_seq``.
+
+        Checkpoint truncation keeps the tail since the *oldest retained*
+        snapshot (not just the newest), so that recovery can fall back to
+        an older snapshot — and still replay forward — when the newest is
+        corrupted at rest. The rewrite goes through a temporary file and
+        an ``os.replace`` so a crash mid-compaction leaves the previous
+        log intact.
+        """
+        records = self.replay()
+        keep = [r for r in records if r.seq >= min_seq]
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(_MAGIC)
+            for record in keep:
+                payload = encode_batch(record.batch)
+                header = _HEADER.pack(
+                    record.seq,
+                    len(payload),
+                    zlib.crc32(
+                        struct.pack("<QI", record.seq, len(payload)) + payload
+                    ),
+                )
+                handle.write(header)
+                handle.write(payload)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self._path)
+        self._handle = open(self._path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay(self) -> list[WalRecord]:
+        """Read every intact record, repairing a torn tail in place.
+
+        Returns the records in append order. A torn final record is
+        truncated from the file so subsequent appends extend a clean log.
+
+        Raises:
+            WalCorruptionError: a complete record fails its checksum or
+                carries an impossible header — the log cannot be trusted.
+        """
+        self._handle.seek(len(_MAGIC))
+        records: list[WalRecord] = []
+        good_end = len(_MAGIC)
+        while True:
+            header_bytes = self._handle.read(_HEADER.size)
+            if not header_bytes:
+                break
+            if len(header_bytes) < _HEADER.size:
+                self._truncate_to(good_end)
+                break
+            seq, length, crc = _HEADER.unpack(header_bytes)
+            if length >= _MAX_PAYLOAD:
+                raise WalCorruptionError(
+                    f"record {len(records)} in {self._path} declares an "
+                    f"absurd payload of {length} bytes"
+                )
+            payload = self._handle.read(length)
+            if len(payload) < length:
+                self._truncate_to(good_end)
+                break
+            expected = zlib.crc32(
+                struct.pack("<QI", seq, length) + payload
+            )
+            if crc != expected:
+                if self._at_eof():
+                    # The final record's bytes were only partially persisted
+                    # before the crash: a torn write, not corruption.
+                    self._truncate_to(good_end)
+                    break
+                raise WalCorruptionError(
+                    f"checksum mismatch on record {len(records)} of "
+                    f"{self._path} (seq {seq}); the log is corrupt before "
+                    "its tail and cannot be replayed safely"
+                )
+            records.append(WalRecord(seq=int(seq), batch=decode_batch(payload)))
+            good_end = self._handle.tell()
+        self._handle.seek(0, os.SEEK_END)
+        return records
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _at_eof(self) -> bool:
+        position = self._handle.tell()
+        at_end = not self._handle.read(1)
+        self._handle.seek(position)
+        return at_end
+
+    def _truncate_to(self, offset: int) -> None:
+        self._handle.seek(offset)
+        self._handle.truncate()
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteAheadLog(path={str(self._path)!r})"

@@ -68,6 +68,29 @@ class SufficientStatistics:
         stats._square_sum = float(np.einsum("ij,ij->", points, points))
         return stats
 
+    @classmethod
+    def from_raw(
+        cls, n: int, linear_sum: np.ndarray, square_sum: float
+    ) -> "SufficientStatistics":
+        """Reconstruct statistics from their raw ``(n, LS, SS)`` values.
+
+        The persistence layer stores the accumulated sums verbatim (rather
+        than recomputing them from member coordinates) so that a restored
+        summary is *bit-identical* to the live one — incremental updates
+        accumulate floating-point effects in insertion order, which a
+        vectorised recomputation would not reproduce.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        linear_sum = np.asarray(linear_sum, dtype=np.float64)
+        if linear_sum.ndim != 1:
+            raise ValueError("linear_sum must be a (d,) vector")
+        stats = cls(dim=linear_sum.shape[0])
+        stats._n = int(n)
+        stats._linear_sum = linear_sum.copy()
+        stats._square_sum = float(square_sum)
+        return stats
+
     def copy(self) -> "SufficientStatistics":
         """Independent deep copy."""
         dup = SufficientStatistics(self._dim)

@@ -34,6 +34,67 @@ class TestParser:
         assert args.quick
 
 
+class TestSummarize:
+    def test_requires_wal_dir(self):
+        with pytest.raises(SystemExit):
+            main(["summarize"])
+
+    def test_fresh_run_creates_durable_state(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        code = main(
+            [
+                "summarize",
+                "--wal-dir", str(state_dir),
+                "--chunks", "6",
+                "--chunk-size", "100",
+                "--window", "400",
+                "--points-per-bubble", "40",
+                "--checkpoint-every", "3",
+                "--no-fsync",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initialized durable state" in out
+        assert "6 batches durable" in out
+        assert (state_dir / "manifest.json").exists()
+        assert (state_dir / "wal.log").exists()
+        assert any(state_dir.glob("snapshot-*.npz"))
+
+    def test_resume_continues_the_stream(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        base = [
+            "summarize",
+            "--wal-dir", str(state_dir),
+            "--chunks", "4",
+            "--chunk-size", "100",
+            "--window", "400",
+            "--points-per-bubble", "40",
+            "--checkpoint-every", "3",
+            "--no-fsync",
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "4 batches already applied" in out
+        assert "8 batches durable" in out
+
+    def test_fresh_run_refuses_existing_state(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        base = [
+            "summarize",
+            "--wal-dir", str(state_dir),
+            "--chunks", "2",
+            "--chunk-size", "50",
+            "--no-fsync",
+        ]
+        assert main(base) == 0
+        assert main(base) == 1
+        assert "already holds durable" in capsys.readouterr().err
+
+
 class TestMain:
     def test_figure9_quick(self, capsys):
         code = main(

@@ -1,0 +1,226 @@
+"""Unit tests for snapshot serialization and the checkpoint manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PersistenceError,
+    SlidingWindowSummarizer,
+    SnapshotError,
+)
+from repro.persistence import (
+    CheckpointManager,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+@pytest.fixture
+def running_stream(rng):
+    """A bootstrapped summarizer with some maintenance history."""
+    stream = SlidingWindowSummarizer(
+        dim=3, window_size=600, points_per_bubble=40, seed=11
+    )
+    for _ in range(8):
+        stream.append(rng.normal(size=(150, 3)))
+    return stream
+
+
+class TestStateRoundTrip:
+    def test_bit_identical_summary(self, tmp_path, running_stream):
+        state = running_stream.capture_state(batches_applied=8)
+        path = write_snapshot(tmp_path / "snap.npz", state, fsync=False)
+        restored = SlidingWindowSummarizer.from_state(read_snapshot(path))
+
+        original = running_stream.summary
+        copy = restored.summary
+        assert len(original) == len(copy)
+        for a, b in zip(original, copy):
+            assert a.n == b.n
+            assert np.array_equal(a.seed, b.seed)
+            # Raw statistics — exact equality, not approximate.
+            assert np.array_equal(
+                np.asarray(a.stats.linear_sum), np.asarray(b.stats.linear_sum)
+            )
+            assert a.stats.square_sum == b.stats.square_sum
+            assert a.members == b.members
+
+    def test_store_round_trip(self, tmp_path, running_stream):
+        state = running_stream.capture_state()
+        path = write_snapshot(tmp_path / "snap.npz", state, fsync=False)
+        restored = SlidingWindowSummarizer.from_state(read_snapshot(path))
+        ids = running_stream.store.ids()
+        assert np.array_equal(ids, restored.store.ids())
+        assert np.array_equal(
+            running_stream.store.points_of(ids),
+            restored.store.points_of(ids),
+        )
+        assert np.array_equal(
+            running_stream.store.owners_of(ids),
+            restored.store.owners_of(ids),
+        )
+        assert np.array_equal(
+            running_stream.store.labels_of(ids),
+            restored.store.labels_of(ids),
+        )
+        assert running_stream.store.next_id == restored.store.next_id
+
+    def test_rng_and_counter_round_trip(self, tmp_path, running_stream):
+        state = running_stream.capture_state()
+        path = write_snapshot(tmp_path / "snap.npz", state, fsync=False)
+        restored = SlidingWindowSummarizer.from_state(read_snapshot(path))
+        assert (
+            restored.maintainer.rng_state
+            == running_stream.maintainer.rng_state
+        )
+        assert restored.counter.computed == running_stream.counter.computed
+        assert restored.counter.pruned == running_stream.counter.pruned
+        assert (
+            restored.maintainer.retired_ids
+            == running_stream.maintainer.retired_ids
+        )
+
+    def test_pre_bootstrap_state_round_trips(self, tmp_path, rng):
+        stream = SlidingWindowSummarizer(
+            dim=2, window_size=500, points_per_bubble=100, seed=0
+        )
+        stream.append(rng.normal(size=(50, 2)))  # still buffering
+        state = stream.capture_state(batches_applied=1)
+        path = write_snapshot(tmp_path / "snap.npz", state, fsync=False)
+        restored = SlidingWindowSummarizer.from_state(read_snapshot(path))
+        assert not restored.is_ready()
+        assert restored.size == 50
+        assert np.array_equal(stream.store.ids(), restored.store.ids())
+
+    def test_restored_stream_continues_identically(
+        self, tmp_path, running_stream, rng
+    ):
+        """The restored summarizer and the live one stay in lockstep."""
+        state = running_stream.capture_state()
+        path = write_snapshot(tmp_path / "snap.npz", state, fsync=False)
+        restored = SlidingWindowSummarizer.from_state(read_snapshot(path))
+        chunk = rng.normal(size=(150, 3))
+        running_stream.append(chunk.copy())
+        restored.append(chunk.copy())
+        for a, b in zip(running_stream.summary, restored.summary):
+            assert a.n == b.n
+            assert a.members == b.members
+            assert a.stats.square_sum == b.stats.square_sum
+
+
+class TestSnapshotErrors:
+    def test_truncated_file_raises_snapshot_error(
+        self, tmp_path, running_stream
+    ):
+        path = write_snapshot(
+            tmp_path / "snap.npz",
+            running_stream.capture_state(),
+            fsync=False,
+        )
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_missing_file_raises_snapshot_error(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            read_snapshot(tmp_path / "nope.npz")
+
+    def test_no_tmp_file_left_behind(self, tmp_path, running_stream):
+        write_snapshot(
+            tmp_path / "snap.npz",
+            running_stream.capture_state(),
+            fsync=False,
+        )
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.npz"]
+
+
+class TestCheckpointManager:
+    def test_checkpoint_truncates_wal(self, tmp_path, running_stream, rng):
+        manager = CheckpointManager(tmp_path, interval=4, fsync=False)
+        from repro import UpdateBatch
+
+        for seq in range(3):
+            manager.wal.append(
+                seq,
+                UpdateBatch(
+                    insertions=rng.normal(size=(5, 3)),
+                    insertion_labels=(-1,) * 5,
+                ),
+            )
+        assert len(manager.wal.replay()) == 3
+        manager.checkpoint(running_stream.capture_state(batches_applied=3))
+        assert manager.wal.replay() == []
+        assert len(manager.snapshot_paths()) == 1
+        manager.close()
+
+    def test_cadence(self, tmp_path, running_stream):
+        manager = CheckpointManager(tmp_path, interval=4, fsync=False)
+        assert not manager.maybe_checkpoint(
+            running_stream.capture_state(batches_applied=3)
+        )
+        assert manager.maybe_checkpoint(
+            running_stream.capture_state(batches_applied=4)
+        )
+        assert not manager.maybe_checkpoint(
+            running_stream.capture_state(batches_applied=0)
+        )
+        manager.close()
+
+    def test_prunes_old_snapshots(self, tmp_path, running_stream):
+        manager = CheckpointManager(tmp_path, interval=1, keep=2, fsync=False)
+        for batches in (1, 2, 3, 4):
+            manager.checkpoint(
+                running_stream.capture_state(batches_applied=batches)
+            )
+        names = [p.name for p in manager.snapshot_paths()]
+        assert names == [
+            "snapshot-000000000004.npz",
+            "snapshot-000000000003.npz",
+        ]
+        manager.close()
+
+    def test_latest_state_skips_damaged_snapshot(
+        self, tmp_path, running_stream
+    ):
+        manager = CheckpointManager(tmp_path, interval=1, keep=3, fsync=False)
+        manager.checkpoint(running_stream.capture_state(batches_applied=1))
+        manager.checkpoint(running_stream.capture_state(batches_applied=2))
+        newest = manager.snapshot_paths()[0]
+        newest.write_bytes(b"damaged beyond recognition")
+        state = manager.latest_state()
+        assert state is not None
+        assert state.batches_applied == 1
+        manager.close()
+
+    def test_latest_state_none_when_all_damaged(
+        self, tmp_path, running_stream
+    ):
+        manager = CheckpointManager(tmp_path, interval=1, fsync=False)
+        manager.checkpoint(running_stream.capture_state(batches_applied=1))
+        for path in manager.snapshot_paths():
+            path.write_bytes(b"zap")
+        assert manager.latest_state() is None
+        manager.close()
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            CheckpointManager(tmp_path, interval=0)
+        with pytest.raises(PersistenceError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_manifest_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path, fsync=False)
+        manager.write_manifest({"dim": 2, "seed": None})
+        document = manager.read_manifest()
+        assert document["dim"] == 2
+        assert document["seed"] is None
+        manager.close()
+
+    def test_missing_manifest_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path, fsync=False)
+        with pytest.raises(PersistenceError):
+            manager.read_manifest()
+        manager.close()

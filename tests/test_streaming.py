@@ -84,6 +84,26 @@ class TestWindowSemantics:
             if stream.is_ready():
                 assert stream.summary.membership_invariant_ok(stream.size)
 
+    def test_eviction_is_strictly_fifo(self, rng):
+        """Eviction removes the oldest ids first — exactly the ids below
+        the cutoff — and the size never exceeds the window, across ragged
+        chunk sizes (regression for the windowing arithmetic)."""
+        window = 250
+        stream = SlidingWindowSummarizer(
+            dim=2, window_size=window, points_per_bubble=25, seed=2
+        )
+        appended = 0
+        for size in (30, 110, 7, 95, 64, 1, 120, 33, 250, 18, 77):
+            stream.append(rng.normal(size=(size, 2)))
+            appended += size
+            assert stream.size == min(appended, window)
+            surviving = np.sort(stream.store.ids())
+            # Ids are allocated sequentially, so a strictly-FIFO window
+            # holds exactly the most recent ``size`` ids — contiguous and
+            # ending at the newest allocation.
+            expected = np.arange(appended - stream.size, appended)
+            assert np.array_equal(surviving, expected)
+
     def test_labels_flow_through(self, rng):
         stream = SlidingWindowSummarizer(
             dim=2, window_size=300, points_per_bubble=30, seed=0
