@@ -1,0 +1,114 @@
+"""Instrumentation overhead: the observability layer must be ~free.
+
+Two measurements of the same deterministic streaming workload — once with
+``obs=None`` (instrumentation compiled out by the ``None`` checks) and
+once with a live :class:`~repro.observability.Observability` handle — give
+the overhead fraction the CI gate tracks. The result is written to
+``benchmarks/results/BENCH_observability.json`` so the perf trajectory of
+the instrumentation itself is visible across PRs.
+
+Methodology: best-of-N wall-clock over identical runs (min, not mean —
+the minimum is the least noisy estimator of the achievable time on a
+shared CI runner).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.observability import Observability
+from repro.streaming import SlidingWindowSummarizer
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+ROUNDS = 7
+CHUNKS = 10
+CHUNK_SIZE = 400
+
+
+def _chunks() -> list[np.ndarray]:
+    rng = np.random.default_rng(7)
+    return [
+        rng.normal(size=(CHUNK_SIZE, 2)) + [0.1 * i, -0.05 * i]
+        for i in range(CHUNKS)
+    ]
+
+
+def _run_stream(chunks: list[np.ndarray], obs: Observability | None) -> None:
+    stream = SlidingWindowSummarizer(
+        dim=2,
+        window_size=1_600,
+        points_per_bubble=40,
+        seed=0,
+        obs=obs,
+    )
+    for chunk in chunks:
+        stream.append(chunk)
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_instrumentation_overhead_within_budget(benchmark):
+    """obs=Observability() costs <= 5% over obs=None on the same stream."""
+    chunks = _chunks()
+    # One throwaway run to warm caches before either arm is timed.
+    _run_stream(chunks, None)
+
+    baseline = _best_of(lambda: _run_stream(chunks, None))
+    instrumented = _best_of(
+        lambda: _run_stream(chunks, Observability())
+    )
+    overhead = instrumented / baseline - 1.0
+
+    # Registered as a pedantic benchmark so the run also lands in the
+    # pytest-benchmark JSON artifact next to the assignment numbers.
+    benchmark.pedantic(
+        lambda: _run_stream(chunks, Observability()),
+        rounds=1,
+        iterations=1,
+    )
+
+    obs = Observability()
+    _run_stream(chunks, obs)
+    snapshot = obs.metrics.snapshot()
+    computed = snapshot.value("repro_distance_computed_total")
+    pruned = snapshot.value("repro_distance_pruned_total")
+
+    document = {
+        "workload": {
+            "chunks": CHUNKS,
+            "chunk_size": CHUNK_SIZE,
+            "window_size": 1_600,
+            "points_per_bubble": 40,
+            "rounds": ROUNDS,
+        },
+        "baseline_seconds": baseline,
+        "instrumented_seconds": instrumented,
+        "overhead_fraction": overhead,
+        "overhead_budget": 0.05,
+        "registry": {
+            "distance_computed_total": computed,
+            "distance_pruned_total": pruned,
+            "pruned_fraction": pruned / (computed + pruned),
+            "metrics_registered": len(snapshot),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_observability.json"
+    out.write_text(json.dumps(document, indent=2) + "\n")
+
+    assert overhead <= 0.05, (
+        f"instrumentation overhead {overhead:.1%} exceeds the 5% budget "
+        f"(baseline {baseline:.4f}s, instrumented {instrumented:.4f}s)"
+    )

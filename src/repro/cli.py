@@ -9,6 +9,7 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles figure11 [--reps 3]
     repro-bubbles all      [--quick]
     repro-bubbles summarize --wal-dir state/ [--resume] [--chunks 20] ...
+    repro-bubbles stats     --wal-dir state/ [--format text|json|prom]
 
 Every evaluation command prints the corresponding table/series in the
 paper's layout. ``--quick`` shrinks sizes/repetitions for a fast smoke run;
@@ -19,12 +20,18 @@ drifting stream: chunks are write-ahead logged to ``--wal-dir`` before
 being applied and the state is checkpointed every ``--checkpoint-every``
 batches. Re-running with ``--resume`` recovers the summary (snapshot +
 WAL-tail replay) and continues the stream where the previous process — or
-crash — left off. See docs/PERSISTENCE.md.
+crash — left off. With ``--metrics-out m.json`` the run's metrics registry
+is written as JSON (plus a Prometheus twin ``m.prom``); ``--trace-out``
+streams maintenance/persistence events as JSON lines. ``stats`` inspects a
+durable state directory read-only and reports its metrics in any of the
+three formats. See docs/PERSISTENCE.md and docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 from dataclasses import replace
@@ -51,8 +58,18 @@ from .experiments import (
     run_staleness,
     run_table1,
 )
-from .exceptions import ReproError
+from .exceptions import PersistenceError, ReproError, SnapshotError
 from .experiments.table1 import TABLE1_DATASETS
+from .observability import (
+    EventTracer,
+    MetricsRegistry,
+    Observability,
+    render_text,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from .persistence import read_snapshot
 from .streaming import DurableSummarizer
 
 __all__ = ["main", "build_parser"]
@@ -64,20 +81,49 @@ def _stream_chunk(seed: int, index: int, size: int):
     Each chunk is seeded independently from ``(seed, index)``, so a
     resumed process generates exactly the chunks a fresh one would —
     the stream itself is durable, not just the summary.
+
+    The mixture is deliberately two-scale: a diffuse drifting cloud plus
+    a small dense blob that jumps around inside it. The blob concentrates
+    points into few bubbles, driving β past the Chebyshev upper boundary
+    (Definition 3) so the stream exercises the over-filled → merge/split
+    repair path, not just assignment.
     """
     import numpy as np
 
     rng = np.random.default_rng((int(seed), int(index)))
     center = np.array([0.05 * index, -0.03 * index])
-    return rng.normal(loc=center, scale=1.0, size=(size, 2))
+    dense = max(1, size // 5)
+    cloud = rng.normal(loc=center, scale=1.0, size=(size - dense, 2))
+    offset = np.array(
+        [np.cos(0.9 * index), np.sin(0.9 * index)]
+    )
+    blob = rng.normal(
+        loc=center + offset, scale=0.04, size=(dense, 2)
+    )
+    chunk = np.concatenate([cloud, blob])
+    rng.shuffle(chunk)
+    return chunk
+
+
+def _make_observability(args: argparse.Namespace) -> Observability | None:
+    """An instrumented handle when any observability output was requested."""
+    if args.metrics_out is None and args.trace_out is None:
+        return None
+    tracer = (
+        EventTracer(sink=args.trace_out)
+        if args.trace_out is not None
+        else None
+    )
+    return Observability(tracer=tracer)
 
 
 def _run_summarize(args: argparse.Namespace) -> None:
     if args.wal_dir is None:
         raise SystemExit("summarize requires --wal-dir")
     fsync = not args.no_fsync
+    obs = _make_observability(args)
     if args.resume:
-        stream = DurableSummarizer.recover(args.wal_dir, fsync=fsync)
+        stream = DurableSummarizer.recover(args.wal_dir, fsync=fsync, obs=obs)
         print(
             f"recovered {args.wal_dir}: {stream.batches_applied} batches "
             f"already applied, window holds {stream.size} points"
@@ -91,6 +137,7 @@ def _run_summarize(args: argparse.Namespace) -> None:
             seed=args.seed,
             checkpoint_every=args.checkpoint_every,
             fsync=fsync,
+            obs=obs,
         )
         print(f"initialized durable state in {args.wal_dir}")
     start = stream.batches_applied
@@ -113,7 +160,129 @@ def _run_summarize(args: argparse.Namespace) -> None:
         f"{totals.computed} distances computed "
         f"({totals.pruned_fraction:.0%} pruned)"
     )
+    if obs is not None:
+        _finish_observability(args, obs, totals)
     print(f"re-run with --resume --wal-dir {args.wal_dir} to continue")
+
+
+def _finish_observability(args, obs: Observability, totals) -> None:
+    if obs.tracer is not None:
+        obs.tracer.close()
+        print(f"wrote event trace to {args.trace_out}")
+    if args.metrics_out is not None:
+        extra = {
+            "run": {
+                "command": "summarize",
+                "wal_dir": str(args.wal_dir),
+                "chunks": args.chunks,
+                "chunk_size": args.chunk_size,
+                "window": args.window,
+                "points_per_bubble": args.points_per_bubble,
+                "seed": args.seed,
+            },
+            "derived": {
+                "pruned_fraction": totals.pruned_fraction,
+                "computed_distances": totals.computed,
+                "pruned_distances": totals.pruned,
+            },
+        }
+        json_path, prom_path = write_metrics(
+            args.metrics_out, obs.metrics.snapshot(), extra=extra
+        )
+        print(f"wrote metrics to {json_path} and {prom_path}")
+
+
+def _run_stats(args: argparse.Namespace) -> None:
+    """Read-only inspection of a durable state directory."""
+    if args.wal_dir is None:
+        raise SystemExit("stats requires --wal-dir")
+    directory = pathlib.Path(args.wal_dir)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise PersistenceError(
+            f"{directory} holds no durable summarizer state "
+            "(manifest.json is missing)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(
+            f"unreadable manifest in {directory}: {exc}"
+        ) from exc
+
+    # Newest loadable snapshot, scanned without opening the WAL (a stats
+    # probe must not create or repair anything).
+    state = None
+    snapshots = sorted(directory.glob("snapshot-*.npz"), reverse=True)
+    for path in snapshots:
+        try:
+            state = read_snapshot(path)
+            break
+        except SnapshotError:
+            continue
+
+    registry = MetricsRegistry()
+    wal_path = directory / "wal.log"
+    registry.gauge(
+        "repro_wal_size_bytes",
+        help="Size of the write-ahead log file.",
+        unit="bytes",
+    ).set(wal_path.stat().st_size if wal_path.exists() else 0)
+    registry.gauge(
+        "repro_snapshot_files",
+        help="Snapshot files retained in the state directory.",
+    ).set(len(snapshots))
+    if state is not None:
+        registry.counter(
+            "repro_distance_computed_total",
+            help="Distance computations actually performed.",
+        ).inc(state.counter_computed)
+        registry.counter(
+            "repro_distance_pruned_total",
+            help="Distance computations avoided by pruning (Lemma 1).",
+        ).inc(state.counter_pruned)
+        registry.gauge(
+            "repro_stream_batches_applied",
+            help="Stream batches the durable state reflects.",
+        ).set(state.batches_applied)
+        registry.gauge(
+            "repro_stream_window_points",
+            help="Points currently inside the sliding window.",
+        ).set(int(state.store_ids.size))
+        registry.gauge(
+            "repro_stream_active_bubbles",
+            help="Non-retired bubbles in the summary.",
+        ).set(state.num_bubbles - len(state.retired))
+
+    snapshot = registry.snapshot()
+    if args.format == "json":
+        extra = {"manifest": manifest, "directory": str(directory)}
+        print(json.dumps(to_json(snapshot, extra=extra), indent=2))
+    elif args.format == "prom":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(f"durable state in {directory}")
+        if state is None:
+            print(
+                "no loadable snapshot yet (stream still buffering, or "
+                "crashed before the first checkpoint)"
+            )
+        else:
+            total = state.counter_computed + state.counter_pruned
+            fraction = state.counter_pruned / total if total else 0.0
+            print(
+                f"as of snapshot: batch {state.batches_applied}, "
+                f"{fraction:.0%} of distance computations pruned"
+            )
+        print()
+        print(render_text(snapshot))
+    if args.metrics_out is not None:
+        json_path, prom_path = write_metrics(
+            args.metrics_out,
+            snapshot,
+            extra={"manifest": manifest, "directory": str(directory)},
+        )
+        print(f"wrote metrics to {json_path} and {prom_path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,10 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
             "scalability",
             "staleness",
             "summarize",
+            "stats",
             "all",
         ],
-        help="which artifact to regenerate (or 'summarize' to run a "
-        "durable stream summarization)",
+        help="which artifact to regenerate ('summarize' runs a durable "
+        "stream summarization; 'stats' inspects its state directory)",
     )
     parser.add_argument(
         "--size", type=int, default=10_000,
@@ -206,6 +376,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip fsync on WAL appends/snapshots (faster; keeps "
         "process-crash durability, loses power-loss durability)",
     )
+    observability = parser.add_argument_group(
+        "observability", "metric and trace outputs (summarize, stats)"
+    )
+    observability.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry as JSON at PATH and "
+        "Prometheus text beside it (PATH with a .prom suffix)",
+    )
+    observability.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="append maintenance/streaming/persistence events to PATH "
+        "as JSON lines (summarize only)",
+    )
+    observability.add_argument(
+        "--format", choices=["text", "json", "prom"], default="text",
+        help="stats output format (default text)",
+    )
     return parser
 
 
@@ -232,6 +419,9 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         started = time.perf_counter()
         _run_summarize(args)
         print(f"\n[summarize finished in {time.perf_counter() - started:.1f}s]")
+        return
+    if command == "stats":
+        _run_stats(args)
         return
     config = _base_config(args)
     table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)

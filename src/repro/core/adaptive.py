@@ -29,6 +29,7 @@ import numpy as np
 from ..database import PointStore, UpdateBatch
 from ..exceptions import InvalidConfigError
 from ..geometry import DistanceCounter
+from ..observability import Observability
 from .assignment import make_assigner
 from .bubble_set import BubbleSet
 from .config import MaintenanceConfig
@@ -49,7 +50,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             count is steered toward ``store.size / points_per_bubble``.
         max_adjust_per_batch: at most this many bubbles are added or
             retired per batch (keeps adjustments incremental too).
-        config, quality, counter: as for
+        config, quality, counter, obs: as for
             :class:`~repro.core.maintenance.IncrementalMaintainer`.
     """
 
@@ -62,6 +63,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
         config: MaintenanceConfig | None = None,
         quality: QualityMeasure | None = None,
         counter: DistanceCounter | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if points_per_bubble < 1:
             raise InvalidConfigError(
@@ -73,7 +75,12 @@ class AdaptiveMaintainer(IncrementalMaintainer):
                 f"{max_adjust_per_batch}"
             )
         super().__init__(
-            bubbles, store, config=config, quality=quality, counter=counter
+            bubbles,
+            store,
+            config=config,
+            quality=quality,
+            counter=counter,
+            obs=obs,
         )
         self._points_per_bubble = points_per_bubble
         self._max_adjust = max_adjust_per_batch
@@ -133,7 +140,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             use_triangle_inequality=self._config.use_triangle_inequality,
             rng=self._rng,
         )
-        assignment = active[assigner.assign_many(points)]
+        assignment = active[self._timed_assign(assigner, points)]
         for bubble_id in np.unique(assignment):
             mask = assignment == bubble_id
             self._bubbles[int(bubble_id)].absorb_many(
@@ -198,10 +205,12 @@ class AdaptiveMaintainer(IncrementalMaintainer):
         if self._retired:
             # Revive a parked bubble instead of allocating a new id.
             new_id = self._retired.pop()
+            revived = True
         else:
             seed = self._bubbles[fullest].rep.copy()
             new_id = self._bubbles.add_bubble(seed).bubble_id
-        split_bubble(
+            revived = False
+        donor_n, over_n = split_bubble(
             self._bubbles,
             self._store,
             over_id=fullest,
@@ -210,6 +219,20 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             rng=self._rng,
             strategy=self._config.split_strategy,
         )
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_adaptive_grows_total",
+                help="Bubbles added (or revived) by adaptive count "
+                "steering.",
+            ).inc()
+            self._obs.emit(
+                "bubble_grow",
+                split=int(fullest),
+                new=int(new_id),
+                revived=revived,
+                donor_size=donor_n,
+                over_size=over_n,
+            )
 
     def _shrink_one(self) -> None:
         """Retire the emptiest active bubble, merging its points away."""
@@ -217,7 +240,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
         active = self._active_ids()
         emptiest = min(active, key=lambda i: counts[i])
         exclude = frozenset(self._retired | {emptiest})
-        merge_bubble(
+        moved = merge_bubble(
             self._bubbles,
             self._store,
             emptiest,
@@ -227,3 +250,11 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             exclude=exclude - {emptiest},
         )
         self._retired.add(emptiest)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_adaptive_retires_total",
+                help="Bubbles retired by adaptive count steering.",
+            ).inc()
+            self._obs.emit(
+                "bubble_retire", bubble=int(emptiest), points_migrated=moved
+            )

@@ -22,6 +22,7 @@ distance computations were spent and pruned (Figures 10–11).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -30,12 +31,13 @@ import numpy as np
 from ..database import PointStore, UpdateBatch
 from ..exceptions import UnknownPointError
 from ..geometry import DistanceCounter
+from ..observability import Observability
 from ..types import BubbleId
 from .assignment import make_assigner
 from .bubble_set import BubbleSet
 from .config import DonorPolicy, MaintenanceConfig
 from .quality import BetaQuality, BubbleClass, QualityMeasure, QualityReport
-from .split_merge import rebuild_pair
+from .split_merge import RebuildOutcome, rebuild_pair
 
 __all__ = ["IncrementalMaintainer", "BatchReport"]
 
@@ -101,6 +103,9 @@ class IncrementalMaintainer:
             the failing baseline of Figure 7.
         counter: shared distance counter; a private one is created when
             omitted.
+        obs: observability handle receiving maintenance metrics and
+            events; ``None`` (the default) disables instrumentation — the
+            hot paths then pay nothing.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class IncrementalMaintainer:
         config: MaintenanceConfig | None = None,
         quality: QualityMeasure | None = None,
         counter: DistanceCounter | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self._bubbles = bubbles
         self._store = store
@@ -124,6 +130,88 @@ class IncrementalMaintainer:
         self._batch_callbacks: list[
             Callable[[UpdateBatch, BatchReport], None]
         ] = []
+        self._obs = obs
+        self._prev_classes: tuple[BubbleClass, ...] | None = None
+        if obs is not None:
+            self._create_metric_handles(obs)
+
+    def _create_metric_handles(self, obs: Observability) -> None:
+        m = obs.metrics
+        self._m_batches = m.counter(
+            "repro_maintenance_batches_total",
+            help="Update batches applied by the maintainer.",
+        )
+        self._m_batch_seconds = m.timer(
+            "repro_maintenance_batch_seconds",
+            help="End-to-end latency of one maintenance batch.",
+        )
+        self._m_deletions = m.counter(
+            "repro_maintenance_deletions_total",
+            help="Points deleted through the maintainer.",
+            unit="points",
+        )
+        self._m_insertions = m.counter(
+            "repro_maintenance_insertions_total",
+            help="Points inserted through the maintainer.",
+            unit="points",
+        )
+        self._m_rounds = m.counter(
+            "repro_maintenance_rebuild_rounds_total",
+            help="Classification + merge/split rounds executed "
+            "(Section 4.2).",
+        )
+        self._m_splits = m.counter(
+            "repro_maintenance_bubble_splits_total",
+            help="Synchronized merge/split rebuilds (Figure 6 units; "
+            "the Figure 9 numerator).",
+        )
+        self._m_migrations = m.counter(
+            "repro_maintenance_donor_migrations_total",
+            help="Donor bubbles emptied and migrated to a split site.",
+        )
+        self._m_points_migrated = m.counter(
+            "repro_maintenance_points_migrated_total",
+            help="Points re-homed by donor merges.",
+            unit="points",
+        )
+        self._m_points_redistributed = m.counter(
+            "repro_maintenance_points_redistributed_total",
+            help="Points redistributed between new seeds by splits.",
+            unit="points",
+        )
+        self._m_class_changes = m.counter(
+            "repro_maintenance_class_changes_total",
+            help="Per-bubble quality-class transitions between "
+            "consecutive batches (Definitions 2-3).",
+        )
+        self._m_over_filled = m.gauge(
+            "repro_maintenance_over_filled_bubbles",
+            help="Over-filled bubbles at the last classification.",
+        )
+        self._m_under_filled = m.gauge(
+            "repro_maintenance_under_filled_bubbles",
+            help="Under-filled bubbles at the last classification.",
+        )
+        self._m_distance_computed = m.counter(
+            "repro_distance_computed_total",
+            help="Distance computations executed (DistanceCounter; "
+            "Figures 10-11).",
+        )
+        self._m_distance_pruned = m.counter(
+            "repro_distance_pruned_total",
+            help="Distance computations avoided via Lemma 1 "
+            "(DistanceCounter; Figures 10-11).",
+        )
+        self._m_assignment_points = m.counter(
+            "repro_assignment_points_total",
+            help="Points run through nearest-seed assignment.",
+            unit="points",
+        )
+        self._m_assignment_seconds = m.timer(
+            "repro_assignment_seconds",
+            help="Latency of the point-to-seed assignment phase per "
+            "batch.",
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -147,6 +235,11 @@ class IncrementalMaintainer:
     def config(self) -> MaintenanceConfig:
         """The maintenance parameters in force."""
         return self._config
+
+    @property
+    def obs(self) -> Observability | None:
+        """The observability handle, or ``None`` when uninstrumented."""
+        return self._obs
 
     def classify(self) -> QualityReport:
         """Classify the current bubbles without performing any rebuilds."""
@@ -194,10 +287,39 @@ class IncrementalMaintainer:
     # ------------------------------------------------------------------
     def apply_batch(self, batch: UpdateBatch) -> BatchReport:
         """Apply one batch of deletions + insertions and repair quality."""
-        report = self._apply_batch_inner(batch)
+        if self._obs is None:
+            report = self._apply_batch_inner(batch)
+        else:
+            before = self._counter.snapshot()
+            started = time.perf_counter()
+            report = self._apply_batch_inner(batch)
+            elapsed = time.perf_counter() - started
+            # The counter delta — not the report's fields — feeds the
+            # registry: subclass work after the inner report is cut (the
+            # adaptive count steering) spends distances too, and the
+            # registry must stay in lockstep with the DistanceCounter.
+            delta = self._counter.snapshot() - before
+            self._record_batch(report, delta.computed, delta.pruned, elapsed)
         for callback in self._batch_callbacks:
             callback(batch, report)
         return report
+
+    def _record_batch(
+        self,
+        report: BatchReport,
+        computed: int,
+        pruned: int,
+        elapsed: float,
+    ) -> None:
+        self._m_batches.inc()
+        self._m_batch_seconds.observe(elapsed)
+        self._m_deletions.inc(report.num_deletions)
+        self._m_insertions.inc(report.num_insertions)
+        self._m_rounds.inc(report.rounds_run)
+        self._m_distance_computed.inc(computed)
+        self._m_distance_pruned.inc(pruned)
+        self._m_over_filled.set(report.num_over_filled)
+        self._m_under_filled.set(report.num_under_filled)
 
     def _apply_batch_inner(self, batch: UpdateBatch) -> BatchReport:
         """The batch application itself (subclasses extend this, not
@@ -225,6 +347,9 @@ class IncrementalMaintainer:
                 self._bubbles, self._store.size
             )
 
+        if self._obs is not None:
+            self._record_classification(first_report)
+
         delta = self._counter.snapshot() - before
         return BatchReport(
             num_deletions=batch.num_deletions,
@@ -237,6 +362,27 @@ class IncrementalMaintainer:
             pruned_distances=delta.pruned,
             insertion_pruned_fraction=insertion_pruned,
         )
+
+    def _record_classification(self, report: QualityReport) -> None:
+        """Emit one ``class_change`` event per bubble whose Definition 3
+        class differs from the previous batch's classification."""
+        previous = self._prev_classes
+        self._prev_classes = report.classes
+        if previous is None:
+            return
+        for bubble_id, now in enumerate(report.classes):
+            was = (
+                previous[bubble_id] if bubble_id < len(previous) else None
+            )
+            if was is now:
+                continue
+            self._m_class_changes.inc()
+            self._obs.emit(
+                "class_change",
+                bubble=bubble_id,
+                was="new" if was is None else was.value,
+                now=now.value,
+            )
 
     # ------------------------------------------------------------------
     # Step 1: deletions
@@ -284,7 +430,7 @@ class IncrementalMaintainer:
             use_triangle_inequality=self._config.use_triangle_inequality,
             rng=self._rng,
         )
-        assignment = assigner.assign_many(points)
+        assignment = self._timed_assign(assigner, points)
         for bubble_id in np.unique(assignment):
             mask = assignment == bubble_id
             self._bubbles[int(bubble_id)].absorb_many(
@@ -292,6 +438,19 @@ class IncrementalMaintainer:
             )
         self._store.set_owners(new_ids, assignment)
         return assigner.pruned_fraction
+
+    def _timed_assign(
+        self, assigner, points: np.ndarray
+    ) -> np.ndarray:
+        """Run ``assign_many`` with batch-granular timing (two monotonic
+        reads per batch — the per-point loop itself is untouched)."""
+        if self._obs is None:
+            return assigner.assign_many(points)
+        started = time.perf_counter()
+        assignment = assigner.assign_many(points)
+        self._m_assignment_seconds.observe(time.perf_counter() - started)
+        self._m_assignment_points.inc(points.shape[0])
+        return assignment
 
     # ------------------------------------------------------------------
     # Step 3: quality repair (Section 4.2)
@@ -313,7 +472,7 @@ class IncrementalMaintainer:
             if donor_id is None:
                 break  # donor pool exhausted; remaining splits wait a batch
             donors.remove(donor_id)
-            rebuild_pair(
+            outcome = rebuild_pair(
                 self._bubbles,
                 self._store,
                 over_id=over_id,
@@ -325,7 +484,39 @@ class IncrementalMaintainer:
                 merge_exclude=self._merge_exclude(),
             )
             rebuilt.extend((over_id, donor_id))
+            if self._obs is not None:
+                self._record_rebuild(over_id, donor_id, outcome)
         return rebuilt
+
+    def _record_rebuild(
+        self,
+        over_id: BubbleId,
+        donor_id: BubbleId,
+        outcome: RebuildOutcome,
+    ) -> None:
+        self._m_migrations.inc()
+        self._m_points_migrated.inc(outcome.points_migrated)
+        self._obs.emit(
+            "donor_migration",
+            donor=int(donor_id),
+            over=int(over_id),
+            points_migrated=outcome.points_migrated,
+        )
+        self._m_splits.inc()
+        self._m_points_redistributed.inc(outcome.points_redistributed)
+        self._obs.emit(
+            "bubble_split",
+            over=int(over_id),
+            donor=int(donor_id),
+            donor_size=outcome.donor_size,
+            over_size=outcome.over_size,
+        )
+        self._obs.emit(
+            "seed_redistribution",
+            over=int(over_id),
+            donor=int(donor_id),
+            points=outcome.points_redistributed,
+        )
 
     def _merge_exclude(self) -> frozenset[BubbleId]:
         """Bubble ids merges must never target (hook for subclasses)."""

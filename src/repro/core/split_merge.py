@@ -23,6 +23,8 @@ exactly one bubble).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..database import PointStore
@@ -32,7 +34,29 @@ from .assignment import make_assigner
 from .bubble_set import BubbleSet
 from .config import SplitStrategy
 
-__all__ = ["merge_bubble", "split_bubble", "rebuild_pair"]
+__all__ = ["RebuildOutcome", "merge_bubble", "split_bubble", "rebuild_pair"]
+
+
+@dataclass(frozen=True)
+class RebuildOutcome:
+    """What one synchronized merge + split actually moved.
+
+    Attributes:
+        points_migrated: points the donor released to other bubbles
+            during the merge.
+        donor_size: points the donor holds after the split.
+        over_size: points the split (formerly over-filled) bubble holds
+            after the split.
+    """
+
+    points_migrated: int
+    donor_size: int
+    over_size: int
+
+    @property
+    def points_redistributed(self) -> int:
+        """Points reassigned between the two new seeds by the split."""
+        return self.donor_size + self.over_size
 
 
 def merge_bubble(
@@ -116,7 +140,7 @@ def split_bubble(
     counter: DistanceCounter,
     rng: np.random.Generator,
     strategy: SplitStrategy = SplitStrategy.RANDOM,
-) -> None:
+) -> tuple[int, int]:
     """Split the over-filled bubble across itself and the (empty) donor.
 
     Figure 6, lines after the merge: re-seed the donor at a member ``s1`` of
@@ -126,6 +150,8 @@ def split_bubble(
 
     Preconditions: the donor has been emptied by :func:`merge_bubble` and
     the over-filled bubble is non-empty.
+
+    Returns the post-split sizes ``(donor_n, over_n)``.
     """
     over = bubbles[over_id]
     donor = bubbles[donor_id]
@@ -159,6 +185,7 @@ def split_bubble(
     over.absorb_many(member_ids[~to_donor], points[~to_donor])
     owners = np.where(to_donor, donor_id, over_id)
     store.set_owners(member_ids, owners)
+    return int(to_donor.sum()), int(member_ids.size - to_donor.sum())
 
 
 def rebuild_pair(
@@ -171,14 +198,17 @@ def rebuild_pair(
     strategy: SplitStrategy = SplitStrategy.RANDOM,
     use_triangle_inequality: bool = True,
     merge_exclude: frozenset[BubbleId] = frozenset(),
-) -> None:
+) -> RebuildOutcome:
     """One synchronized merge + split: the unit of Figure 6.
 
     Note the ordering: the donor's merge may re-home some of its points
     *into* the over-filled bubble (they are nearby nobody else), which is
     fine — the subsequent split redistributes them immediately.
+
+    Returns a :class:`RebuildOutcome` describing the migration and the
+    post-split sizes (the maintenance event tracer records these).
     """
-    merge_bubble(
+    moved = merge_bubble(
         bubbles,
         store,
         donor_id,
@@ -187,7 +217,7 @@ def rebuild_pair(
         rng=rng,
         exclude=merge_exclude,
     )
-    split_bubble(
+    donor_n, over_n = split_bubble(
         bubbles,
         store,
         over_id,
@@ -195,4 +225,7 @@ def rebuild_pair(
         counter,
         rng,
         strategy=strategy,
+    )
+    return RebuildOutcome(
+        points_migrated=moved, donor_size=donor_n, over_size=over_n
     )

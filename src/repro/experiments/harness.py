@@ -39,6 +39,7 @@ from ..data import UpdateStream, clone_batch_for, make_scenario
 from ..database import PointStore
 from ..evaluation import best_match_fscore, compactness
 from ..geometry import DistanceCounter
+from ..observability import Observability
 
 __all__ = [
     "ExperimentConfig",
@@ -228,6 +229,7 @@ def run_comparison(
     repetition: int = 0,
     quality: QualityMeasure | None = None,
     maintenance: MaintenanceConfig | None = None,
+    obs: Observability | None = None,
 ) -> ComparisonResult:
     """One repetition of the incremental-vs-complete comparison.
 
@@ -241,6 +243,9 @@ def run_comparison(
         quality: override the incremental arm's quality measure (used by
             the Figure 7 experiment to run the extent baseline).
         maintenance: override the incremental arm's maintenance config.
+        obs: observability handle for the incremental arm (the baseline
+            arm stays uninstrumented — its distance totals would pollute
+            the Figure 10/11 pruning numbers).
     """
     seed = config.seed + repetition
     scenario = make_scenario(
@@ -269,6 +274,7 @@ def run_comparison(
         config=maintenance,
         quality=quality,
         counter=counter_inc,
+        obs=obs,
     )
     complete = CompleteRebuildMaintainer(
         store_cmp,

@@ -1,0 +1,124 @@
+"""Unified observability: metrics registry, event tracing, exposition.
+
+The paper evaluates the incremental scheme in *numbers of distance
+computations* (Figures 10-11) and in maintenance activity — merge/split
+rounds and over-/under-filled transitions (Section 4.2). This package
+makes those signals first-class at runtime:
+
+* :mod:`~repro.observability.registry` — counters, gauges, fixed-bucket
+  histograms, and monotonic-clock timers, collected per run or in the
+  process-wide registry (:func:`get_registry`);
+* :mod:`~repro.observability.tracer` — structured maintenance/streaming/
+  persistence events as timestamped JSON lines;
+* :mod:`~repro.observability.export` — JSON and Prometheus text
+  exposition of registry snapshots.
+
+Instrumented components (:class:`~repro.core.maintenance.IncrementalMaintainer`,
+:class:`~repro.streaming.SlidingWindowSummarizer`,
+:class:`~repro.streaming.DurableSummarizer`,
+:class:`~repro.persistence.checkpoint.CheckpointManager`) accept one
+:class:`Observability` handle; passing ``None`` (the default) disables
+instrumentation entirely, so un-instrumented hot paths pay nothing.
+
+Example:
+    >>> from repro.observability import Observability
+    >>> obs = Observability()
+    >>> obs.metrics.counter("demo_total").inc()
+    >>> obs.metrics.snapshot().value("demo_total")
+    1
+
+Metric names, units, and the paper figures they back are catalogued in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    escape_help,
+    escape_label_value,
+    render_text,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Timer,
+    get_registry,
+)
+from .tracer import EVENT_KINDS, EventTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "EVENT_KINDS",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Observability",
+    "Timer",
+    "TraceEvent",
+    "escape_help",
+    "escape_label_value",
+    "get_registry",
+    "render_text",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+]
+
+
+class Observability:
+    """One handle bundling a metrics registry and an (optional) tracer.
+
+    Args:
+        registry: the metrics sink; a fresh private
+            :class:`MetricsRegistry` when omitted (pass
+            :func:`get_registry` for the process-wide one).
+        tracer: the event sink; ``None`` records no event payloads —
+            events are still *counted* in the registry
+            (``repro_events_total{kind=...}``), so split/migration counts
+            survive even metric-only runs.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: EventTracer | None = None,
+    ) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._event_counters: dict[str, Counter] = {}
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event: counted in the registry, traced if a tracer
+        is attached."""
+        counter = self._event_counters.get(kind)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_events_total",
+                help="Structured events emitted, by kind.",
+                labels={"kind": kind},
+            )
+            self._event_counters[kind] = counter
+        counter.inc()
+        if self.tracer is not None:
+            self.tracer.emit(kind, **fields)
+
+    def event_count(self, kind: str) -> int:
+        """How many events of ``kind`` this handle has recorded."""
+        counter = self._event_counters.get(kind)
+        return 0 if counter is None else int(counter.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        traced = "traced" if self.tracer is not None else "untraced"
+        return f"Observability({len(self.metrics)} metrics, {traced})"

@@ -1,0 +1,164 @@
+"""Metric exposition: JSON documents and Prometheus text format.
+
+Both formats render a :class:`~repro.observability.registry.MetricsSnapshot`
+— a frozen view — so an export never races the live registry. The JSON
+document is the machine-readable artifact the CLI's ``--metrics-out`` and
+the benchmark suite's ``BENCH_observability.json`` are built from; the
+Prometheus form follows the text exposition format (version 0.0.4):
+``# HELP`` / ``# TYPE`` headers, escaped help strings and label values,
+cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` for
+histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .registry import MetricSample, MetricsSnapshot
+
+__all__ = [
+    "to_json",
+    "to_prometheus",
+    "render_text",
+    "write_metrics",
+    "escape_help",
+    "escape_label_value",
+]
+
+METRICS_FORMAT_VERSION = 1
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value: backslash, double quote, newline."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _format_bound(bound: float) -> str:
+    # 1.0 renders as "1.0" (any fixed spelling is fine as long as it is
+    # consistent; Prometheus parses both "1" and "1.0").
+    return repr(float(bound))
+
+
+def _label_string(sample: MetricSample, extra: str = "") -> str:
+    parts = [
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sample.labels
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for sample in snapshot:
+        if sample.name not in seen_headers:
+            seen_headers.add(sample.name)
+            if sample.help:
+                lines.append(
+                    f"# HELP {sample.name} {escape_help(sample.help)}"
+                )
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if sample.kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(sample.bounds, sample.bucket_counts):
+                cumulative += count
+                labels = _label_string(
+                    sample, f'le="{_format_bound(bound)}"'
+                )
+                lines.append(f"{sample.name}_bucket{labels} {cumulative}")
+            labels = _label_string(sample, 'le="+Inf"')
+            lines.append(f"{sample.name}_bucket{labels} {sample.count}")
+            plain = _label_string(sample)
+            lines.append(f"{sample.name}_sum{plain} {repr(sample.sum)}")
+            lines.append(f"{sample.name}_count{plain} {sample.count}")
+        else:
+            lines.append(
+                f"{sample.name}{_label_string(sample)} "
+                f"{_format_value(sample.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: MetricsSnapshot, extra: dict | None = None) -> dict:
+    """Render a snapshot as a JSON-ready document.
+
+    Args:
+        extra: additional top-level keys (run parameters, derived
+            figures) merged into the document.
+    """
+    document: dict = {
+        "metrics_format_version": METRICS_FORMAT_VERSION,
+        "metrics": [sample.as_dict() for sample in snapshot],
+    }
+    if extra:
+        document.update(extra)
+    return document
+
+
+def render_text(snapshot: MetricsSnapshot) -> str:
+    """Human-readable one-metric-per-line rendering (the ``stats`` CLI)."""
+    lines: list[str] = []
+    width = max((len(_display_name(s)) for s in snapshot), default=0)
+    for sample in snapshot:
+        name = _display_name(sample)
+        if sample.kind == "histogram":
+            mean = sample.sum / sample.count if sample.count else 0.0
+            value = (
+                f"count={sample.count} sum={sample.sum:.6g} "
+                f"mean={mean:.6g}"
+            )
+        elif isinstance(sample.value, float):
+            value = f"{sample.value:.6g}"
+        else:
+            value = str(sample.value)
+        unit = f" {sample.unit}" if sample.unit else ""
+        lines.append(f"{name:<{width}}  {value}{unit}")
+    return "\n".join(lines)
+
+
+def _display_name(sample: MetricSample) -> str:
+    if not sample.labels:
+        return sample.name
+    labels = ",".join(f"{k}={v}" for k, v in sample.labels)
+    return f"{sample.name}{{{labels}}}"
+
+
+def write_metrics(
+    path: str | pathlib.Path,
+    snapshot: MetricsSnapshot,
+    extra: dict | None = None,
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write a snapshot as JSON at ``path`` and Prometheus text beside it.
+
+    The Prometheus twin replaces the suffix with ``.prom`` (``m.json`` →
+    ``m.prom``); returns ``(json_path, prom_path)``.
+    """
+    json_path = pathlib.Path(path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    prom_path = json_path.with_suffix(".prom")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(to_json(snapshot, extra=extra), handle, indent=2)
+        handle.write("\n")
+    prom_path.write_text(to_prometheus(snapshot), encoding="utf-8")
+    return json_path, prom_path

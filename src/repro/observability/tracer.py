@@ -1,0 +1,192 @@
+"""Structured tracing of maintenance, streaming, and persistence events.
+
+Where the :mod:`~repro.observability.registry` answers "how much", the
+tracer answers "what happened, in order": every maintenance event the
+paper's Section 4.2 reasons about (bubble splits, donor migrations, seed
+redistributions, over-/under-filled class changes per Definitions 2-3),
+every streaming event (insert batches, FIFO evictions, bootstrap), and
+every persistence event (WAL appends, snapshot writes, compactions,
+recovery replays) is recorded as one timestamped JSON line.
+
+Timestamping honours the no-wall-clock-in-hot-paths rule: the wall clock
+is read **once**, in the constructor, as an anchor; each event then costs
+a single monotonic ``time.perf_counter()`` read and its timestamp is
+``anchor + elapsed``. Events carry a process-ordered sequence number, so
+equal-timestamp events still have a total order.
+
+Events are kept in a bounded in-memory ring (newest ``capacity`` events)
+and, when a ``sink`` is given, appended to it as JSON lines immediately —
+a crash loses at most the final unflushed line.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+__all__ = ["TraceEvent", "EventTracer", "EVENT_KINDS"]
+
+#: Canonical event kinds emitted by the instrumented subsystems, grouped
+#: by layer. Free-form kinds are allowed; these are the ones the shipped
+#: instrumentation produces (documented in docs/OBSERVABILITY.md).
+EVENT_KINDS: tuple[str, ...] = (
+    # maintenance (Section 4.2)
+    "bubble_split",
+    "donor_migration",
+    "seed_redistribution",
+    "class_change",
+    "bubble_grow",
+    "bubble_retire",
+    # streaming
+    "insert_batch",
+    "fifo_eviction",
+    "bootstrap",
+    # persistence
+    "wal_append",
+    "snapshot_write",
+    "wal_compaction",
+    "recovery_replay",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        seq: process-ordered event number (0-based).
+        ts: wall-clock timestamp in seconds since the epoch, derived from
+            the tracer's anchor plus monotonic elapsed time.
+        kind: event kind (see :data:`EVENT_KINDS`).
+        fields: event-specific payload (JSON-serializable scalars).
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    fields: dict
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (one trace line)."""
+        return {"seq": self.seq, "ts": self.ts, "kind": self.kind, **self.fields}
+
+
+class EventTracer:
+    """Bounded in-memory event ring with an optional JSON-lines sink.
+
+    Args:
+        sink: a path or text file object to append JSON lines to; omitted
+            means in-memory only.
+        capacity: how many most-recent events the in-memory ring retains.
+
+    Example:
+        >>> tracer = EventTracer()
+        >>> tracer.emit("bubble_split", over=3, donor=7)
+        >>> tracer.counts()["bubble_split"]
+        1
+    """
+
+    def __init__(
+        self,
+        sink: str | pathlib.Path | io.TextIOBase | None = None,
+        capacity: int = 10_000,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._events: list[TraceEvent] = []
+        self._counts: dict[str, int] = {}
+        self._seq = 0
+        # The one wall-clock read; every event timestamp is this anchor
+        # plus monotonic elapsed time.
+        self._anchor = time.time()
+        self._origin = time.perf_counter()
+        self._owns_sink = False
+        if sink is None:
+            self._sink = None
+        elif isinstance(sink, (str, pathlib.Path)):
+            path = pathlib.Path(sink)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = open(path, "a", encoding="utf-8")
+            self._owns_sink = True
+        else:
+            self._sink = sink
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> TraceEvent:
+        """Record one event; returns the stored :class:`TraceEvent`."""
+        event = TraceEvent(
+            seq=self._seq,
+            ts=self._anchor + (time.perf_counter() - self._origin),
+            kind=kind,
+            fields=fields,
+        )
+        self._seq += 1
+        self._events.append(event)
+        if len(self._events) > self._capacity:
+            del self._events[0]
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._sink is not None:
+            self._sink.write(
+                json.dumps(event.as_dict(), sort_keys=True) + "\n"
+            )
+        return event
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the tracer's lifetime (ring may hold fewer)."""
+        return self._seq
+
+    def events(self, kind: str | None = None) -> tuple[TraceEvent, ...]:
+        """Retained events in order, optionally filtered by ``kind``."""
+        if kind is None:
+            return tuple(self._events)
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime event counts per kind (not limited by the ring)."""
+        return dict(self._counts)
+
+    def to_jsonl(self) -> str:
+        """The retained events as newline-delimited JSON."""
+        return "".join(
+            json.dumps(e.as_dict(), sort_keys=True) + "\n"
+            for e in self._events
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the sink, if any."""
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and, when the tracer opened the sink itself, close it."""
+        if self._sink is None:
+            return
+        self._sink.flush()
+        if self._owns_sink:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "EventTracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventTracer(events={self._seq}, "
+            f"kinds={sorted(self._counts)})"
+        )

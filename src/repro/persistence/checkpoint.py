@@ -29,8 +29,10 @@ import json
 import os
 import pathlib
 import re
+import time
 
 from ..exceptions import PersistenceError, SnapshotError
+from ..observability import Observability
 from .snapshot import read_snapshot, write_snapshot
 from .state import SummarizerState
 from .wal import WriteAheadLog
@@ -50,6 +52,7 @@ class CheckpointManager:
         interval: snapshot every this many applied batches.
         keep: how many snapshots to retain (newest first).
         fsync: whether WAL appends and snapshot writes flush to disk.
+        obs: observability handle; ``None`` disables instrumentation.
     """
 
     def __init__(
@@ -58,6 +61,7 @@ class CheckpointManager:
         interval: int = 16,
         keep: int = 2,
         fsync: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         if interval < 1:
             raise PersistenceError(
@@ -71,6 +75,34 @@ class CheckpointManager:
         self._keep = int(keep)
         self._fsync = bool(fsync)
         self._wal = WriteAheadLog(self._dir / "wal.log", fsync=fsync)
+        self._obs = obs
+        self._create_metric_handles(obs)
+
+    def _create_metric_handles(self, obs: Observability | None) -> None:
+        if obs is None:
+            return
+        m = obs.metrics
+        self._m_snapshots = m.counter(
+            "repro_snapshot_writes_total",
+            help="Snapshot files written by checkpoints.",
+        )
+        self._m_snapshot_bytes = m.counter(
+            "repro_snapshot_bytes_total",
+            help="Bytes written into snapshot files.",
+            unit="bytes",
+        )
+        self._m_snapshot_seconds = m.timer(
+            "repro_snapshot_seconds",
+            help="Wall time of one snapshot write plus WAL compaction.",
+        )
+        self._m_compactions = m.counter(
+            "repro_wal_compactions_total",
+            help="WAL compactions performed at checkpoints.",
+        )
+        self._m_compacted_records = m.counter(
+            "repro_wal_compacted_records_total",
+            help="WAL records dropped by compaction.",
+        )
 
     # ------------------------------------------------------------------
     # Layout accessors
@@ -170,6 +202,7 @@ class CheckpointManager:
         :meth:`latest_state`'s fallback to an older snapshot still replay
         forward when the newest file is corrupted at rest.
         """
+        started = time.perf_counter()
         path = self._dir / f"snapshot-{state.batches_applied:012d}.npz"
         write_snapshot(path, state, fsync=self._fsync)
         self._prune_snapshots()
@@ -181,7 +214,26 @@ class CheckpointManager:
             if retained
             else state.batches_applied
         )
-        self._wal.compact(oldest)
+        dropped = self._wal.compact(oldest)
+        if self._obs is not None:
+            elapsed = time.perf_counter() - started
+            size = path.stat().st_size
+            self._m_snapshots.inc()
+            self._m_snapshot_bytes.inc(size)
+            self._m_snapshot_seconds.observe(elapsed)
+            self._m_compactions.inc()
+            self._m_compacted_records.inc(dropped)
+            self._obs.emit(
+                "snapshot_write",
+                batches=state.batches_applied,
+                bytes=size,
+                seconds=elapsed,
+            )
+            self._obs.emit(
+                "wal_compaction",
+                min_seq=oldest,
+                dropped_records=dropped,
+            )
         return path
 
     def latest_state(self) -> SummarizerState | None:

@@ -130,11 +130,12 @@ class WriteAheadLog:
         """The log file location."""
         return self._path
 
-    def append(self, seq: int, batch: UpdateBatch) -> None:
+    def append(self, seq: int, batch: UpdateBatch) -> int:
         """Durably append one batch as record ``seq``.
 
         The record is flushed (and fsync'd unless disabled) before this
-        returns — the write-ahead guarantee callers rely on.
+        returns — the write-ahead guarantee callers rely on. Returns the
+        number of bytes appended (header + payload).
         """
         payload = encode_batch(batch)
         header = _HEADER.pack(
@@ -148,6 +149,7 @@ class WriteAheadLog:
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+        return len(header) + len(payload)
 
     def reset(self) -> None:
         """Drop every record (checkpoint truncation after a snapshot)."""
@@ -157,7 +159,7 @@ class WriteAheadLog:
         if self._fsync:
             os.fsync(self._handle.fileno())
 
-    def compact(self, min_seq: int) -> None:
+    def compact(self, min_seq: int) -> int:
         """Atomically drop records with ``seq < min_seq``.
 
         Checkpoint truncation keeps the tail since the *oldest retained*
@@ -165,7 +167,7 @@ class WriteAheadLog:
         an older snapshot — and still replay forward — when the newest is
         corrupted at rest. The rewrite goes through a temporary file and
         an ``os.replace`` so a crash mid-compaction leaves the previous
-        log intact.
+        log intact. Returns the number of records dropped.
         """
         records = self.replay()
         keep = [r for r in records if r.seq >= min_seq]
@@ -190,6 +192,7 @@ class WriteAheadLog:
         os.replace(tmp, self._path)
         self._handle = open(self._path, "r+b")
         self._handle.seek(0, os.SEEK_END)
+        return len(records) - len(keep)
 
     def close(self) -> None:
         """Close the underlying file handle."""

@@ -28,6 +28,7 @@ Example:
 from __future__ import annotations
 
 import pathlib
+import time
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from .core.maintenance import BatchReport
 from .database import PointStore, UpdateBatch
 from .exceptions import InvalidConfigError, NotFittedError, PersistenceError
 from .geometry import DistanceCounter
+from .observability import Observability
 from .persistence import (
     CheckpointManager,
     SummarizerState,
@@ -67,6 +69,9 @@ class SlidingWindowSummarizer:
             ``window / points_per_bubble``).
         config: maintenance parameters; defaults to the paper's.
         seed: RNG seed for construction and maintenance randomness.
+        obs: observability handle; streaming events/gauges land here and
+            the handle is passed down to the maintainer. ``None``
+            disables instrumentation.
 
     The summarizer bootstraps lazily: chunks are buffered in the store
     until at least ``2 · points_per_bubble`` points have arrived, then the
@@ -80,6 +85,7 @@ class SlidingWindowSummarizer:
         points_per_bubble: int,
         config: MaintenanceConfig | None = None,
         seed: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if window_size < 2:
             raise InvalidConfigError(
@@ -102,6 +108,43 @@ class SlidingWindowSummarizer:
         self._store = PointStore(dim=dim)
         self._counter = DistanceCounter()
         self._maintainer: AdaptiveMaintainer | None = None
+        self._obs = obs
+        if obs is not None:
+            m = obs.metrics
+            self._m_chunks = m.counter(
+                "repro_stream_chunks_total",
+                help="Stream chunks appended to the sliding window.",
+            )
+            self._m_points = m.counter(
+                "repro_stream_points_total",
+                help="Stream points ingested.",
+                unit="points",
+            )
+            self._m_evicted = m.counter(
+                "repro_stream_evictions_total",
+                help="Points evicted FIFO from the sliding window.",
+                unit="points",
+            )
+            self._m_window = m.gauge(
+                "repro_stream_window_points",
+                help="Points currently held by the sliding window.",
+                unit="points",
+            )
+            self._m_active = m.gauge(
+                "repro_stream_active_bubbles",
+                help="Active (non-retired) bubbles summarizing the "
+                "window.",
+            )
+            self._m_distance_computed = m.counter(
+                "repro_distance_computed_total",
+                help="Distance computations executed (DistanceCounter; "
+                "Figures 10-11).",
+            )
+            self._m_distance_pruned = m.counter(
+                "repro_distance_pruned_total",
+                help="Distance computations avoided via Lemma 1 "
+                "(DistanceCounter; Figures 10-11).",
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -125,6 +168,11 @@ class SlidingWindowSummarizer:
     def counter(self) -> DistanceCounter:
         """Distance-computation accounting across the whole stream."""
         return self._counter
+
+    @property
+    def obs(self) -> Observability | None:
+        """The observability handle, or ``None`` when uninstrumented."""
+        return self._obs
 
     @property
     def points_per_bubble(self) -> int:
@@ -204,6 +252,7 @@ class SlidingWindowSummarizer:
                 self._store.delete(np.asarray(evicted, dtype=np.int64))
             self._store.insert(points, label_tuple)
             self._maybe_bootstrap()
+            self._record_append(points.shape[0], len(evicted))
             return None
 
         batch = UpdateBatch(
@@ -211,7 +260,24 @@ class SlidingWindowSummarizer:
             insertions=points,
             insertion_labels=label_tuple,
         )
-        return self._maintainer.apply_batch(batch)
+        report = self._maintainer.apply_batch(batch)
+        self._record_append(points.shape[0], len(evicted))
+        return report
+
+    def _record_append(self, inserted: int, evicted: int) -> None:
+        if self._obs is None:
+            return
+        self._m_chunks.inc()
+        self._m_points.inc(inserted)
+        self._m_window.set(self._store.size)
+        if self._maintainer is not None:
+            self._m_active.set(self._maintainer.active_count)
+        self._obs.emit(
+            "insert_batch", points=inserted, evicted=evicted
+        )
+        if evicted:
+            self._m_evicted.inc(evicted)
+            self._obs.emit("fifo_eviction", points=evicted)
 
     def _maybe_bootstrap(self) -> None:
         if self._store.size < 2 * self._points_per_bubble:
@@ -223,6 +289,8 @@ class SlidingWindowSummarizer:
             BubbleConfig(num_bubbles=num_bubbles, seed=self._seed),
             counter=self._counter,
         )
+        before = self._counter.snapshot()
+        started = time.perf_counter()
         bubbles = builder.build(self._store)
         self._maintainer = AdaptiveMaintainer(
             bubbles,
@@ -230,7 +298,21 @@ class SlidingWindowSummarizer:
             points_per_bubble=self._points_per_bubble,
             config=self._config,
             counter=self._counter,
+            obs=self._obs,
         )
+        if self._obs is not None:
+            # Construction is the one distance-spending phase outside the
+            # maintainer, so its delta is folded into the registry here to
+            # keep registry totals identical to the DistanceCounter's.
+            delta = self._counter.snapshot() - before
+            self._m_distance_computed.inc(delta.computed)
+            self._m_distance_pruned.inc(delta.pruned)
+            self._obs.emit(
+                "bootstrap",
+                points=self._store.size,
+                bubbles=num_bubbles,
+                seconds=time.perf_counter() - started,
+            )
 
     # ------------------------------------------------------------------
     # Persistence (capture / restore)
@@ -301,7 +383,11 @@ class SlidingWindowSummarizer:
         return state
 
     @classmethod
-    def from_state(cls, state: SummarizerState) -> "SlidingWindowSummarizer":
+    def from_state(
+        cls,
+        state: SummarizerState,
+        obs: Observability | None = None,
+    ) -> "SlidingWindowSummarizer":
         """Reconstruct a summarizer captured by :meth:`capture_state`."""
         stream = cls(
             dim=state.dim,
@@ -309,6 +395,7 @@ class SlidingWindowSummarizer:
             points_per_bubble=state.points_per_bubble,
             config=state.config,
             seed=state.seed,
+            obs=obs,
         )
         stream._store = PointStore.from_snapshot(
             dim=state.dim,
@@ -320,6 +407,12 @@ class SlidingWindowSummarizer:
         )
         stream._counter.record_computed(state.counter_computed)
         stream._counter.record_pruned(state.counter_pruned)
+        if obs is not None:
+            # Restored historical totals enter the registry too, so the
+            # registry == DistanceCounter invariant spans recoveries.
+            stream._m_distance_computed.inc(state.counter_computed)
+            stream._m_distance_pruned.inc(state.counter_pruned)
+            stream._m_window.set(stream._store.size)
         if not state.bootstrapped:
             return stream
 
@@ -342,6 +435,7 @@ class SlidingWindowSummarizer:
             max_adjust_per_batch=state.max_adjust,
             config=state.config,
             counter=stream._counter,
+            obs=obs,
         )
         if state.rng_state is not None:
             maintainer.rng_state = state.rng_state
@@ -374,6 +468,9 @@ class DurableSummarizer:
         fsync: flush appends and snapshots through to disk. Leave on for
             power-loss durability; turning it off retains process-crash
             durability and is markedly faster.
+        obs: observability handle; WAL/snapshot/recovery metrics and
+            events land here and the handle is shared with the wrapped
+            summarizer. ``None`` disables instrumentation.
 
     Example:
         >>> stream = DurableSummarizer(                     # doctest: +SKIP
@@ -395,12 +492,14 @@ class DurableSummarizer:
         checkpoint_every: int = 16,
         keep_snapshots: int = 2,
         fsync: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         manager = CheckpointManager(
             wal_dir,
             interval=checkpoint_every,
             keep=keep_snapshots,
             fsync=fsync,
+            obs=obs,
         )
         if manager.has_state():
             manager.close()
@@ -414,6 +513,7 @@ class DurableSummarizer:
             points_per_bubble=points_per_bubble,
             config=config,
             seed=seed,
+            obs=obs,
         )
         manager.write_manifest(
             {
@@ -431,13 +531,38 @@ class DurableSummarizer:
         self._seq = 0
         self._replaying = False
         self._callback_registered = False
+        self._obs = obs
+        self._create_wal_metrics(obs)
+
+    def _create_wal_metrics(self, obs: Observability | None) -> None:
+        if obs is None:
+            return
+        m = obs.metrics
+        self._m_wal_appends = m.counter(
+            "repro_wal_appends_total",
+            help="Batches durably appended to the write-ahead log.",
+        )
+        self._m_wal_bytes = m.counter(
+            "repro_wal_bytes_total",
+            help="Bytes written to the write-ahead log (records incl. "
+            "headers).",
+            unit="bytes",
+        )
+        self._m_wal_seconds = m.timer(
+            "repro_wal_append_seconds",
+            help="Latency of one durable WAL append (encode + write + "
+            "flush).",
+        )
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
     @classmethod
     def recover(
-        cls, wal_dir: str | pathlib.Path, fsync: bool = True
+        cls,
+        wal_dir: str | pathlib.Path,
+        fsync: bool = True,
+        obs: Observability | None = None,
     ) -> "DurableSummarizer":
         """Resume a durable summarizer from its state directory.
 
@@ -452,6 +577,18 @@ class DurableSummarizer:
                 snapshot and log cannot be reconciled.
             WalCorruptionError: the log is damaged before its tail.
         """
+        # Refuse before touching the directory: probing a manifest-less
+        # (or nonexistent) path must not mutate it — opening a
+        # CheckpointManager would create the directory and an empty
+        # wal.log, and a stray/empty wal.log would otherwise surface as a
+        # confusing corruption error instead of "nothing to resume".
+        directory = pathlib.Path(wal_dir)
+        if not (directory / "manifest.json").exists():
+            raise PersistenceError(
+                f"{directory} holds no durable summarizer state "
+                "(manifest.json is missing); start a new summarizer "
+                "instead of recovering"
+            )
         probe = CheckpointManager(wal_dir, fsync=fsync)
         try:
             manifest = probe.read_manifest()
@@ -460,20 +597,24 @@ class DurableSummarizer:
             raise
         probe.close()
 
+        started = time.perf_counter()
         manager = CheckpointManager(
             wal_dir,
             interval=int(manifest["checkpoint_every"]),
             keep=int(manifest["keep_snapshots"]),
             fsync=fsync,
+            obs=obs,
         )
         recovered = recover_state(manager)
         stream = cls.__new__(cls)
         stream._manager = manager
         stream._replaying = False
         stream._callback_registered = False
+        stream._obs = obs
+        stream._create_wal_metrics(obs)
         if recovered.state is not None:
             stream._inner = SlidingWindowSummarizer.from_state(
-                recovered.state
+                recovered.state, obs=obs
             )
             stream._seq = recovered.state.batches_applied
         else:
@@ -487,6 +628,7 @@ class DurableSummarizer:
                     if manifest["seed"] is None
                     else int(manifest["seed"])
                 ),
+                obs=obs,
             )
             stream._seq = 0
         stream._register_callback_if_ready()
@@ -508,6 +650,21 @@ class DurableSummarizer:
             # and the log is truncated, so the next crash recovers from
             # here instead of repeating this replay.
             stream.checkpoint()
+        if obs is not None:
+            obs.metrics.counter(
+                "repro_recovery_replays_total",
+                help="Crash recoveries performed.",
+            ).inc()
+            obs.metrics.counter(
+                "repro_recovery_replayed_batches_total",
+                help="WAL-tail batches replayed during recoveries.",
+            ).inc(len(recovered.tail))
+            obs.emit(
+                "recovery_replay",
+                snapshot_batches=recovered.snapshot_batches,
+                replayed_batches=len(recovered.tail),
+                seconds=time.perf_counter() - started,
+            )
         return stream
 
     # ------------------------------------------------------------------
@@ -548,7 +705,22 @@ class DurableSummarizer:
             insertion_labels=label_tuple,
         )
 
-        self._manager.wal.append(self._seq, batch)
+        if self._obs is None:
+            self._manager.wal.append(self._seq, batch)
+        else:
+            started = time.perf_counter()
+            nbytes = self._manager.wal.append(self._seq, batch)
+            elapsed = time.perf_counter() - started
+            self._m_wal_appends.inc()
+            self._m_wal_bytes.inc(nbytes)
+            self._m_wal_seconds.observe(elapsed)
+            self._obs.emit(
+                "wal_append",
+                seq=self._seq,
+                bytes=nbytes,
+                points=points.shape[0],
+                seconds=elapsed,
+            )
         self._seq += 1
         was_ready = self._inner.is_ready()
         report = self._inner.append(points, list(label_tuple))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -93,6 +95,156 @@ class TestSummarize:
         assert main(base) == 0
         assert main(base) == 1
         assert "already holds durable" in capsys.readouterr().err
+
+    def test_resume_refuses_dir_without_manifest(self, tmp_path, capsys):
+        """Regression: a manifest-less directory must produce a clear
+        error (exit 1, no traceback) and must not be mutated by the
+        probe."""
+        state_dir = tmp_path / "not_state"
+        state_dir.mkdir()
+        code = main(
+            [
+                "summarize",
+                "--resume",
+                "--wal-dir", str(state_dir),
+                "--no-fsync",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "manifest.json is missing" in err
+        assert list(state_dir.iterdir()) == []
+
+    def test_resume_refuses_missing_dir_without_creating_it(
+        self, tmp_path, capsys
+    ):
+        state_dir = tmp_path / "never_made"
+        code = main(
+            [
+                "summarize",
+                "--resume",
+                "--wal-dir", str(state_dir),
+                "--no-fsync",
+            ]
+        )
+        assert code == 1
+        assert "manifest.json is missing" in capsys.readouterr().err
+        assert not state_dir.exists()
+
+
+class TestObservabilityOutputs:
+    def _summarize(self, state_dir, extra):
+        return main(
+            [
+                "summarize",
+                "--wal-dir", str(state_dir),
+                "--chunks", "8",
+                "--chunk-size", "200",
+                "--window", "800",
+                "--points-per-bubble", "40",
+                "--checkpoint-every", "4",
+                "--no-fsync",
+                *extra,
+            ]
+        )
+
+    def test_metrics_out_matches_distance_counter(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        code = self._summarize(
+            tmp_path / "state", ["--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        document = json.loads(metrics_path.read_text())
+        values = {
+            sample["name"]: sample["value"]
+            for sample in document["metrics"]
+            if "value" in sample and "labels" not in sample
+        }
+        computed = values["repro_distance_computed_total"]
+        pruned = values["repro_distance_pruned_total"]
+        # The registry totals are the DistanceCounter totals the CLI
+        # prints (one source of truth for the Figure 10/11 numbers).
+        derived = document["derived"]
+        assert derived["computed_distances"] == computed
+        assert derived["pruned_distances"] == pruned
+        assert derived["pruned_fraction"] == pytest.approx(
+            pruned / (computed + pruned)
+        )
+        out = capsys.readouterr().out
+        assert f"{computed} distances computed" in out
+
+        prom_text = (tmp_path / "m.prom").read_text()
+        assert f"repro_distance_computed_total {computed}" in prom_text
+        assert f"repro_distance_pruned_total {pruned}" in prom_text
+
+    def test_trace_out_is_valid_jsonl(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        code = self._summarize(
+            tmp_path / "state", ["--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        kinds = {event["kind"] for event in events}
+        assert "insert_batch" in kinds
+        assert "wal_append" in kinds
+        assert "snapshot_write" in kinds
+        assert all("ts" in event and "seq" in event for event in events)
+
+
+class TestStats:
+    def test_requires_wal_dir(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_refuses_dir_without_manifest(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["stats", "--wal-dir", str(empty)]) == 1
+        assert "manifest.json is missing" in capsys.readouterr().err
+        assert list(empty.iterdir()) == []
+
+    def test_reports_state_in_all_formats(self, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        assert main(
+            [
+                "summarize",
+                "--wal-dir", str(state_dir),
+                "--chunks", "6",
+                "--chunk-size", "100",
+                "--window", "400",
+                "--points-per-bubble", "40",
+                "--checkpoint-every", "3",
+                "--no-fsync",
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["stats", "--wal-dir", str(state_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "repro_stream_batches_applied" in text
+        assert "pruned" in text
+
+        assert main(
+            ["stats", "--wal-dir", str(state_dir), "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        values = {
+            sample["name"]: sample["value"]
+            for sample in document["metrics"]
+        }
+        assert values["repro_stream_batches_applied"] == 6
+        assert values["repro_distance_computed_total"] > 0
+        assert document["manifest"]["window_size"] == 400
+
+        assert main(
+            ["stats", "--wal-dir", str(state_dir), "--format", "prom"]
+        ) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_stream_batches_applied gauge" in prom
 
 
 class TestMain:

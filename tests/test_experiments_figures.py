@@ -2,12 +2,16 @@
 
 Each test asserts the qualitative property the corresponding paper figure
 demonstrates — these are the reproduction's contract, checked in CI at
-reduced size (the benchmarks regenerate them at full size).
+reduced size (the benchmarks regenerate them at full size). The module is
+marked ``slow`` — the default CI leg deselects it; the coverage leg runs
+everything.
 """
 
 from __future__ import annotations
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.experiments import (
     ExperimentConfig,

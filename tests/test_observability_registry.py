@@ -1,0 +1,215 @@
+"""Unit tests for the metrics registry and its exposition formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidConfigError
+from repro.observability import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    get_registry,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("events_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events_total", labels={"kind": "split"})
+        b = registry.counter("events_total", labels={"kind": "merge"})
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(InvalidConfigError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(InvalidConfigError, match="invalid metric name"):
+            MetricsRegistry().counter("bad name")
+
+
+class TestGauge:
+    def test_set_and_shift(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        # Bounds are inclusive upper bounds; 100.0 goes to +Inf.
+        assert hist.bucket_counts() == (2, 1, 1, 1)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(111.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(InvalidConfigError, match="strictly"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_TIME_BUCKETS == tuple(sorted(DEFAULT_TIME_BUCKETS))
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 5.0
+
+
+class TestTimer:
+    def test_context_manager_records_one_observation(self):
+        registry = MetricsRegistry()
+        with registry.timer("work_seconds"):
+            pass
+        hist = registry.get("work_seconds")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+        assert hist.unit == "seconds"
+
+    def test_observe_records_external_duration(self):
+        registry = MetricsRegistry()
+        registry.timer("work_seconds").observe(0.25)
+        assert registry.get("work_seconds").sum == pytest.approx(0.25)
+
+
+class TestSnapshotDiff:
+    def test_counter_diff_subtracts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        counter.inc(10)
+        before = registry.snapshot()
+        counter.inc(7)
+        delta = registry.snapshot() - before
+        assert delta.value("n_total") == 7
+
+    def test_gauge_diff_keeps_newer_level(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("level")
+        gauge.set(100)
+        before = registry.snapshot()
+        gauge.set(42)
+        delta = registry.snapshot() - before
+        assert delta.value("level") == 42
+
+    def test_histogram_diff_subtracts_buckets_sum_and_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        before = registry.snapshot()
+        hist.observe(0.5)
+        hist.observe(5.0)
+        delta = registry.snapshot() - before
+        sample = delta.get("sizes")
+        assert sample.bucket_counts == (1, 1, 0)
+        assert sample.count == 2
+        assert sample.sum == pytest.approx(5.5)
+
+    def test_metric_absent_from_before_passes_through(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("late_total").inc(3)
+        delta = registry.snapshot() - before
+        assert delta.value("late_total") == 3
+
+    def test_value_of_missing_metric_is_zero(self):
+        assert MetricsRegistry().snapshot().value("nope") == 0
+
+
+class TestPrometheusExposition:
+    def test_escape_help(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('say "hi"\\\n') == 'say \\"hi\\"\\\\\\n'
+
+    def test_counter_rendering_with_help_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "events_total", help="Events.", labels={"kind": "split"}
+        ).inc(3)
+        text = to_prometheus(registry.snapshot())
+        assert "# HELP events_total Events." in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{kind="split"} 3' in text
+
+    def test_label_values_escaped_in_output(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"path": 'a"b\\c'}).inc()
+        text = to_prometheus(registry.snapshot())
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 0.7, 1.5, 9.0):
+            hist.observe(value)
+        text = to_prometheus(registry.snapshot())
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="2.0"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+
+    def test_type_header_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("e_total", labels={"kind": "a"}).inc()
+        registry.counter("e_total", labels={"kind": "b"}).inc()
+        text = to_prometheus(registry.snapshot())
+        assert text.count("# TYPE e_total counter") == 1
+
+
+class TestJsonExposition:
+    def test_document_shape_and_extra_merge(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total", unit="points").inc(2)
+        document = to_json(registry.snapshot(), extra={"run": {"seed": 0}})
+        assert document["metrics_format_version"] == 1
+        assert document["run"] == {"seed": 0}
+        (sample,) = document["metrics"]
+        assert sample["name"] == "n_total"
+        assert sample["value"] == 2
+        assert sample["unit"] == "points"
+
+    def test_write_metrics_produces_both_files(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n_total").inc()
+        json_path, prom_path = write_metrics(
+            tmp_path / "m.json", registry.snapshot()
+        )
+        assert json_path.name == "m.json"
+        assert prom_path.name == "m.prom"
+        document = json.loads(json_path.read_text())
+        assert document["metrics"][0]["name"] == "n_total"
+        assert "n_total 1" in prom_path.read_text()
+
+
+class TestGlobalRegistry:
+    def test_get_registry_is_stable(self):
+        assert get_registry() is get_registry()
