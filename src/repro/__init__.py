@@ -26,6 +26,7 @@ Quickstart::
 from .core import (
     AdaptiveMaintainer,
     Assigner,
+    AuditReport,
     BatchReport,
     BetaQuality,
     BubbleBuilder,
@@ -37,6 +38,7 @@ from .core import (
     DonorPolicy,
     ExtentQuality,
     IncrementalMaintainer,
+    InvariantAuditor,
     MaintenanceConfig,
     NaiveAssigner,
     QualityMeasure,
@@ -48,10 +50,12 @@ from .core import (
 )
 from .database import PointStore, UpdateBatch
 from .exceptions import (
+    CorruptStateError,
     DimensionMismatchError,
     DuplicatePointError,
     EmptyBubbleError,
     InvalidConfigError,
+    InvalidPointError,
     NotFittedError,
     PersistenceError,
     ReproError,
@@ -69,6 +73,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveMaintainer",
     "Assigner",
+    "AuditReport",
     "BatchReport",
     "BetaQuality",
     "BubbleBuilder",
@@ -76,6 +81,7 @@ __all__ = [
     "BubbleConfig",
     "BubbleSet",
     "CompleteRebuildMaintainer",
+    "CorruptStateError",
     "CounterSnapshot",
     "DataBubble",
     "DimensionMismatchError",
@@ -87,6 +93,8 @@ __all__ = [
     "ExtentQuality",
     "IncrementalMaintainer",
     "InvalidConfigError",
+    "InvalidPointError",
+    "InvariantAuditor",
     "MaintenanceConfig",
     "NaiveAssigner",
     "NotFittedError",

@@ -10,6 +10,7 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles all      [--quick]
     repro-bubbles summarize --wal-dir state/ [--resume] [--chunks 20] ...
     repro-bubbles stats     --wal-dir state/ [--format text|json|prom]
+    repro-bubbles audit     --wal-dir state/ [--no-repair]
 
 Every evaluation command prints the corresponding table/series in the
 paper's layout. ``--quick`` shrinks sizes/repetitions for a fast smoke run;
@@ -24,7 +25,10 @@ crash — left off. With ``--metrics-out m.json`` the run's metrics registry
 is written as JSON (plus a Prometheus twin ``m.prom``); ``--trace-out``
 streams maintenance/persistence events as JSON lines. ``stats`` inspects a
 durable state directory read-only and reports its metrics in any of the
-three formats. See docs/PERSISTENCE.md and docs/OBSERVABILITY.md.
+three formats. ``audit`` recovers a durable state directory and runs the
+self-healing invariant audit over it (exit code 1 when the summary is
+inconsistent and could not be repaired). See docs/PERSISTENCE.md,
+docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -60,6 +64,7 @@ from .experiments import (
 )
 from .exceptions import PersistenceError, ReproError, SnapshotError
 from .experiments.table1 import TABLE1_DATASETS
+from .faults import install_from_env
 from .observability import (
     EventTracer,
     MetricsRegistry,
@@ -123,7 +128,10 @@ def _run_summarize(args: argparse.Namespace) -> None:
     fsync = not args.no_fsync
     obs = _make_observability(args)
     if args.resume:
-        stream = DurableSummarizer.recover(args.wal_dir, fsync=fsync, obs=obs)
+        stream = DurableSummarizer.recover(
+            args.wal_dir, fsync=fsync, obs=obs,
+            audit_every=args.audit_every,
+        )
         print(
             f"recovered {args.wal_dir}: {stream.batches_applied} batches "
             f"already applied, window holds {stream.size} points"
@@ -138,6 +146,8 @@ def _run_summarize(args: argparse.Namespace) -> None:
             checkpoint_every=args.checkpoint_every,
             fsync=fsync,
             obs=obs,
+            on_bad_point=args.on_bad_point,
+            audit_every=args.audit_every,
         )
         print(f"initialized durable state in {args.wal_dir}")
     start = stream.batches_applied
@@ -190,6 +200,45 @@ def _finish_observability(args, obs: Observability, totals) -> None:
             args.metrics_out, obs.metrics.snapshot(), extra=extra
         )
         print(f"wrote metrics to {json_path} and {prom_path}")
+
+
+def _run_audit(args: argparse.Namespace) -> None:
+    """Recover a durable state directory and audit its invariants."""
+    if args.wal_dir is None:
+        raise SystemExit("audit requires --wal-dir")
+    obs = _make_observability(args)
+    stream = DurableSummarizer.recover(
+        args.wal_dir, fsync=not args.no_fsync, obs=obs
+    )
+    repair = not args.no_repair
+    report = stream.audit(repair=repair)
+    # Persist a repaired (or confirmed-clean) state; never checkpoint a
+    # summary that is still inconsistent.
+    stream.close(checkpoint=report.healthy)
+    if report.ok:
+        print(
+            f"{args.wal_dir}: all invariants hold "
+            f"({stream.size} points, batch {stream.batches_applied})"
+        )
+    else:
+        print(f"{args.wal_dir}: {len(report.violations)} violation(s)")
+        for violation in report.violations[:10]:
+            print(f"  - {violation}")
+        if len(report.violations) > 10:
+            print(f"  ... and {len(report.violations) - 10} more")
+        if repair:
+            outcome = (
+                "consistent" if report.post_repair_ok else "STILL BROKEN"
+            )
+            print(
+                f"repair: rebuilt {len(report.repaired_bubbles)} "
+                f"bubble(s), reassigned {report.reassigned_points} "
+                f"point(s); summary now {outcome}"
+            )
+    if obs is not None and obs.tracer is not None:
+        obs.tracer.close()
+    if not report.healthy:
+        raise SystemExit(1)
 
 
 def _run_stats(args: argparse.Namespace) -> None:
@@ -308,10 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
             "staleness",
             "summarize",
             "stats",
+            "audit",
             "all",
         ],
         help="which artifact to regenerate ('summarize' runs a durable "
-        "stream summarization; 'stats' inspects its state directory)",
+        "stream summarization; 'stats' inspects its state directory; "
+        "'audit' checks and repairs its invariants)",
     )
     parser.add_argument(
         "--size", type=int, default=10_000,
@@ -376,6 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip fsync on WAL appends/snapshots (faster; keeps "
         "process-crash durability, loses power-loss durability)",
     )
+    durable.add_argument(
+        "--on-bad-point", choices=["strict", "skip", "quarantine"],
+        default="strict",
+        help="how to treat NaN/Inf or wrong-dimension stream points: "
+        "fail the append (strict, default), drop them (skip), or drop "
+        "and retain them for diagnostics (quarantine)",
+    )
+    durable.add_argument(
+        "--audit-every", type=int, default=0, metavar="N",
+        help="run a self-healing invariant audit every N chunks "
+        "(0 disables periodic audits; default 0)",
+    )
+    durable.add_argument(
+        "--no-repair", action="store_true",
+        help="audit only: report violations without repairing them",
+    )
     observability = parser.add_argument_group(
         "observability", "metric and trace outputs (summarize, stats)"
     )
@@ -422,6 +489,9 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         return
     if command == "stats":
         _run_stats(args)
+        return
+    if command == "audit":
+        _run_audit(args)
         return
     config = _base_config(args)
     table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)
@@ -487,6 +557,7 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    install_from_env()  # REPRO_FAILPOINTS, a no-op when unset
     args = build_parser().parse_args(argv)
     commands = (
         [

@@ -18,6 +18,7 @@ Public surface:
 """
 
 from .adaptive import AdaptiveMaintainer
+from .audit import AuditReport, InvariantAuditor
 from .assignment import (
     Assigner,
     NaiveAssigner,
@@ -45,11 +46,20 @@ from .quality import (
 )
 from .rebuild import CompleteRebuildMaintainer
 from .split_merge import merge_bubble, rebuild_pair, split_bubble
-from .validate import ConsistencyReport, verify_consistency
+from .validate import (
+    BAD_POINT_POLICIES,
+    ConsistencyReport,
+    RejectedPoint,
+    ScreenedChunk,
+    screen_chunk,
+    verify_consistency,
+)
 
 __all__ = [
     "AdaptiveMaintainer",
     "Assigner",
+    "AuditReport",
+    "BAD_POINT_POLICIES",
     "BatchReport",
     "BetaQuality",
     "BubbleBuilder",
@@ -62,10 +72,13 @@ __all__ = [
     "DonorPolicy",
     "ExtentQuality",
     "IncrementalMaintainer",
+    "InvariantAuditor",
     "MaintenanceConfig",
     "NaiveAssigner",
     "QualityMeasure",
     "QualityReport",
+    "RejectedPoint",
+    "ScreenedChunk",
     "SplitStrategy",
     "TriangleInequalityAssigner",
     "chebyshev_k",
@@ -73,6 +86,7 @@ __all__ = [
     "make_assigner",
     "merge_bubble",
     "rebuild_pair",
+    "screen_chunk",
     "split_bubble",
     "verify_consistency",
 ]

@@ -1,0 +1,292 @@
+"""Self-healing invariant audits of a maintained summary.
+
+:func:`~repro.core.validate.verify_consistency` *detects* drift between
+the three coupled representations (bubble statistics, bubble membership,
+store ownership); :class:`InvariantAuditor` goes one step further and
+*repairs* it. The repair reuses the summary's own mutation primitives —
+a drifted bubble is rebuilt wholesale through ``clear()`` +
+``absorb_many()`` (the merge/split machinery's path), orphaned points are
+re-homed to their nearest active bubble, and ownership records are
+rewritten to match — so a repaired summary is indistinguishable from one
+that was maintained correctly all along.
+
+Intended uses:
+
+* **post-recovery**: after a crash recovery, one audit proves the
+  replayed state is sound (the crash-matrix suite does exactly this);
+* **periodic**: long-running streams can audit every ``audit_every``
+  batches (see :class:`~repro.streaming.SlidingWindowSummarizer`), so a
+  latent corruption is caught within a bounded number of batches instead
+  of surfacing as inexplicable clustering output months later;
+* **on demand**: ``repro-bubbles audit --wal-dir state/`` audits a
+  durable state directory from the command line.
+
+Every audit, violation, repair and reassignment is counted in the
+observability registry and traced, so a fleet operator can alert on
+``repro_audit_violations_total`` going non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..database import PointStore
+from ..observability import Observability
+from ..sufficient import SufficientStatistics
+from .bubble_set import BubbleSet
+from .maintenance import IncrementalMaintainer
+from .validate import verify_consistency
+
+__all__ = ["AuditReport", "InvariantAuditor"]
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one :meth:`InvariantAuditor.audit` run.
+
+    Attributes:
+        ok: whether the initial consistency check found no violation.
+        violations: the violations found (empty when ``ok``).
+        repaired_bubbles: ids of bubbles rebuilt by the repair pass.
+        reassigned_points: points whose ownership record was rewritten.
+        post_repair_ok: result of the consistency re-check after repair;
+            ``None`` when no repair ran (clean audit, or ``repair=False``).
+    """
+
+    ok: bool
+    violations: tuple[str, ...] = ()
+    repaired_bubbles: tuple[int, ...] = ()
+    reassigned_points: int = 0
+    post_repair_ok: bool | None = None
+
+    @property
+    def healthy(self) -> bool:
+        """Clean at first check, or successfully repaired."""
+        return self.ok or self.post_repair_ok is True
+
+
+class InvariantAuditor:
+    """Checks — and optionally repairs — summary/database consistency.
+
+    Args:
+        bubbles: the summary under audit.
+        store: the database it claims to describe.
+        maintainer: when given, its retired-bubble set (adaptive
+            maintainers park empty bubbles) is honoured: retired bubbles
+            must stay empty, and no point is re-homed into one.
+        rel_tol: statistics tolerance, as for ``verify_consistency``.
+        obs: observability handle; audit metrics and events land here.
+    """
+
+    def __init__(
+        self,
+        bubbles: BubbleSet,
+        store: PointStore,
+        maintainer: IncrementalMaintainer | None = None,
+        rel_tol: float = 1e-6,
+        obs: Observability | None = None,
+    ) -> None:
+        self._bubbles = bubbles
+        self._store = store
+        self._maintainer = maintainer
+        self._rel_tol = float(rel_tol)
+        self._obs = obs
+
+    @classmethod
+    def for_maintainer(
+        cls,
+        maintainer: IncrementalMaintainer,
+        rel_tol: float = 1e-6,
+        obs: Observability | None = None,
+    ) -> "InvariantAuditor":
+        """Build an auditor over a maintainer's summary and store."""
+        return cls(
+            maintainer.bubbles,
+            maintainer.store,
+            maintainer=maintainer,
+            rel_tol=rel_tol,
+            obs=obs if obs is not None else maintainer.obs,
+        )
+
+    # ------------------------------------------------------------------
+    # The audit
+    # ------------------------------------------------------------------
+    def audit(self, repair: bool = True) -> AuditReport:
+        """Run one consistency check, repairing violations when asked.
+
+        Returns an :class:`AuditReport`; never raises on inconsistency
+        (``report.healthy`` tells the caller whether the summary is — or
+        is again — sound).
+        """
+        check = verify_consistency(
+            self._bubbles, self._store, rel_tol=self._rel_tol
+        )
+        self._note_check(check.ok, len(check.violations))
+        if check.ok:
+            return AuditReport(ok=True)
+        if not repair:
+            return AuditReport(ok=False, violations=check.violations)
+        repaired, reassigned = self._repair()
+        recheck = verify_consistency(
+            self._bubbles, self._store, rel_tol=self._rel_tol
+        )
+        self._note_repair(repaired, reassigned, recheck.ok)
+        return AuditReport(
+            ok=False,
+            violations=check.violations,
+            repaired_bubbles=tuple(repaired),
+            reassigned_points=reassigned,
+            post_repair_ok=recheck.ok,
+        )
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def _repair(self) -> tuple[list[int], int]:
+        """Rebuild drifted bubbles and rewrite ownership records.
+
+        The desired membership is decided per alive point: its single
+        claiming bubble when exactly one active bubble lists it; the
+        store's owner (or the lowest claimant id) when several do; and
+        the nearest active bubble (by representative distance) when none
+        does. Bubbles whose membership or statistics disagree with that
+        assignment are rebuilt from raw coordinates.
+        """
+        store = self._store
+        alive = [int(i) for i in store.ids()]
+        retired = self._retired_ids()
+        active = [
+            b.bubble_id
+            for b in self._bubbles
+            if b.bubble_id not in retired
+        ]
+
+        claims: dict[int, list[int]] = {}
+        for bubble in self._bubbles:
+            for pid in bubble.members:
+                claims.setdefault(int(pid), []).append(bubble.bubble_id)
+
+        desired: dict[int, int] = {}
+        orphans: list[int] = []
+        for pid in alive:
+            claimants = [
+                c for c in claims.get(pid, []) if c not in retired
+            ]
+            if not claimants:
+                orphans.append(pid)
+            elif len(claimants) == 1:
+                desired[pid] = claimants[0]
+            else:
+                owner = store.owner(pid)
+                desired[pid] = (
+                    owner if owner in claimants else min(claimants)
+                )
+        if orphans and active:
+            reps = np.stack([self._bubbles[i].rep for i in active])
+            points = store.points_of(np.asarray(orphans, dtype=np.int64))
+            sq = ((points[:, None, :] - reps[None, :, :]) ** 2).sum(axis=2)
+            for pid, j in zip(orphans, np.argmin(sq, axis=1)):
+                desired[pid] = active[int(j)]
+
+        wanted: dict[int, list[int]] = {
+            b.bubble_id: [] for b in self._bubbles
+        }
+        for pid, bid in desired.items():
+            wanted[bid].append(pid)
+
+        repaired: list[int] = []
+        for bubble in self._bubbles:
+            want = wanted[bubble.bubble_id]
+            if bubble.members == set(want) and self._stats_ok(
+                bubble, want
+            ):
+                continue
+            bubble.clear()
+            if want:
+                ids = np.asarray(sorted(want), dtype=np.int64)
+                bubble.absorb_many(ids, store.points_of(ids))
+            repaired.append(bubble.bubble_id)
+
+        changed_ids: list[int] = []
+        changed_owners: list[int] = []
+        for pid in alive:
+            bid = desired.get(pid)
+            if bid is not None and store.owner(pid) != bid:
+                changed_ids.append(pid)
+                changed_owners.append(bid)
+        if changed_ids:
+            store.set_owners(
+                np.asarray(changed_ids, dtype=np.int64),
+                np.asarray(changed_owners, dtype=np.int64),
+            )
+        return repaired, len(changed_ids)
+
+    def _stats_ok(self, bubble, member_ids: list[int]) -> bool:
+        """Whether a bubble's statistics match its (desired) members."""
+        if not member_ids:
+            return bubble.stats.n == 0
+        points = self._store.points_of(
+            np.asarray(sorted(member_ids), dtype=np.int64)
+        )
+        fresh = SufficientStatistics.from_points(points)
+        if bubble.stats.n != fresh.n:
+            return False
+        scale = max(1.0, float(np.abs(points).max()))
+        atol = self._rel_tol * scale * max(fresh.n, 1)
+        if not np.allclose(
+            bubble.stats.linear_sum,
+            fresh.linear_sum,
+            rtol=self._rel_tol,
+            atol=atol,
+        ):
+            return False
+        return abs(bubble.stats.square_sum - fresh.square_sum) <= max(
+            self._rel_tol * abs(fresh.square_sum), atol * scale
+        )
+
+    def _retired_ids(self) -> frozenset[int]:
+        if self._maintainer is None:
+            return frozenset()
+        return frozenset(
+            getattr(self._maintainer, "retired_ids", frozenset())
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _note_check(self, ok: bool, violations: int) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_audit_runs_total",
+            help="Invariant audits executed.",
+        ).inc()
+        if not ok:
+            self._obs.metrics.counter(
+                "repro_audit_violations_total",
+                help="Invariant violations detected by audits.",
+            ).inc(violations)
+        self._obs.emit("audit", ok=ok, violations=violations)
+
+    def _note_repair(
+        self, repaired: list[int], reassigned: int, ok: bool
+    ) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_audit_repairs_total",
+            help="Bubbles rebuilt by audit repairs.",
+        ).inc(len(repaired))
+        self._obs.metrics.counter(
+            "repro_audit_points_reassigned_total",
+            help="Ownership records rewritten by audit repairs.",
+            unit="points",
+        ).inc(reassigned)
+        self._obs.emit(
+            "audit_repair",
+            repaired_bubbles=len(repaired),
+            reassigned_points=reassigned,
+            post_repair_ok=ok,
+        )

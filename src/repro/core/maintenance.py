@@ -29,7 +29,7 @@ from typing import Callable
 import numpy as np
 
 from ..database import PointStore, UpdateBatch
-from ..exceptions import UnknownPointError
+from ..exceptions import InvalidPointError, UnknownPointError
 from ..geometry import DistanceCounter
 from ..observability import Observability
 from ..types import BubbleId
@@ -286,7 +286,14 @@ class IncrementalMaintainer:
     # The scheme of Figure 3
     # ------------------------------------------------------------------
     def apply_batch(self, batch: UpdateBatch) -> BatchReport:
-        """Apply one batch of deletions + insertions and repair quality."""
+        """Apply one batch of deletions + insertions and repair quality.
+
+        Raises:
+            InvalidPointError: the batch is malformed (NaN/Inf insertion
+                coordinates, a dimension mismatch, or duplicate deletion
+                ids) — applying it would silently corrupt the summary.
+        """
+        self._guard_batch(batch)
         if self._obs is None:
             report = self._apply_batch_inner(batch)
         else:
@@ -303,6 +310,39 @@ class IncrementalMaintainer:
         for callback in self._batch_callbacks:
             callback(batch, report)
         return report
+
+    def _guard_batch(self, batch: UpdateBatch) -> None:
+        """Last line of defense against malformed updates.
+
+        Streaming front-ends screen input under a configurable policy
+        (:func:`~repro.core.validate.screen_chunk`); anything reaching
+        the maintainer is applied verbatim, so here malformed data is
+        always a hard error. A poisoned insertion would propagate through
+        ``(n, LS, SS)`` forever; a duplicated deletion would subtract a
+        point's statistics twice.
+        """
+        if batch.num_insertions:
+            ins = batch.insertions
+            if ins.ndim != 2 or ins.shape[1] != self._store.dim:
+                raise InvalidPointError(
+                    f"batch insertions have shape {ins.shape}, expected "
+                    f"(m, {self._store.dim})"
+                )
+            if not np.isfinite(ins).all():
+                bad = np.flatnonzero(
+                    ~np.isfinite(ins).all(axis=1)
+                )[:5].tolist()
+                raise InvalidPointError(
+                    f"batch insertions carry NaN/Inf coordinates "
+                    f"(rows {bad})"
+                )
+        if batch.deletions and len(set(batch.deletions)) != len(
+            batch.deletions
+        ):
+            raise InvalidPointError(
+                "batch deletions contain duplicate point ids; applying "
+                "them would decrement a bubble's statistics twice"
+            )
 
     def _record_batch(
         self,

@@ -57,6 +57,23 @@ class DimensionMismatchError(ReproError):
     """Points of differing dimensionality were mixed in one structure."""
 
 
+class InvalidPointError(ReproError, ValueError):
+    """A point failed ingestion validation (NaN/Inf coordinates, a
+    dimension mismatch, or a duplicate id within one batch).
+
+    Also a :class:`ValueError`, because malformed input at this boundary
+    was historically reported as one — ``except ValueError`` keeps
+    working.
+
+    Raised at the summarizer/maintainer boundary under the ``strict``
+    bad-point policy, *before* the batch is write-ahead logged or applied
+    — a single malformed point must never poison the sufficient
+    statistics ``(n, LS, SS)``, which incremental maintenance would then
+    propagate forever. The ``skip`` and ``quarantine`` policies reject
+    the offending points without raising.
+    """
+
+
 class PersistenceError(ReproError):
     """Base class for durable-state failures (WAL, snapshots, recovery)."""
 
@@ -74,3 +91,15 @@ class WalCorruptionError(PersistenceError):
 
 class SnapshotError(PersistenceError):
     """A snapshot file is unreadable or has an unsupported format version."""
+
+
+class CorruptStateError(PersistenceError):
+    """A durable state directory is damaged beyond automatic fallback.
+
+    Raised when recovery cannot assemble *any* consistent state — for
+    example, no snapshot generation loads but the write-ahead log starts
+    past batch zero, so the missing history cannot be replayed. Less
+    severe damage degrades instead of raising: a corrupt newest snapshot
+    is quarantined (renamed ``*.corrupt``) and recovery falls back to the
+    previous generation plus a longer WAL replay.
+    """

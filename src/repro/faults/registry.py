@@ -1,0 +1,381 @@
+"""Deterministic fault injection: named failpoints.
+
+A **failpoint** is a named hook compiled into a production code path —
+``FAILPOINTS.fire("wal.append.flushed")`` — that does nothing until a test
+(or an operator, via the ``REPRO_FAILPOINTS`` environment variable) *arms*
+it with a fault to inject:
+
+* ``crash`` — terminate the process immediately via :func:`os._exit`
+  (no cleanup handlers, no buffered flushes: the closest a test can get
+  to pulling the power cord);
+* ``error`` — raise an :class:`OSError` with a chosen ``errno``
+  (``ENOSPC``, ``EIO``, ...) or an arbitrary exception instance;
+* ``delay`` — sleep for a configured duration (through an injectable
+  sleep function, so tests never wall-sleep).
+
+Two more kinds are interpreted by :class:`~repro.faults.io.FaultyFile`
+rather than executed here:
+
+* ``torn`` — persist only a prefix of a write, then crash or error
+  (the signature of a power loss mid-write);
+* ``short_read`` — return only a prefix of a read.
+
+Arming supports ``after`` (skip the first N hits — crash at the K-th
+append, not the first) and ``times`` (fire at most N times — a transient
+error that heals, which is what the retry path needs to be tested
+against).
+
+The whole registry is **zero-cost when disabled**: :meth:`fire` on an
+empty registry is one attribute load and one falsy check, and no
+failpoint lives on a per-point hot path — only on per-batch persistence
+boundaries. The streaming overhead budget is enforced by
+``benchmarks/test_bench_faults.py`` (≤ 2%, recorded as
+``BENCH_faults.json``).
+
+Every fire site declares its name at import time via
+:func:`declare_failpoint`, so the crash-matrix test suite can enumerate
+:func:`known_failpoints` and prove recovery at every single one.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "FAILPOINTS",
+    "FaultSpec",
+    "FailpointRegistry",
+    "declare_failpoint",
+    "failpoint",
+    "install_from_env",
+    "known_failpoints",
+]
+
+#: The exit code a ``crash`` fault terminates the process with.  Chosen to
+#: be distinctive so the crash-matrix harness can tell an injected crash
+#: from an accidental one.
+CRASH_EXIT_CODE = 37
+
+#: Environment variable read by :func:`install_from_env`.
+ENV_KEY = "REPRO_FAILPOINTS"
+
+_KINDS = ("error", "crash", "delay", "torn", "short_read")
+
+#: Names declared by fire sites at import time (crash-matrix enumeration).
+_KNOWN: set[str] = set()
+
+
+def declare_failpoint(name: str) -> str:
+    """Register ``name`` as a known fire site; returns the name.
+
+    Called at module import time by every subsystem that embeds a
+    failpoint, so test harnesses can enumerate the full matrix without
+    grepping the source.
+    """
+    _KNOWN.add(name)
+    return name
+
+
+def known_failpoints() -> tuple[str, ...]:
+    """All failpoint names declared by imported modules, sorted."""
+    return tuple(sorted(_KNOWN))
+
+
+def _resolve_errno(value: int | str) -> int:
+    if isinstance(value, str):
+        number = getattr(errno_module, value, None)
+        if number is None:
+            raise ValueError(f"unknown errno name {value!r}")
+        return int(number)
+    return int(value)
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault.
+
+    Attributes:
+        name: the failpoint it is armed on.
+        kind: one of ``error``, ``crash``, ``delay``, ``torn``,
+            ``short_read``.
+        errno: the ``errno`` of the injected :class:`OSError` (``error``
+            and ``torn`` kinds); ignored when ``exc`` is given.
+        exc: an exception factory overriding the default
+            :class:`OSError`.
+        after: skip the first ``after`` hits before firing.
+        times: fire at most this many times (``None`` = every hit).
+        delay: sleep duration for ``delay`` faults, in seconds.
+        exit_code: process exit code for ``crash`` (and torn-then-crash)
+            faults.
+        fraction: prefix fraction persisted/returned by ``torn`` /
+            ``short_read`` faults.
+        then: what a ``torn`` write does after persisting the prefix —
+            ``"crash"`` (default) or ``"error"``.
+    """
+
+    name: str
+    kind: str = "error"
+    errno: int = errno_module.EIO
+    exc: Callable[[], BaseException] | None = None
+    after: int = 0
+    times: int | None = None
+    delay: float = 0.0
+    exit_code: int = CRASH_EXIT_CODE
+    fraction: float = 0.5
+    then: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be within [0, 1], got {self.fraction}"
+            )
+        if self.then not in ("crash", "error"):
+            raise ValueError(
+                f"torn 'then' must be 'crash' or 'error', got {self.then!r}"
+            )
+        self.errno = _resolve_errno(self.errno)
+
+    def make_exception(self) -> BaseException:
+        """The exception an ``error`` (or torn-then-error) fault raises."""
+        if self.exc is not None:
+            return self.exc()
+        return OSError(
+            self.errno,
+            f"{os.strerror(self.errno)} [injected at {self.name}]",
+        )
+
+    def execute(self, sleep: Callable[[float], None] = time.sleep) -> None:
+        """Carry out the fault (``error``/``crash``/``delay`` kinds)."""
+        if self.kind == "delay":
+            sleep(self.delay)
+            return
+        if self.kind == "crash":
+            os._exit(self.exit_code)
+        raise self.make_exception()
+
+
+@dataclass
+class _Armed:
+    spec: FaultSpec
+    consultations: int = 0
+    fired: int = 0
+
+    def should_fire(self) -> bool:
+        self.consultations += 1
+        if self.consultations <= self.spec.after:
+            return False
+        if (
+            self.spec.times is not None
+            and self.fired >= self.spec.times
+        ):
+            return False
+        self.fired += 1
+        return True
+
+
+@dataclass
+class FailpointRegistry:
+    """Named failpoints with deterministic arm/fire semantics.
+
+    The module-level :data:`FAILPOINTS` instance is the one production
+    code consults; tests may also build private registries and pass them
+    explicitly (e.g. to :class:`~repro.faults.io.FaultyFile`).
+    """
+
+    _armed: dict[str, _Armed] = field(default_factory=dict)
+    _enabled: bool = True
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self, name: str, kind: str = "error", **options) -> FaultSpec:
+        """Arm ``name`` with a fault; returns the installed spec.
+
+        Keyword options mirror :class:`FaultSpec` fields (``errno``,
+        ``exc``, ``after``, ``times``, ``delay``, ``exit_code``,
+        ``fraction``, ``then``). Re-arming a name replaces its spec and
+        resets its hit counters.
+        """
+        spec = FaultSpec(name=name, kind=kind, **options)
+        self._armed[name] = _Armed(spec=spec)
+        return spec
+
+    def disarm(self, name: str) -> bool:
+        """Remove the fault on ``name``; returns whether one was armed."""
+        return self._armed.pop(name, None) is not None
+
+    def clear(self) -> None:
+        """Disarm everything and forget all hit counts."""
+        self._armed.clear()
+
+    def enable(self) -> None:
+        """Allow armed faults to fire (the default)."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Suppress all faults without disarming them."""
+        self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether faults may fire."""
+        return self._enabled
+
+    @contextmanager
+    def disabled(self) -> Iterator["FailpointRegistry"]:
+        """Context manager suppressing all faults inside the block."""
+        previous = self._enabled
+        self._enabled = False
+        try:
+            yield self
+        finally:
+            self._enabled = previous
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def armed_names(self) -> tuple[str, ...]:
+        """Names currently armed, sorted."""
+        return tuple(sorted(self._armed))
+
+    def is_armed(self, name: str) -> bool:
+        """Whether ``name`` currently carries a fault."""
+        return name in self._armed
+
+    def has_prefix(self, prefix: str) -> bool:
+        """Whether any armed name starts with ``prefix`` (IO fast path)."""
+        if not self._armed or not self._enabled:
+            return False
+        return any(name.startswith(prefix) for name in self._armed)
+
+    def hits(self, name: str) -> int:
+        """How many times the fault on ``name`` has fired."""
+        armed = self._armed.get(name)
+        return 0 if armed is None else armed.fired
+
+    def consultations(self, name: str) -> int:
+        """How many times ``name`` was reached while armed."""
+        armed = self._armed.get(name)
+        return 0 if armed is None else armed.consultations
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def trigger(self, name: str) -> FaultSpec | None:
+        """The spec to execute at this hit, or ``None``.
+
+        Used by interpreters that carry out the fault themselves
+        (:class:`~repro.faults.io.FaultyFile` for ``torn`` /
+        ``short_read``); plain fire sites call :meth:`fire` instead.
+        """
+        if not self._armed or not self._enabled:
+            return None
+        armed = self._armed.get(name)
+        if armed is None or not armed.should_fire():
+            return None
+        return armed.spec
+
+    def fire(
+        self, name: str, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        """Execute the fault armed on ``name``, if any fires now.
+
+        The disarmed fast path is one falsy check — cheap enough for
+        per-batch persistence boundaries (never placed on per-point
+        paths).
+        """
+        if not self._armed:
+            return
+        spec = self.trigger(name)
+        if spec is not None:
+            spec.execute(sleep=sleep)
+
+
+#: The process-wide registry production fire sites consult.
+FAILPOINTS = FailpointRegistry()
+
+
+@contextmanager
+def failpoint(
+    name: str,
+    kind: str = "error",
+    registry: FailpointRegistry = FAILPOINTS,
+    **options,
+) -> Iterator[FailpointRegistry]:
+    """Arm ``name`` on ``registry`` for the duration of a ``with`` block."""
+    registry.arm(name, kind=kind, **options)
+    try:
+        yield registry
+    finally:
+        registry.disarm(name)
+
+
+def _parse_spec(name: str, directive: str) -> tuple[str, dict]:
+    """Parse one ``kind[:arg[:arg]][@after]`` directive."""
+    options: dict = {}
+    if "@" in directive:
+        directive, after = directive.rsplit("@", 1)
+        options["after"] = int(after)
+    parts = directive.split(":")
+    kind = parts[0]
+    args = parts[1:]
+    if kind == "crash" and args:
+        options["exit_code"] = int(args[0])
+    elif kind == "error" and args:
+        options["errno"] = args[0]
+    elif kind == "delay" and args:
+        options["delay"] = float(args[0])
+    elif kind in ("torn", "short_read") and args:
+        options["fraction"] = float(args[0])
+        if kind == "torn" and len(args) > 1:
+            if args[1] == "crash":
+                options["then"] = "crash"
+            else:
+                options["then"] = "error"
+                options["errno"] = args[1]
+    return kind, options
+
+
+def install_from_env(
+    registry: FailpointRegistry = FAILPOINTS,
+    environ: dict | None = None,
+    key: str = ENV_KEY,
+) -> tuple[str, ...]:
+    """Arm failpoints described by an environment variable.
+
+    The value is a comma-separated list of ``name=kind[:arg...][@after]``
+    directives, e.g.::
+
+        REPRO_FAILPOINTS="wal.append.flushed=crash@3"
+        REPRO_FAILPOINTS="io.wal.fsync=error:ENOSPC,snapshot.tmp_written=crash"
+        REPRO_FAILPOINTS="io.wal.write=torn:0.5:crash"
+
+    Returns the names armed. This is how the crash-matrix harness arms a
+    child process without any code changes in the child.
+    """
+    source = os.environ if environ is None else environ
+    value = source.get(key, "")
+    armed: list[str] = []
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ValueError(
+                f"malformed failpoint directive {entry!r} "
+                "(expected name=kind[:arg...][@after])"
+            )
+        name, directive = entry.split("=", 1)
+        kind, options = _parse_spec(name, directive)
+        registry.arm(name, kind=kind, **options)
+        armed.append(name)
+    return tuple(armed)

@@ -1,0 +1,114 @@
+"""Bounded retry with exponential backoff for transient IO errors.
+
+A long-running summarizer hits IO errors that heal — an NFS hiccup, an
+interrupted syscall, a momentarily saturated device. Failing the whole
+stream over one of those wastes the incremental investment the paper's
+scheme exists to protect; retrying forever hides real faults. This module
+is the middle ground: a handful of attempts with exponential backoff,
+then the original error propagates.
+
+Classification is deliberately conservative: only ``EIO``, ``EAGAIN``,
+``EINTR`` and ``EBUSY`` count as transient. ``ENOSPC`` is **not**
+retried — a full disk does not heal in milliseconds, and an operator
+needs the loud failure immediately.
+
+Both the sleep function and (for tests that measure backoff) the clock
+are injectable, so the test suite never wall-sleeps — the degraded-mode
+tests drive thousands of simulated retries in microseconds.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = ["RetryPolicy", "TRANSIENT_ERRNOS", "is_transient"]
+
+T = TypeVar("T")
+
+#: Errnos worth retrying: failures that routinely heal within
+#: milliseconds. ENOSPC is deliberately absent (see module docstring).
+TRANSIENT_ERRNOS = frozenset(
+    {
+        errno_module.EIO,
+        errno_module.EAGAIN,
+        errno_module.EINTR,
+        errno_module.EBUSY,
+    }
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is an :class:`OSError` worth retrying."""
+    return isinstance(exc, OSError) and exc.errno in TRANSIENT_ERRNOS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    Args:
+        attempts: total tries, including the first (``1`` = no retry).
+        base_delay: sleep before the first retry, in seconds.
+        multiplier: backoff growth factor per retry.
+        max_delay: ceiling on any single sleep.
+        sleep: the sleep function — injectable so tests pass a recording
+            stub instead of wall-sleeping.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        return min(
+            self.base_delay * self.multiplier**retry_index, self.max_delay
+        )
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        classify: Callable[[BaseException], bool] = is_transient,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> T:
+        """Run ``fn``, retrying transient failures with backoff.
+
+        Args:
+            fn: the operation; must be safe to re-execute (callers roll
+                back partial effects in ``on_retry``).
+            classify: predicate deciding whether an exception is worth
+                retrying; non-transient errors propagate immediately.
+            on_retry: hook called as ``on_retry(attempt, exc)`` before
+                each backoff sleep (1-based attempt that just failed) —
+                the place for rollback and retry accounting.
+
+        Raises:
+            The last exception, once ``attempts`` are exhausted or a
+            non-transient error occurs.
+        """
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:
+                if attempt >= self.attempts or not classify(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.delay_for(attempt - 1))
+                attempt += 1

@@ -49,6 +49,14 @@ EVENT_KINDS: tuple[str, ...] = (
     "snapshot_write",
     "wal_compaction",
     "recovery_replay",
+    # robustness (fault handling, degraded modes, audits)
+    "io_retry",
+    "wal_torn_tail",
+    "stale_tmp_removed",
+    "snapshot_quarantined",
+    "bad_points_rejected",
+    "audit",
+    "audit_repair",
 )
 
 

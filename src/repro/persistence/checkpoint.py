@@ -21,6 +21,16 @@ defeating it. The WAL-truncation-at-checkpoint step means replaying from an
 older snapshot is only possible while its tail is still in the log, so
 ``keep`` > 1 primarily guards against a snapshot corrupted *at rest* being
 the only copy.
+
+Degraded-mode behaviour:
+
+* a snapshot that fails to load is **quarantined** — renamed to
+  ``<name>.corrupt`` (never deleted, so forensics stay possible) with a
+  traced ``snapshot_quarantined`` warning — and :meth:`latest_state`
+  falls back to the previous generation;
+* stale ``*.tmp`` files left by a crash mid-write are swept (with a
+  traced ``stale_tmp_removed`` warning) when the manager opens the
+  directory, so they cannot accumulate across crash loops.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import re
 import time
 
 from ..exceptions import PersistenceError, SnapshotError
+from ..faults import FAILPOINTS, RetryPolicy, declare_failpoint, maybe_wrap
 from ..observability import Observability
 from .snapshot import read_snapshot, write_snapshot
 from .state import SummarizerState
@@ -43,6 +54,13 @@ MANIFEST_VERSION = 1
 
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.npz$")
 
+# Crash-matrix failpoints: snapshot_written sits between "snapshot
+# durable" and "WAL compacted" (recovery must skip the now-redundant
+# records); manifest_tmp_written leaves a directory with no manifest.
+_FP_SNAPSHOT_WRITTEN = declare_failpoint("checkpoint.snapshot_written")
+_FP_DONE = declare_failpoint("checkpoint.done")
+_FP_MANIFEST_TMP = declare_failpoint("manifest.tmp_written")
+
 
 class CheckpointManager:
     """Owns one durable-state directory.
@@ -52,6 +70,8 @@ class CheckpointManager:
         interval: snapshot every this many applied batches.
         keep: how many snapshots to retain (newest first).
         fsync: whether WAL appends and snapshot writes flush to disk.
+        retry: backoff policy for transient IO errors on WAL appends and
+            snapshot writes; a default 3-attempt policy when omitted.
         obs: observability handle; ``None`` disables instrumentation.
     """
 
@@ -61,6 +81,7 @@ class CheckpointManager:
         interval: int = 16,
         keep: int = 2,
         fsync: bool = True,
+        retry: RetryPolicy | None = None,
         obs: Observability | None = None,
     ) -> None:
         if interval < 1:
@@ -74,9 +95,38 @@ class CheckpointManager:
         self._interval = int(interval)
         self._keep = int(keep)
         self._fsync = bool(fsync)
-        self._wal = WriteAheadLog(self._dir / "wal.log", fsync=fsync)
+        self._retry = retry if retry is not None else RetryPolicy()
         self._obs = obs
+        self._sweep_stale_tmp()
+        self._wal = WriteAheadLog(
+            self._dir / "wal.log", fsync=fsync, retry=self._retry, obs=obs
+        )
         self._create_metric_handles(obs)
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp`` leftovers from crashes mid-atomic-write.
+
+        Every durable artifact in this directory is written to a ``.tmp``
+        sibling and ``os.replace``d into place, so any surviving ``.tmp``
+        is — by construction — an incomplete write from a dead process.
+        Removing it is safe (its content was never acknowledged) and
+        keeps crash loops from littering the directory.
+        """
+        for stale in sorted(self._dir.glob("*.tmp")):
+            try:
+                size = stale.stat().st_size
+                stale.unlink()
+            except OSError:  # pragma: no cover - racing/readonly dirs
+                continue
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "repro_stale_tmp_removed_total",
+                    help="Stale *.tmp files swept at startup (crash "
+                    "leftovers).",
+                ).inc()
+                self._obs.emit(
+                    "stale_tmp_removed", path=stale.name, bytes=int(size)
+                )
 
     def _create_metric_handles(self, obs: Observability | None) -> None:
         if obs is None:
@@ -146,13 +196,17 @@ class CheckpointManager:
     def write_manifest(self, params: dict) -> None:
         """Persist construction parameters (atomically) for recovery."""
         document = {"manifest_version": MANIFEST_VERSION, **params}
+        payload = (
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
         tmp = self.manifest_path.with_name("manifest.json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        with open(tmp, "wb") as raw:
+            handle = maybe_wrap(raw, "manifest")
+            handle.write(payload)
             handle.flush()
             if self._fsync:
-                os.fsync(handle.fileno())
+                os.fsync(raw.fileno())
+        FAILPOINTS.fire(_FP_MANIFEST_TMP)
         os.replace(tmp, self.manifest_path)
 
     def read_manifest(self) -> dict:
@@ -204,7 +258,8 @@ class CheckpointManager:
         """
         started = time.perf_counter()
         path = self._dir / f"snapshot-{state.batches_applied:012d}.npz"
-        write_snapshot(path, state, fsync=self._fsync)
+        write_snapshot(path, state, fsync=self._fsync, retry=self._retry)
+        FAILPOINTS.fire(_FP_SNAPSHOT_WRITTEN)
         self._prune_snapshots()
         retained = self.snapshot_paths()
         oldest = (
@@ -234,20 +289,47 @@ class CheckpointManager:
                 min_seq=oldest,
                 dropped_records=dropped,
             )
+        FAILPOINTS.fire(_FP_DONE)
         return path
 
     def latest_state(self) -> SummarizerState | None:
         """The newest snapshot that loads cleanly, or ``None``.
 
-        Damaged snapshots (torn at rest, version drift) are skipped in
-        favour of older ones — recovery then replays a longer WAL tail.
+        Damaged snapshots (torn at rest, version drift) are
+        **quarantined** — renamed to ``<name>.corrupt`` so a later read
+        cannot trip over them again and forensics stay possible — and
+        skipped in favour of older ones; recovery then replays a longer
+        WAL tail.
         """
         for path in self.snapshot_paths():
             try:
                 return read_snapshot(path)
-            except SnapshotError:
+            except SnapshotError as exc:
+                self._quarantine_snapshot(path, exc)
                 continue
         return None
+
+    def _quarantine_snapshot(
+        self, path: pathlib.Path, exc: SnapshotError
+    ) -> None:
+        """Rename a damaged snapshot to ``*.corrupt`` (never delete it)."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - read-only directory
+            return
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_snapshots_quarantined_total",
+                help="Damaged snapshots renamed to *.corrupt during "
+                "recovery.",
+            ).inc()
+            self._obs.emit(
+                "snapshot_quarantined",
+                path=path.name,
+                renamed_to=target.name,
+                reason=str(exc),
+            )
 
     def close(self) -> None:
         """Release the WAL file handle."""

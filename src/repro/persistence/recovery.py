@@ -29,7 +29,11 @@ from __future__ import annotations
 import pathlib
 from dataclasses import dataclass
 
-from ..exceptions import PersistenceError, WalCorruptionError
+from ..exceptions import (
+    CorruptStateError,
+    PersistenceError,
+    WalCorruptionError,
+)
 from .checkpoint import CheckpointManager
 from .state import SummarizerState
 from .wal import WalRecord
@@ -70,6 +74,9 @@ def recover_state(
     Raises:
         PersistenceError: the directory holds no durable state, or the
             snapshot and log disagree in a way replay cannot bridge.
+        CorruptStateError: every snapshot generation failed to load (or
+            was pruned) while the log has already been compacted past
+            batch zero — the missing history cannot be replayed.
         WalCorruptionError: the log is damaged before its tail.
     """
     manifest = manager.read_manifest()
@@ -77,6 +84,19 @@ def recover_state(
     records = manager.wal.replay()
 
     covered = 0 if state is None else state.batches_applied
+    if state is None and records and records[0].seq > 0:
+        # The log was compacted up to some snapshot generation, but no
+        # snapshot loads: the batches before records[0].seq are gone.
+        # This is distinct from an out-of-order log (below) — the
+        # operator's fix is to restore a quarantined/backed-up snapshot,
+        # not to repair the WAL.
+        raise CorruptStateError(
+            f"no snapshot in {manager.directory} loads, but the WAL "
+            f"starts at batch {records[0].seq}: batches 0.."
+            f"{records[0].seq - 1} are unrecoverable. Restore a "
+            f"snapshot-*.npz (quarantined copies are kept as "
+            f"*.corrupt) or rebuild from the source stream."
+        )
     tail = tuple(r for r in records if r.seq >= covered)
 
     expected = covered

@@ -26,17 +26,33 @@ import pathlib
 import numpy as np
 
 from ..exceptions import SnapshotError
+from ..faults import FAILPOINTS, RetryPolicy, declare_failpoint, maybe_wrap
+from ..faults import fsync as faulty_fsync
 from .state import SummarizerState, config_from_dict, config_to_dict
 
 __all__ = ["SNAPSHOT_VERSION", "write_snapshot", "read_snapshot"]
 
 SNAPSHOT_VERSION = 1
 
+# Crash-matrix failpoints: a crash at tmp_written leaves a stale *.tmp
+# (swept at the next startup); a crash at replaced leaves a fully valid
+# snapshot whose directory entry may not be durable yet.
+_FP_TMP_WRITTEN = declare_failpoint("snapshot.tmp_written")
+_FP_REPLACED = declare_failpoint("snapshot.replaced")
+
 
 def write_snapshot(
-    path: str | pathlib.Path, state: SummarizerState, fsync: bool = True
+    path: str | pathlib.Path,
+    state: SummarizerState,
+    fsync: bool = True,
+    retry: RetryPolicy | None = None,
 ) -> pathlib.Path:
-    """Atomically persist ``state`` to ``path``; returns the final path."""
+    """Atomically persist ``state`` to ``path``; returns the final path.
+
+    Transient IO errors while writing the temporary sibling are retried
+    with backoff (the partial tmp is discarded between attempts); the
+    final ``os.replace`` keeps the write atomic either way.
+    """
     path = pathlib.Path(path)
     meta = {
         "snapshot_version": SNAPSHOT_VERSION,
@@ -55,27 +71,44 @@ def write_snapshot(
         "rng_state": state.rng_state,
     }
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        np.savez_compressed(
-            handle,
-            meta_json=np.frombuffer(
-                json.dumps(meta).encode("utf-8"), dtype=np.uint8
-            ),
-            store_ids=state.store_ids,
-            store_points=state.store_points,
-            store_labels=state.store_labels,
-            store_owners=state.store_owners,
-            seeds=state.seeds,
-            ns=state.ns,
-            linear_sums=state.linear_sums,
-            square_sums=state.square_sums,
-            member_offsets=state.member_offsets,
-            member_ids=state.member_ids,
-        )
-        handle.flush()
-        if fsync:
-            os.fsync(handle.fileno())
+
+    def write_tmp() -> None:
+        with open(tmp, "wb") as raw:
+            handle = maybe_wrap(raw, "snapshot")
+            np.savez_compressed(
+                handle,
+                meta_json=np.frombuffer(
+                    json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                ),
+                store_ids=state.store_ids,
+                store_points=state.store_points,
+                store_labels=state.store_labels,
+                store_owners=state.store_owners,
+                seeds=state.seeds,
+                ns=state.ns,
+                linear_sums=state.linear_sums,
+                square_sums=state.square_sums,
+                member_offsets=state.member_offsets,
+                member_ids=state.member_ids,
+            )
+            handle.flush()
+            if fsync:
+                faulty_fsync(raw.fileno(), "snapshot")
+
+    def discard_tmp(attempt: int, exc: BaseException) -> None:
+        tmp.unlink(missing_ok=True)
+
+    policy = retry if retry is not None else RetryPolicy()
+    try:
+        policy.call(write_tmp, on_retry=discard_tmp)
+    except BaseException:
+        # Never leave a half-written tmp behind a *surviving* process;
+        # tmp files stranded by crashes are swept at the next startup.
+        tmp.unlink(missing_ok=True)
+        raise
+    FAILPOINTS.fire(_FP_TMP_WRITTEN)
     os.replace(tmp, path)
+    FAILPOINTS.fire(_FP_REPLACED)
     if fsync:
         # Persist the rename itself (the directory entry).
         dir_fd = os.open(path.parent, os.O_RDONLY)
@@ -95,7 +128,9 @@ def read_snapshot(path: str | pathlib.Path) -> SummarizerState:
     """
     path = pathlib.Path(path)
     try:
-        with np.load(path, allow_pickle=False) as archive:
+        with open(path, "rb") as raw, np.load(
+            maybe_wrap(raw, "snapshot"), allow_pickle=False
+        ) as archive:
             meta = json.loads(
                 bytes(archive["meta_json"].tobytes()).decode("utf-8")
             )

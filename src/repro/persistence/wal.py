@@ -22,16 +22,32 @@ File format (version 1), all integers little-endian:
 Failure semantics on read (:meth:`WriteAheadLog.replay`):
 
 * a **torn final record** — the file ends mid-header or mid-payload, the
-  signature of a crash during an append — is truncated away and replay
-  continues with what came before it (the torn batch was never
-  acknowledged as applied, so nothing is lost);
+  signature of a crash during an append — is truncated away (with a
+  traced ``wal_torn_tail`` warning) and replay continues with what came
+  before it (the torn batch was never acknowledged as applied, so
+  nothing is lost);
 * a **checksum or header failure on any complete record** raises
   :class:`~repro.exceptions.WalCorruptionError`: previously fsync'd data
   is damaged and silently skipping it would replay a wrong history.
+
+Failure semantics on write (:meth:`WriteAheadLog.append`):
+
+* **transient** IO errors (``EIO``/``EAGAIN``/``EINTR``/``EBUSY``) are
+  retried with bounded exponential backoff
+  (:class:`~repro.faults.RetryPolicy`), rolling the file back to the
+  last good offset between attempts;
+* any append that ultimately fails rolls the file — and the handle
+  position — back to the last good offset before raising, so the log
+  never accumulates a half-written record from a *surviving* process.
+
+Fault injection: the write/read/fsync paths run through
+:mod:`repro.faults` (``io.wal.*`` faults plus the ``wal.*`` failpoints
+declared below). With nothing armed, the hooks are a falsy check each.
 """
 
 from __future__ import annotations
 
+import contextlib
 import io
 import os
 import pathlib
@@ -43,6 +59,9 @@ import numpy as np
 
 from ..database import UpdateBatch
 from ..exceptions import WalCorruptionError
+from ..faults import FAILPOINTS, RetryPolicy, declare_failpoint, maybe_wrap
+from ..faults import fsync as faulty_fsync
+from ..observability import Observability
 
 __all__ = ["WalRecord", "WriteAheadLog", "encode_batch", "decode_batch"]
 
@@ -52,6 +71,12 @@ _HEADER = struct.Struct("<QII")  # seq, payload length, crc32
 #: Cap on a single record's payload (guards against reading a garbage
 #: length field as a multi-gigabyte allocation).
 _MAX_PAYLOAD = 1 << 31
+
+# Crash-matrix failpoints, each at a clean durability boundary.
+_FP_APPEND_START = declare_failpoint("wal.append.start")
+_FP_APPEND_FLUSHED = declare_failpoint("wal.append.flushed")
+_FP_COMPACT_REWRITTEN = declare_failpoint("wal.compact.rewritten")
+_FP_COMPACT_REPLACED = declare_failpoint("wal.compact.replaced")
 
 
 def encode_batch(batch: UpdateBatch) -> bytes:
@@ -101,11 +126,23 @@ class WriteAheadLog:
             Leave on for crash durability; tests and benchmarks may turn it
             off for speed (process-crash safety is retained either way —
             only power-loss safety is weakened).
+        retry: backoff policy for transient IO errors on appends and
+            compactions; a default 3-attempt policy when omitted.
+        obs: observability handle; torn-tail repairs and IO retries are
+            counted and traced here. ``None`` disables instrumentation.
     """
 
-    def __init__(self, path: str | pathlib.Path, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        fsync: bool = True,
+        retry: RetryPolicy | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self._path = pathlib.Path(path)
         self._fsync = bool(fsync)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._obs = obs
         if not self._path.exists():
             self._path.parent.mkdir(parents=True, exist_ok=True)
             with open(self._path, "wb") as handle:
@@ -136,6 +173,10 @@ class WriteAheadLog:
         The record is flushed (and fsync'd unless disabled) before this
         returns — the write-ahead guarantee callers rely on. Returns the
         number of bytes appended (header + payload).
+
+        Transient IO errors are retried with backoff; each retry (and a
+        final failure) rolls the file and handle back to the last good
+        offset, so a failed append leaves the log exactly as it was.
         """
         payload = encode_batch(batch)
         header = _HEADER.pack(
@@ -143,13 +184,60 @@ class WriteAheadLog:
             len(payload),
             zlib.crc32(struct.pack("<QI", int(seq), len(payload)) + payload),
         )
+        FAILPOINTS.fire(_FP_APPEND_START)
         self._handle.seek(0, os.SEEK_END)
-        self._handle.write(header)
-        self._handle.write(payload)
-        self._handle.flush()
-        if self._fsync:
-            os.fsync(self._handle.fileno())
+        start = self._handle.tell()
+
+        def write_record() -> None:
+            self._handle.seek(0, os.SEEK_END)
+            handle = maybe_wrap(self._handle, "wal")
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            if self._fsync:
+                faulty_fsync(self._handle.fileno(), "wal")
+
+        def roll_back_and_count(attempt: int, exc: BaseException) -> None:
+            self._rollback_to(start)
+            self._note_retry("wal_append", attempt, exc)
+
+        try:
+            self._retry.call(write_record, on_retry=roll_back_and_count)
+        except BaseException:
+            # A mid-write failure must not leave the handle position (or
+            # a half-written record) behind: seek/truncate back to the
+            # last good offset before raising, so the next append — or a
+            # replay by this same process — starts from a clean tail.
+            self._rollback_to(start)
+            raise
+        FAILPOINTS.fire(_FP_APPEND_FLUSHED)
         return len(header) + len(payload)
+
+    def _rollback_to(self, offset: int) -> None:
+        """Best-effort restoration of the log to ``offset`` bytes."""
+        self._handle.seek(offset)
+        self._handle.truncate(offset)
+        with contextlib.suppress(OSError):
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+
+    def _note_retry(
+        self, operation: str, attempt: int, exc: BaseException
+    ) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_io_retries_total",
+            help="Transient IO errors retried with backoff.",
+            labels={"operation": operation},
+        ).inc()
+        self._obs.emit(
+            "io_retry",
+            operation=operation,
+            attempt=attempt,
+            error=repr(exc),
+        )
 
     def reset(self) -> None:
         """Drop every record (checkpoint truncation after a snapshot)."""
@@ -172,24 +260,42 @@ class WriteAheadLog:
         records = self.replay()
         keep = [r for r in records if r.seq >= min_seq]
         tmp = self._path.with_name(self._path.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(_MAGIC)
-            for record in keep:
-                payload = encode_batch(record.batch)
-                header = _HEADER.pack(
-                    record.seq,
-                    len(payload),
-                    zlib.crc32(
-                        struct.pack("<QI", record.seq, len(payload)) + payload
-                    ),
-                )
-                handle.write(header)
-                handle.write(payload)
-            handle.flush()
-            if self._fsync:
-                os.fsync(handle.fileno())
+
+        def rewrite() -> None:
+            with open(tmp, "wb") as raw:
+                handle = maybe_wrap(raw, "wal")
+                handle.write(_MAGIC)
+                for record in keep:
+                    payload = encode_batch(record.batch)
+                    header = _HEADER.pack(
+                        record.seq,
+                        len(payload),
+                        zlib.crc32(
+                            struct.pack("<QI", record.seq, len(payload))
+                            + payload
+                        ),
+                    )
+                    handle.write(header)
+                    handle.write(payload)
+                handle.flush()
+                if self._fsync:
+                    faulty_fsync(raw.fileno(), "wal")
+
+        def discard_and_count(attempt: int, exc: BaseException) -> None:
+            tmp.unlink(missing_ok=True)
+            self._note_retry("wal_compact", attempt, exc)
+
+        try:
+            self._retry.call(rewrite, on_retry=discard_and_count)
+        except BaseException:
+            # The original log is untouched; a leftover tmp is swept by
+            # the checkpoint manager on the next startup.
+            tmp.unlink(missing_ok=True)
+            raise
+        FAILPOINTS.fire(_FP_COMPACT_REWRITTEN)
         self._handle.close()
         os.replace(tmp, self._path)
+        FAILPOINTS.fire(_FP_COMPACT_REPLACED)
         self._handle = open(self._path, "r+b")
         self._handle.seek(0, os.SEEK_END)
         return len(records) - len(keep)
@@ -219,14 +325,15 @@ class WriteAheadLog:
                 carries an impossible header — the log cannot be trusted.
         """
         self._handle.seek(len(_MAGIC))
+        handle = maybe_wrap(self._handle, "wal")
         records: list[WalRecord] = []
         good_end = len(_MAGIC)
         while True:
-            header_bytes = self._handle.read(_HEADER.size)
+            header_bytes = handle.read(_HEADER.size)
             if not header_bytes:
                 break
             if len(header_bytes) < _HEADER.size:
-                self._truncate_to(good_end)
+                self._repair_torn_tail(good_end, len(records), "mid_header")
                 break
             seq, length, crc = _HEADER.unpack(header_bytes)
             if length >= _MAX_PAYLOAD:
@@ -234,9 +341,9 @@ class WriteAheadLog:
                     f"record {len(records)} in {self._path} declares an "
                     f"absurd payload of {length} bytes"
                 )
-            payload = self._handle.read(length)
+            payload = handle.read(length)
             if len(payload) < length:
-                self._truncate_to(good_end)
+                self._repair_torn_tail(good_end, len(records), "mid_payload")
                 break
             expected = zlib.crc32(
                 struct.pack("<QI", seq, length) + payload
@@ -245,7 +352,9 @@ class WriteAheadLog:
                 if self._at_eof():
                     # The final record's bytes were only partially persisted
                     # before the crash: a torn write, not corruption.
-                    self._truncate_to(good_end)
+                    self._repair_torn_tail(
+                        good_end, len(records), "checksum_at_eof"
+                    )
                     break
                 raise WalCorruptionError(
                     f"checksum mismatch on record {len(records)} of "
@@ -256,6 +365,25 @@ class WriteAheadLog:
             good_end = self._handle.tell()
         self._handle.seek(0, os.SEEK_END)
         return records
+
+    def _repair_torn_tail(
+        self, good_end: int, intact_records: int, reason: str
+    ) -> None:
+        """Truncate a torn final record, tracing the repair as a warning."""
+        self._handle.seek(0, os.SEEK_END)
+        dropped = self._handle.tell() - good_end
+        self._truncate_to(good_end)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_wal_torn_tails_total",
+                help="Torn final WAL records truncated during replay.",
+            ).inc()
+            self._obs.emit(
+                "wal_torn_tail",
+                reason=reason,
+                dropped_bytes=int(dropped),
+                intact_records=int(intact_records),
+            )
 
     # ------------------------------------------------------------------
     # Internals

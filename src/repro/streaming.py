@@ -39,9 +39,16 @@ from .core import (
     BubbleSet,
     MaintenanceConfig,
 )
+from .core.audit import AuditReport, InvariantAuditor
 from .core.maintenance import BatchReport
+from .core.validate import RejectedPoint, check_policy, screen_chunk
 from .database import PointStore, UpdateBatch
-from .exceptions import InvalidConfigError, NotFittedError, PersistenceError
+from .exceptions import (
+    CorruptStateError,
+    InvalidConfigError,
+    NotFittedError,
+    PersistenceError,
+)
 from .geometry import DistanceCounter
 from .observability import Observability
 from .persistence import (
@@ -55,6 +62,10 @@ from .sufficient import SufficientStatistics
 from .types import Label
 
 __all__ = ["SlidingWindowSummarizer", "DurableSummarizer"]
+
+#: How many rejected points the ``quarantine`` policy retains for
+#: diagnostics before older ones are dropped (in-memory only).
+QUARANTINE_CAPACITY = 1024
 
 
 class SlidingWindowSummarizer:
@@ -72,6 +83,16 @@ class SlidingWindowSummarizer:
         obs: observability handle; streaming events/gauges land here and
             the handle is passed down to the maintainer. ``None``
             disables instrumentation.
+        on_bad_point: how malformed input (NaN/Inf coordinates, a
+            dimension mismatch) is treated — ``"strict"`` raises
+            :class:`~repro.exceptions.InvalidPointError`, ``"skip"``
+            drops the bad rows (counted and traced), ``"quarantine"``
+            drops them but retains them in :attr:`quarantined` for
+            diagnostics.
+        audit_every: run a self-healing
+            :class:`~repro.core.audit.InvariantAuditor` pass every this
+            many appended chunks (0, the default, disables periodic
+            audits).
 
     The summarizer bootstraps lazily: chunks are buffered in the store
     until at least ``2 · points_per_bubble`` points have arrived, then the
@@ -86,6 +107,8 @@ class SlidingWindowSummarizer:
         config: MaintenanceConfig | None = None,
         seed: int | None = None,
         obs: Observability | None = None,
+        on_bad_point: str = "strict",
+        audit_every: int = 0,
     ) -> None:
         if window_size < 2:
             raise InvalidConfigError(
@@ -99,8 +122,18 @@ class SlidingWindowSummarizer:
             raise InvalidConfigError(
                 "window_size must hold at least two bubbles' worth of points"
             )
+        if audit_every < 0:
+            raise InvalidConfigError(
+                f"audit_every must be >= 0, got {audit_every}"
+            )
         self._window = window_size
         self._points_per_bubble = points_per_bubble
+        self._on_bad_point = check_policy(on_bad_point)
+        self._audit_every = int(audit_every)
+        self._chunks_seen = 0
+        self._rejected_total = 0
+        self._quarantined: list[RejectedPoint] = []
+        self._last_audit: AuditReport | None = None
         self._config = (
             config if config is not None else MaintenanceConfig(seed=seed)
         )
@@ -189,6 +222,31 @@ class SlidingWindowSummarizer:
         """The construction seed."""
         return self._seed
 
+    @property
+    def on_bad_point(self) -> str:
+        """The bad-point policy in force."""
+        return self._on_bad_point
+
+    @property
+    def rejected_points(self) -> int:
+        """Total points rejected at the ingestion boundary so far."""
+        return self._rejected_total
+
+    @property
+    def quarantined(self) -> tuple[RejectedPoint, ...]:
+        """Rejected points retained under the ``quarantine`` policy.
+
+        In-memory only (bounded at :data:`QUARANTINE_CAPACITY`); not
+        persisted across crashes — rejected points are by definition
+        excluded from the durable history.
+        """
+        return tuple(self._quarantined)
+
+    @property
+    def last_audit(self) -> AuditReport | None:
+        """The most recent periodic audit's report, if any ran."""
+        return self._last_audit
+
     def is_ready(self) -> bool:
         """Whether the summary has been bootstrapped."""
         return self._maintainer is not None
@@ -225,6 +283,10 @@ class SlidingWindowSummarizer:
         Evicts the oldest points beyond the window capacity in the same
         batch. Returns the maintainer's :class:`BatchReport`, or ``None``
         while the summarizer is still buffering toward bootstrap.
+
+        Raises:
+            InvalidPointError: the chunk is malformed and the policy is
+                ``strict`` (see the ``on_bad_point`` constructor arg).
         """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim == 1:
@@ -238,6 +300,13 @@ class SlidingWindowSummarizer:
             label_tuple = tuple([-1] * points.shape[0])
         else:
             label_tuple = tuple(int(l) for l in np.asarray(labels))
+        screened = screen_chunk(
+            points, label_tuple, self._store.dim, self._on_bad_point
+        )
+        if screened.num_rejected:
+            self._note_rejected(screened.rejected)
+        points = screened.points
+        label_tuple = screened.labels
 
         overflow = max(0, self._store.size + points.shape[0] - self._window)
         evicted = (
@@ -246,6 +315,7 @@ class SlidingWindowSummarizer:
             else ()
         )
 
+        self._chunks_seen += 1
         if self._maintainer is None:
             # Buffering phase: mutate the store directly.
             if evicted:
@@ -253,6 +323,7 @@ class SlidingWindowSummarizer:
             self._store.insert(points, label_tuple)
             self._maybe_bootstrap()
             self._record_append(points.shape[0], len(evicted))
+            self._maybe_audit()
             return None
 
         batch = UpdateBatch(
@@ -262,7 +333,57 @@ class SlidingWindowSummarizer:
         )
         report = self._maintainer.apply_batch(batch)
         self._record_append(points.shape[0], len(evicted))
+        self._maybe_audit()
         return report
+
+    def audit(self, repair: bool = True) -> AuditReport:
+        """Audit (and by default repair) summary/database consistency.
+
+        Delegates to :class:`~repro.core.audit.InvariantAuditor`. Before
+        bootstrap there is no summary to drift, so a trivially-ok report
+        is returned.
+        """
+        if self._maintainer is None:
+            return AuditReport(ok=True)
+        auditor = InvariantAuditor.for_maintainer(
+            self._maintainer, obs=self._obs
+        )
+        report = auditor.audit(repair=repair)
+        self._last_audit = report
+        return report
+
+    def _maybe_audit(self) -> None:
+        if self._audit_every == 0 or self._maintainer is None:
+            return
+        if self._chunks_seen % self._audit_every == 0:
+            self.audit(repair=True)
+
+    def _note_rejected(
+        self, rejected: tuple[RejectedPoint, ...]
+    ) -> None:
+        self._rejected_total += len(rejected)
+        if self._on_bad_point == "quarantine":
+            space = QUARANTINE_CAPACITY - len(self._quarantined)
+            if space > 0:
+                self._quarantined.extend(rejected[:space])
+        if self._obs is None:
+            return
+        reasons: dict[str, int] = {}
+        for reject in rejected:
+            reasons[reject.reason] = reasons.get(reject.reason, 0) + 1
+        for reason, count in sorted(reasons.items()):
+            self._obs.metrics.counter(
+                "repro_points_rejected_total",
+                help="Stream points rejected at the ingestion boundary.",
+                unit="points",
+                labels={"reason": reason},
+            ).inc(count)
+        self._obs.emit(
+            "bad_points_rejected",
+            count=len(rejected),
+            policy=self._on_bad_point,
+            **reasons,
+        )
 
     def _record_append(self, inserted: int, evicted: int) -> None:
         if self._obs is None:
@@ -387,8 +508,15 @@ class SlidingWindowSummarizer:
         cls,
         state: SummarizerState,
         obs: Observability | None = None,
+        on_bad_point: str = "strict",
+        audit_every: int = 0,
     ) -> "SlidingWindowSummarizer":
-        """Reconstruct a summarizer captured by :meth:`capture_state`."""
+        """Reconstruct a summarizer captured by :meth:`capture_state`.
+
+        ``on_bad_point`` and ``audit_every`` are runtime policies, not
+        summary state — the caller (e.g. ``DurableSummarizer.recover``,
+        which reads them from the manifest) re-supplies them.
+        """
         stream = cls(
             dim=state.dim,
             window_size=state.window_size,
@@ -396,6 +524,8 @@ class SlidingWindowSummarizer:
             config=state.config,
             seed=state.seed,
             obs=obs,
+            on_bad_point=on_bad_point,
+            audit_every=audit_every,
         )
         stream._store = PointStore.from_snapshot(
             dim=state.dim,
@@ -471,6 +601,13 @@ class DurableSummarizer:
         obs: observability handle; WAL/snapshot/recovery metrics and
             events land here and the handle is shared with the wrapped
             summarizer. ``None`` disables instrumentation.
+        on_bad_point: bad-point policy, as for
+            :class:`SlidingWindowSummarizer`. Screening runs **before**
+            the WAL append, so a rejected point is never durably logged
+            — replay sees only clean history. Recorded in the manifest
+            and restored by :meth:`recover`.
+        audit_every: periodic self-healing audit cadence, as for
+            :class:`SlidingWindowSummarizer`.
 
     Example:
         >>> stream = DurableSummarizer(                     # doctest: +SKIP
@@ -493,6 +630,8 @@ class DurableSummarizer:
         keep_snapshots: int = 2,
         fsync: bool = True,
         obs: Observability | None = None,
+        on_bad_point: str = "strict",
+        audit_every: int = 0,
     ) -> None:
         manager = CheckpointManager(
             wal_dir,
@@ -514,6 +653,8 @@ class DurableSummarizer:
             config=config,
             seed=seed,
             obs=obs,
+            on_bad_point=on_bad_point,
+            audit_every=audit_every,
         )
         manager.write_manifest(
             {
@@ -524,6 +665,7 @@ class DurableSummarizer:
                 "config": config_to_dict(inner.config),
                 "checkpoint_every": int(checkpoint_every),
                 "keep_snapshots": int(keep_snapshots),
+                "on_bad_point": inner.on_bad_point,
             }
         )
         self._inner = inner
@@ -563,6 +705,7 @@ class DurableSummarizer:
         wal_dir: str | pathlib.Path,
         fsync: bool = True,
         obs: Observability | None = None,
+        audit_every: int = 0,
     ) -> "DurableSummarizer":
         """Resume a durable summarizer from its state directory.
 
@@ -612,10 +755,25 @@ class DurableSummarizer:
         stream._callback_registered = False
         stream._obs = obs
         stream._create_wal_metrics(obs)
+        # Older manifests predate the bad-point policy; default strict.
+        on_bad_point = str(manifest.get("on_bad_point", "strict"))
         if recovered.state is not None:
-            stream._inner = SlidingWindowSummarizer.from_state(
-                recovered.state, obs=obs
-            )
+            try:
+                stream._inner = SlidingWindowSummarizer.from_state(
+                    recovered.state,
+                    obs=obs,
+                    on_bad_point=on_bad_point,
+                    audit_every=audit_every,
+                )
+            except ValueError as exc:
+                # The snapshot decoded but violates internal invariants
+                # (a buggy writer, or tampering the checksum cannot see).
+                raise CorruptStateError(
+                    f"snapshot state for {wal_dir} is internally "
+                    f"inconsistent ({exc}); rename the newest "
+                    f"snapshot-*.npz aside to fall back to an older "
+                    f"generation, or rebuild from the source stream"
+                ) from exc
             stream._seq = recovered.state.batches_applied
         else:
             stream._inner = SlidingWindowSummarizer(
@@ -629,6 +787,8 @@ class DurableSummarizer:
                     else int(manifest["seed"])
                 ),
                 obs=obs,
+                on_bad_point=on_bad_point,
+                audit_every=audit_every,
             )
             stream._seq = 0
         stream._register_callback_if_ready()
@@ -683,13 +843,6 @@ class DurableSummarizer:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim == 1:
             points = points.reshape(1, -1)
-        # Validate up front: a chunk the in-memory summarizer would reject
-        # must not be acknowledged into the log (replay would re-raise).
-        if points.ndim != 2 or points.shape[1] != self._inner.store.dim:
-            raise ValueError(
-                f"expected (m, {self._inner.store.dim}) points, got shape "
-                f"{points.shape}"
-            )
         if points.shape[0] > self._inner.window_size:
             raise ValueError(
                 f"chunk of {points.shape[0]} exceeds the window of "
@@ -699,6 +852,20 @@ class DurableSummarizer:
             label_tuple = tuple([-1] * points.shape[0])
         else:
             label_tuple = tuple(int(l) for l in np.asarray(labels))
+        # Screen up front: a point the in-memory summarizer would reject
+        # must not be acknowledged into the log — replay would either
+        # re-raise (strict) or have to re-screen (skip/quarantine); only
+        # clean history is durable.
+        screened = screen_chunk(
+            points,
+            label_tuple,
+            self._inner.store.dim,
+            self._inner.on_bad_point,
+        )
+        if screened.num_rejected:
+            self._inner._note_rejected(screened.rejected)
+        points = screened.points
+        label_tuple = screened.labels
         batch = UpdateBatch(
             deletions=(),
             insertions=points,
@@ -808,6 +975,25 @@ class DurableSummarizer:
     def maintainer(self) -> AdaptiveMaintainer | None:
         """The underlying adaptive maintainer (``None`` while buffering)."""
         return self._inner.maintainer
+
+    @property
+    def on_bad_point(self) -> str:
+        """The bad-point policy in force."""
+        return self._inner.on_bad_point
+
+    @property
+    def rejected_points(self) -> int:
+        """Total points rejected at the ingestion boundary so far."""
+        return self._inner.rejected_points
+
+    @property
+    def quarantined(self) -> tuple[RejectedPoint, ...]:
+        """Rejected points retained under the ``quarantine`` policy."""
+        return self._inner.quarantined
+
+    def audit(self, repair: bool = True) -> AuditReport:
+        """Audit (and by default repair) the summary's invariants."""
+        return self._inner.audit(repair=repair)
 
     # ------------------------------------------------------------------
     # Internals

@@ -10,6 +10,15 @@ from repro import (
     BubbleConfig,
     PointStore,
 )
+from repro.faults import FAILPOINTS
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    """Leave the process-wide failpoint registry disarmed between tests."""
+    yield
+    FAILPOINTS.clear()
+    FAILPOINTS.enable()
 
 
 @pytest.fixture

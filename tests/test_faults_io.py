@@ -1,0 +1,355 @@
+"""Faulty IO, retry backoff, and the WAL append rollback guarantee."""
+
+from __future__ import annotations
+
+import errno
+import io
+
+import numpy as np
+import pytest
+
+from repro import UpdateBatch
+from repro.faults import (
+    FAILPOINTS,
+    FailpointRegistry,
+    FaultyFile,
+    RetryPolicy,
+    fsync,
+    is_transient,
+    maybe_wrap,
+)
+from repro.persistence import WriteAheadLog
+from repro.persistence.snapshot import read_snapshot, write_snapshot
+
+
+def make_batch(rng, deletions=(), m=5, d=2):
+    return UpdateBatch(
+        deletions=tuple(deletions),
+        insertions=rng.normal(size=(m, d)),
+        insertion_labels=tuple([-1] * m),
+    )
+
+
+class TestFaultyFile:
+    def test_error_fires_before_bytes_land(self):
+        registry = FailpointRegistry()
+        registry.arm("io.t.write", "error", errno=errno.ENOSPC)
+        sink = io.BytesIO()
+        proxy = FaultyFile(sink, "t", registry=registry)
+        with pytest.raises(OSError) as excinfo:
+            proxy.write(b"payload")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert sink.getvalue() == b""
+
+    def test_unarmed_operations_pass_through(self):
+        registry = FailpointRegistry()
+        sink = io.BytesIO()
+        proxy = FaultyFile(sink, "t", registry=registry)
+        assert proxy.write(b"abc") == 3
+        proxy.flush()
+        proxy.seek(0)
+        assert proxy.read() == b"abc"
+
+    def test_short_read_returns_prefix_and_rewinds_cursor(self):
+        registry = FailpointRegistry()
+        registry.arm("io.t.read", "short_read", fraction=0.5, times=1)
+        source = io.BytesIO(b"abcdefgh")
+        proxy = FaultyFile(source, "t", registry=registry)
+        assert proxy.read(8) == b"abcd"
+        # The cursor sits where the short read ended: the rest is still
+        # readable, as after a real short read.
+        assert proxy.read(8) == b"efgh"
+
+    def test_torn_write_persists_prefix_then_errors(self, tmp_path):
+        registry = FailpointRegistry()
+        registry.arm(
+            "io.t.write", "torn", fraction=0.5, then="error",
+            errno=errno.EIO,
+        )
+        path = tmp_path / "torn.bin"
+        with open(path, "wb") as raw:
+            proxy = FaultyFile(raw, "t", registry=registry)
+            with pytest.raises(OSError):
+                proxy.write(b"abcdefgh")
+        assert path.read_bytes() == b"abcd"
+
+    def test_read_error_fault(self):
+        registry = FailpointRegistry()
+        registry.arm("io.t.read", "error")
+        proxy = FaultyFile(io.BytesIO(b"abc"), "t", registry=registry)
+        with pytest.raises(OSError):
+            proxy.read()
+
+    def test_flush_error_fault(self):
+        registry = FailpointRegistry()
+        registry.arm("io.t.flush", "error")
+        proxy = FaultyFile(io.BytesIO(), "t", registry=registry)
+        with pytest.raises(OSError):
+            proxy.flush()
+
+    def test_delay_fault_still_writes(self):
+        registry = FailpointRegistry()
+        registry.arm("io.t.write", "delay", delay=3.0)
+        slept: list[float] = []
+        sink = io.BytesIO()
+        proxy = FaultyFile(sink, "t", registry=registry, sleep=slept.append)
+        proxy.write(b"abc")
+        assert slept == [3.0]
+        assert sink.getvalue() == b"abc"
+
+
+class TestMaybeWrap:
+    def test_returns_raw_handle_when_nothing_armed(self):
+        registry = FailpointRegistry()
+        handle = io.BytesIO()
+        assert maybe_wrap(handle, "wal", registry=registry) is handle
+
+    def test_wraps_when_a_domain_fault_is_armed(self):
+        registry = FailpointRegistry()
+        registry.arm("io.wal.write", "error")
+        handle = io.BytesIO()
+        wrapped = maybe_wrap(handle, "wal", registry=registry)
+        assert isinstance(wrapped, FaultyFile)
+        # Other domains stay unwrapped.
+        assert maybe_wrap(handle, "snapshot", registry=registry) is handle
+
+
+class TestFaultyFsync:
+    def test_armed_fsync_raises_instead_of_syncing(self, tmp_path):
+        registry = FailpointRegistry()
+        registry.arm("io.wal.fsync", "error", errno=errno.EIO)
+        with open(tmp_path / "f", "wb") as handle:
+            handle.write(b"x")
+            with pytest.raises(OSError):
+                fsync(handle.fileno(), "wal", registry=registry)
+            # Disarmed, the same call syncs fine.
+            registry.clear()
+            fsync(handle.fileno(), "wal", registry=registry)
+
+
+class TestIsTransient:
+    @pytest.mark.parametrize(
+        "code", [errno.EIO, errno.EAGAIN, errno.EINTR, errno.EBUSY]
+    )
+    def test_transient_errnos(self, code):
+        assert is_transient(OSError(code, "x"))
+
+    def test_enospc_is_not_transient(self):
+        assert not is_transient(OSError(errno.ENOSPC, "x"))
+
+    def test_non_oserror_is_not_transient(self):
+        assert not is_transient(ValueError("x"))
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.01, multiplier=2.0, max_delay=0.03
+        )
+        assert policy.delay_for(0) == pytest.approx(0.01)
+        assert policy.delay_for(1) == pytest.approx(0.02)
+        assert policy.delay_for(2) == pytest.approx(0.03)  # capped
+        assert policy.delay_for(3) == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_transient_failure_heals_within_attempts(self):
+        slept: list[float] = []
+        policy = RetryPolicy(attempts=3, sleep=slept.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(errno.EIO, "flaky")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+
+    def test_non_transient_error_propagates_immediately(self):
+        slept: list[float] = []
+        policy = RetryPolicy(attempts=5, sleep=slept.append)
+        calls = {"n": 0}
+
+        def full_disk():
+            calls["n"] += 1
+            raise OSError(errno.ENOSPC, "disk full")
+
+        with pytest.raises(OSError) as excinfo:
+            policy.call(full_disk)
+        assert excinfo.value.errno == errno.ENOSPC
+        assert calls["n"] == 1
+        assert slept == []
+
+    def test_attempts_exhausted_reraises_last_error(self):
+        policy = RetryPolicy(attempts=2, sleep=lambda _: None)
+        calls = {"n": 0}
+
+        def always_eio():
+            calls["n"] += 1
+            raise OSError(errno.EIO, "still broken")
+
+        with pytest.raises(OSError):
+            policy.call(always_eio)
+        assert calls["n"] == 2
+
+    def test_on_retry_hook_sees_each_failed_attempt(self):
+        policy = RetryPolicy(attempts=3, sleep=lambda _: None)
+        seen: list[tuple[int, int]] = []
+
+        def failing():
+            raise OSError(errno.EIO, "x")
+
+        with pytest.raises(OSError):
+            policy.call(
+                failing,
+                on_retry=lambda a, e: seen.append((a, e.errno)),
+            )
+        assert seen == [(1, errno.EIO), (2, errno.EIO)]
+
+
+class TestWalAppendRollback:
+    """A failed append must leave the log byte-identical (satellite #2)."""
+
+    def test_write_error_rolls_the_file_back(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=False)
+        wal.append(0, make_batch(rng))
+        before = (tmp_path / "wal.log").read_bytes()
+
+        # Persistent (non-transient) error on every write attempt.
+        FAILPOINTS.arm("io.wal.write", "error", errno="ENOSPC")
+        with pytest.raises(OSError):
+            wal.append(1, make_batch(rng))
+        FAILPOINTS.clear()
+
+        assert (tmp_path / "wal.log").read_bytes() == before
+        # The handle position was restored too: the next append lands
+        # cleanly and replay sees exactly two intact records.
+        wal.append(1, make_batch(rng))
+        records = wal.replay()
+        assert [r.seq for r in records] == [0, 1]
+        wal.close()
+
+    def test_torn_write_error_is_truncated_before_raising(
+        self, tmp_path, rng
+    ):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=False)
+        wal.append(0, make_batch(rng))
+        before = (tmp_path / "wal.log").read_bytes()
+
+        FAILPOINTS.arm(
+            "io.wal.write", "torn", fraction=0.5, then="error",
+            errno="ENOSPC",
+        )
+        with pytest.raises(OSError):
+            wal.append(1, make_batch(rng))
+        FAILPOINTS.clear()
+
+        # The torn prefix the fault fsync'd to disk was rolled back.
+        assert (tmp_path / "wal.log").read_bytes() == before
+        wal.append(1, make_batch(rng))
+        assert [r.seq for r in wal.replay()] == [0, 1]
+        wal.close()
+
+    def test_fsync_failure_rolls_back_too(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=True)
+        wal.append(0, make_batch(rng))
+        before = (tmp_path / "wal.log").read_bytes()
+
+        FAILPOINTS.arm("io.wal.fsync", "error", errno="ENOSPC")
+        with pytest.raises(OSError):
+            wal.append(1, make_batch(rng))
+        FAILPOINTS.clear()
+
+        assert (tmp_path / "wal.log").read_bytes() == before
+        wal.append(1, make_batch(rng))
+        assert [r.seq for r in wal.replay()] == [0, 1]
+        wal.close()
+
+    def test_transient_error_is_retried_to_success(self, tmp_path, rng):
+        slept: list[float] = []
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            fsync=False,
+            retry=RetryPolicy(attempts=3, sleep=slept.append),
+        )
+        # EIO twice, then heal: the append must succeed transparently.
+        FAILPOINTS.arm("io.wal.write", "error", errno="EIO", times=2)
+        wal.append(0, make_batch(rng))
+        FAILPOINTS.clear()
+        assert len(slept) == 2
+        assert [r.seq for r in wal.replay()] == [0]
+        wal.close()
+
+    def test_retries_are_counted_and_traced(self, tmp_path, rng):
+        from repro.observability import EventTracer, Observability
+
+        obs = Observability(tracer=EventTracer())
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            fsync=False,
+            retry=RetryPolicy(attempts=3, sleep=lambda _: None),
+            obs=obs,
+        )
+        FAILPOINTS.arm("io.wal.write", "error", errno="EIO", times=1)
+        wal.append(0, make_batch(rng))
+        FAILPOINTS.clear()
+        metric = obs.metrics.get(
+            "repro_io_retries_total", labels={"operation": "wal_append"}
+        )
+        assert metric is not None and metric.value == 1
+        events = obs.tracer.events("io_retry")
+        assert len(events) == 1
+        assert events[0].fields["operation"] == "wal_append"
+        wal.close()
+
+
+class TestSnapshotWriteFaults:
+    def test_write_error_leaves_no_tmp_behind(self, tmp_path, rng):
+        from repro import SlidingWindowSummarizer
+
+        stream = SlidingWindowSummarizer(
+            dim=2, window_size=200, points_per_bubble=20, seed=3
+        )
+        stream.append(rng.normal(size=(80, 2)))
+        state = stream.capture_state(1)
+        path = tmp_path / "snapshot-000000000001.npz"
+
+        FAILPOINTS.arm("io.snapshot.write", "error", errno="ENOSPC")
+        with pytest.raises(OSError):
+            write_snapshot(path, state, fsync=False)
+        FAILPOINTS.clear()
+
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_transient_write_error_is_retried(self, tmp_path, rng):
+        from repro import SlidingWindowSummarizer
+
+        stream = SlidingWindowSummarizer(
+            dim=2, window_size=200, points_per_bubble=20, seed=3
+        )
+        stream.append(rng.normal(size=(80, 2)))
+        state = stream.capture_state(1)
+        path = tmp_path / "snapshot-000000000001.npz"
+
+        FAILPOINTS.arm("io.snapshot.write", "error", errno="EIO", times=1)
+        write_snapshot(
+            path,
+            state,
+            fsync=False,
+            retry=RetryPolicy(attempts=3, sleep=lambda _: None),
+        )
+        FAILPOINTS.clear()
+
+        restored = read_snapshot(path)
+        assert restored.batches_applied == 1
+        assert np.array_equal(restored.store_ids, state.store_ids)

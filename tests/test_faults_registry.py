@@ -1,0 +1,284 @@
+"""Failpoint registry semantics: arming, gating, env parsing."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.faults import (
+    CRASH_EXIT_CODE,
+    FailpointRegistry,
+    FaultSpec,
+    declare_failpoint,
+    failpoint,
+    install_from_env,
+    known_failpoints,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_to_an_eio_error(self):
+        spec = FaultSpec(name="p")
+        exc = spec.make_exception()
+        assert isinstance(exc, OSError)
+        assert exc.errno == errno.EIO
+        assert "injected at p" in str(exc)
+
+    def test_errno_accepts_symbolic_names(self):
+        spec = FaultSpec(name="p", errno="ENOSPC")
+        assert spec.errno == errno.ENOSPC
+
+    def test_unknown_errno_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown errno"):
+            FaultSpec(name="p", errno="ENOTANERRNO")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(name="p", kind="explode")
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultSpec(name="p", kind="torn", fraction=1.5)
+
+    def test_torn_then_must_be_crash_or_error(self):
+        with pytest.raises(ValueError, match="'crash' or 'error'"):
+            FaultSpec(name="p", kind="torn", then="retry")
+
+    def test_custom_exception_factory_wins_over_errno(self):
+        spec = FaultSpec(name="p", exc=lambda: RuntimeError("boom"))
+        assert isinstance(spec.make_exception(), RuntimeError)
+
+    def test_delay_executes_through_injected_sleep(self):
+        slept: list[float] = []
+        spec = FaultSpec(name="p", kind="delay", delay=2.5)
+        spec.execute(sleep=slept.append)
+        assert slept == [2.5]
+
+
+class TestRegistry:
+    def test_fire_on_empty_registry_is_a_no_op(self):
+        registry = FailpointRegistry()
+        registry.fire("anything")  # must not raise
+
+    def test_armed_error_fires(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error", errno=errno.ENOSPC)
+        with pytest.raises(OSError) as excinfo:
+            registry.fire("p")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_other_names_unaffected(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error")
+        registry.fire("q")  # must not raise
+        assert registry.hits("p") == 0
+
+    def test_after_skips_the_first_hits(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error", after=2)
+        registry.fire("p")
+        registry.fire("p")
+        with pytest.raises(OSError):
+            registry.fire("p")
+        assert registry.consultations("p") == 3
+        assert registry.hits("p") == 1
+
+    def test_times_bounds_how_often_it_fires(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error", times=2)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                registry.fire("p")
+        registry.fire("p")  # exhausted: transient fault healed
+        assert registry.hits("p") == 2
+        assert registry.consultations("p") == 3
+
+    def test_rearming_resets_hit_counters(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error", times=1)
+        with pytest.raises(OSError):
+            registry.fire("p")
+        registry.arm("p", "error", times=1)
+        assert registry.hits("p") == 0
+        with pytest.raises(OSError):
+            registry.fire("p")
+
+    def test_disarm_and_clear(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error")
+        assert registry.disarm("p") is True
+        assert registry.disarm("p") is False
+        registry.arm("a", "error")
+        registry.arm("b", "error")
+        registry.clear()
+        assert registry.armed_names() == ()
+
+    def test_disabled_context_suppresses_without_disarming(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "error")
+        with registry.disabled():
+            registry.fire("p")
+            assert not registry.enabled
+        assert registry.enabled
+        with pytest.raises(OSError):
+            registry.fire("p")
+
+    def test_has_prefix_reflects_armed_names_and_enablement(self):
+        registry = FailpointRegistry()
+        assert not registry.has_prefix("io.wal.")
+        registry.arm("io.wal.write", "error")
+        assert registry.has_prefix("io.wal.")
+        assert not registry.has_prefix("io.snapshot.")
+        registry.disable()
+        assert not registry.has_prefix("io.wal.")
+
+    def test_trigger_returns_the_spec_for_interpreters(self):
+        registry = FailpointRegistry()
+        spec = registry.arm("p", "torn", fraction=0.25)
+        assert registry.trigger("p") is spec
+        assert registry.trigger("q") is None
+
+    def test_delay_fires_through_injected_sleep(self):
+        registry = FailpointRegistry()
+        registry.arm("p", "delay", delay=1.0)
+        slept: list[float] = []
+        registry.fire("p", sleep=slept.append)
+        assert slept == [1.0]
+
+
+class TestFailpointContextmanager:
+    def test_arms_for_the_block_only(self):
+        registry = FailpointRegistry()
+        with failpoint("p", "error", registry=registry):
+            assert registry.is_armed("p")
+            with pytest.raises(OSError):
+                registry.fire("p")
+        assert not registry.is_armed("p")
+
+    def test_disarms_even_when_the_block_raises(self):
+        registry = FailpointRegistry()
+        with pytest.raises(RuntimeError):
+            with failpoint("p", "error", registry=registry):
+                raise RuntimeError("unrelated")
+        assert not registry.is_armed("p")
+
+
+class TestDeclaration:
+    def test_declared_names_are_enumerable(self):
+        name = declare_failpoint("test.registry.declared")
+        assert name == "test.registry.declared"
+        assert "test.registry.declared" in known_failpoints()
+
+    def test_persistence_failpoints_are_declared_on_import(self):
+        import repro.persistence  # noqa: F401 - triggers declarations
+
+        names = known_failpoints()
+        for expected in (
+            "wal.append.start",
+            "wal.append.flushed",
+            "wal.compact.rewritten",
+            "wal.compact.replaced",
+            "checkpoint.snapshot_written",
+            "checkpoint.done",
+            "manifest.tmp_written",
+            "snapshot.tmp_written",
+            "snapshot.replaced",
+        ):
+            assert expected in names
+
+
+class TestInstallFromEnv:
+    def test_empty_value_arms_nothing(self):
+        registry = FailpointRegistry()
+        assert install_from_env(registry, environ={}) == ()
+        assert registry.armed_names() == ()
+
+    def test_crash_directive_with_exit_code(self):
+        registry = FailpointRegistry()
+        armed = install_from_env(
+            registry, environ={"REPRO_FAILPOINTS": "p=crash:41"}
+        )
+        assert armed == ("p",)
+        spec = registry.trigger("p")
+        assert spec.kind == "crash"
+        assert spec.exit_code == 41
+
+    def test_crash_directive_defaults_to_the_canonical_exit_code(self):
+        registry = FailpointRegistry()
+        install_from_env(registry, environ={"REPRO_FAILPOINTS": "p=crash"})
+        assert registry.trigger("p").exit_code == CRASH_EXIT_CODE
+
+    def test_error_directive_with_symbolic_errno(self):
+        registry = FailpointRegistry()
+        install_from_env(
+            registry, environ={"REPRO_FAILPOINTS": "p=error:ENOSPC"}
+        )
+        spec = registry.trigger("p")
+        assert spec.kind == "error"
+        assert spec.errno == errno.ENOSPC
+
+    def test_delay_directive(self):
+        registry = FailpointRegistry()
+        install_from_env(
+            registry, environ={"REPRO_FAILPOINTS": "p=delay:0.125"}
+        )
+        spec = registry.trigger("p")
+        assert spec.kind == "delay"
+        assert spec.delay == 0.125
+
+    def test_torn_directive_with_fraction_and_then(self):
+        registry = FailpointRegistry()
+        install_from_env(
+            registry,
+            environ={"REPRO_FAILPOINTS": "p=torn:0.25:ENOSPC"},
+        )
+        spec = registry.trigger("p")
+        assert spec.kind == "torn"
+        assert spec.fraction == 0.25
+        assert spec.then == "error"
+        assert spec.errno == errno.ENOSPC
+
+    def test_torn_then_crash(self):
+        registry = FailpointRegistry()
+        install_from_env(
+            registry, environ={"REPRO_FAILPOINTS": "p=torn:0.5:crash"}
+        )
+        assert registry.trigger("p").then == "crash"
+
+    def test_after_suffix(self):
+        registry = FailpointRegistry()
+        install_from_env(
+            registry, environ={"REPRO_FAILPOINTS": "p=crash@3"}
+        )
+        spec = registry._armed["p"].spec
+        assert spec.after == 3
+        for _ in range(3):
+            assert registry.trigger("p") is None
+        assert registry.trigger("p") is spec
+
+    def test_multiple_comma_separated_directives(self):
+        registry = FailpointRegistry()
+        armed = install_from_env(
+            registry,
+            environ={
+                "REPRO_FAILPOINTS": (
+                    "io.wal.fsync=error:ENOSPC, snapshot.tmp_written=crash"
+                )
+            },
+        )
+        assert set(armed) == {"io.wal.fsync", "snapshot.tmp_written"}
+
+    def test_malformed_directive_rejected(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ValueError, match="malformed failpoint"):
+            install_from_env(
+                registry, environ={"REPRO_FAILPOINTS": "no-equals-sign"}
+            )
+
+    def test_custom_key(self):
+        registry = FailpointRegistry()
+        armed = install_from_env(
+            registry, environ={"OTHER": "p=error"}, key="OTHER"
+        )
+        assert armed == ("p",)
