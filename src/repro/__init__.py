@@ -26,6 +26,7 @@ Quickstart::
 from .core import (
     AdaptiveMaintainer,
     Assigner,
+    AssignerCache,
     AuditReport,
     BatchReport,
     BetaQuality,
@@ -73,6 +74,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveMaintainer",
     "Assigner",
+    "AssignerCache",
     "AuditReport",
     "BatchReport",
     "BetaQuality",

@@ -21,6 +21,7 @@ from .adaptive import AdaptiveMaintainer
 from .audit import AuditReport, InvariantAuditor
 from .assignment import (
     Assigner,
+    AssignerCache,
     NaiveAssigner,
     TriangleInequalityAssigner,
     make_assigner,
@@ -58,6 +59,7 @@ from .validate import (
 __all__ = [
     "AdaptiveMaintainer",
     "Assigner",
+    "AssignerCache",
     "AuditReport",
     "BAD_POINT_POLICIES",
     "BatchReport",

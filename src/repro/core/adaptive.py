@@ -24,13 +24,10 @@ quality repair — is inherited unchanged.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..database import PointStore, UpdateBatch
 from ..exceptions import InvalidConfigError
 from ..geometry import DistanceCounter
 from ..observability import Observability
-from .assignment import make_assigner
 from .bubble_set import BubbleSet
 from .config import MaintenanceConfig
 from .maintenance import BatchReport, IncrementalMaintainer
@@ -124,30 +121,14 @@ class AdaptiveMaintainer(IncrementalMaintainer):
     # ------------------------------------------------------------------
     # Overridden steps: keep retired bubbles out of every assignment
     # ------------------------------------------------------------------
-    def _apply_insertions(self, batch: UpdateBatch) -> float:
-        if batch.num_insertions == 0:
-            return 0.0
-        new_ids = np.asarray(
-            self._store.insert(batch.insertions, batch.insertion_labels),
-            dtype=np.int64,
-        )
-        points = batch.insertions
-        active = np.asarray(self._active_ids(), dtype=np.int64)
-        reps = self._bubbles.reps()[active]
-        assigner = make_assigner(
-            reps,
-            counter=self._counter,
-            use_triangle_inequality=self._config.use_triangle_inequality,
-            rng=self._rng,
-        )
-        assignment = active[self._timed_assign(assigner, points)]
-        for bubble_id in np.unique(assignment):
-            mask = assignment == bubble_id
-            self._bubbles[int(bubble_id)].absorb_many(
-                new_ids[mask], points[mask]
-            )
-        self._store.set_owners(new_ids, assignment)
-        return assigner.pruned_fraction
+    def _assignable_ids(self) -> list[int] | None:
+        """Insertions only ever target active (non-retired) bubbles.
+
+        The inherited batch insertion path maps the assigner's indices
+        back through this id list and shares the assigner cache, so the
+        vectorized engine and seed-matrix reuse apply here unchanged.
+        """
+        return self._active_ids()
 
     def _donor_queue(self, report: QualityReport) -> list[int]:
         return [
@@ -248,6 +229,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             use_triangle_inequality=self._config.use_triangle_inequality,
             rng=self._rng,
             exclude=exclude - {emptiest},
+            assigner_cache=self._assigner_cache,
         )
         self._retired.add(emptiest)
         if self._obs is not None:

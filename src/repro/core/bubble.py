@@ -45,7 +45,7 @@ class DataBubble:
     removed with :meth:`release`.
     """
 
-    __slots__ = ("_id", "_seed", "_stats", "_members")
+    __slots__ = ("_id", "_seed", "_stats", "_members", "_on_mutate")
 
     def __init__(self, bubble_id: BubbleId, seed: Point) -> None:
         seed = np.asarray(seed, dtype=np.float64)
@@ -55,6 +55,18 @@ class DataBubble:
         self._seed = seed.copy()
         self._stats = SufficientStatistics(dim=seed.shape[0])
         self._members: set[PointId] = set()
+        self._on_mutate = None
+
+    def _notify(self) -> None:
+        """Tell the owning bubble set this bubble's state changed.
+
+        The :class:`~repro.core.bubble_set.BubbleSet` installs the hook to
+        invalidate its cached representative matrix (and bump its version
+        counter, which the assigner cache keys on). A standalone bubble
+        has no hook and pays nothing.
+        """
+        if self._on_mutate is not None:
+            self._on_mutate(self._id)
 
     # ------------------------------------------------------------------
     # Identity and location
@@ -92,6 +104,7 @@ class DataBubble:
                 f"seed shape {seed.shape} does not match dim {self.dim}"
             )
         self._seed = seed.copy()
+        self._notify()
 
     # ------------------------------------------------------------------
     # Definition 1 quantities
@@ -161,6 +174,7 @@ class DataBubble:
             )
         self._stats.insert(point)
         self._members.add(point_id)
+        self._notify()
 
     def release(self, point_id: PointId, point: Point) -> None:
         """Remove one member: ``(n, LS, SS) -> (n-1, LS-p, SS-p·p)``."""
@@ -170,6 +184,7 @@ class DataBubble:
             )
         self._stats.remove(point)
         self._members.remove(point_id)
+        self._notify()
 
     def absorb_many(self, point_ids: np.ndarray, points: np.ndarray) -> None:
         """Vectorised :meth:`absorb` for parallel id/coordinate arrays."""
@@ -182,6 +197,7 @@ class DataBubble:
             raise ValueError("absorb_many received duplicate ids")
         self._stats.insert_many(points)
         self._members |= new_ids
+        self._notify()
 
     def release_many(self, point_ids: np.ndarray, points: np.ndarray) -> None:
         """Vectorised :meth:`release` for parallel id/coordinate arrays."""
@@ -194,6 +210,7 @@ class DataBubble:
             raise ValueError("release_many received a non-member id")
         self._stats.remove_many(points)
         self._members -= leaving
+        self._notify()
 
     def restore_state(
         self, stats: SufficientStatistics, member_ids: np.ndarray
@@ -223,6 +240,7 @@ class DataBubble:
             )
         self._stats = stats.copy()
         self._members = members
+        self._notify()
 
     def clear(self) -> list[PointId]:
         """Empty the bubble, returning the ids it used to summarize.
@@ -233,6 +251,7 @@ class DataBubble:
         released = sorted(self._members)
         self._members.clear()
         self._stats.clear()
+        self._notify()
         return released
 
     def is_empty(self) -> bool:

@@ -27,13 +27,24 @@ __all__ = ["BubbleSet"]
 
 
 class BubbleSet:
-    """Container of :class:`DataBubble` objects with dense stable ids."""
+    """Container of :class:`DataBubble` objects with dense stable ids.
+
+    The set tracks a monotonic :attr:`version` counter, bumped by every
+    mutation of any member bubble (absorb/release/reseed/clear/restore)
+    and by :meth:`add_bubble`. Batch consumers — most importantly the
+    :class:`~repro.core.assignment.AssignerCache` — key on it to reuse
+    derived state (representative matrices, seed-to-seed distance
+    matrices) for exactly as long as it is actually valid.
+    """
 
     def __init__(self, dim: int) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self._dim = int(dim)
         self._bubbles: list[DataBubble] = []
+        self._version = 0
+        self._reps_cache: np.ndarray | None = None
+        self._dirty_reps: set[int] = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -46,8 +57,19 @@ class BubbleSet:
                 f"seed shape {seed.shape} does not match dim {self._dim}"
             )
         bubble = DataBubble(bubble_id=len(self._bubbles), seed=seed)
+        bubble._on_mutate = self._note_mutation
         self._bubbles.append(bubble)
+        self._note_mutation(bubble.bubble_id)
         return bubble
+
+    def _note_mutation(self, bubble_id: BubbleId) -> None:
+        self._version += 1
+        self._dirty_reps.add(int(bubble_id))
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter covering every member bubble."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Access
@@ -106,11 +128,29 @@ class BubbleSet:
 
         Empty bubbles contribute their seed (see
         :attr:`~repro.core.bubble.DataBubble.rep`).
+
+        The matrix is cached and refreshed incrementally: only rows whose
+        bubbles mutated since the last call are recomputed, so a batch
+        that touched ``k`` of ``B`` bubbles pays O(k·d), not O(B·d). The
+        returned array is a **read-only view** of the cache — consumers
+        that need to mutate or outlive it must copy (the assigners copy
+        their locations defensively on construction).
         """
-        matrix = np.empty((len(self._bubbles), self._dim), dtype=np.float64)
-        for i, bubble in enumerate(self._bubbles):
-            matrix[i] = bubble.rep
-        return matrix
+        num = len(self._bubbles)
+        cache = self._reps_cache
+        if cache is None or cache.shape[0] != num:
+            cache = np.empty((num, self._dim), dtype=np.float64)
+            for i, bubble in enumerate(self._bubbles):
+                cache[i] = bubble.rep
+            self._reps_cache = cache
+            self._dirty_reps.clear()
+        elif self._dirty_reps:
+            for i in self._dirty_reps:
+                cache[i] = self._bubbles[i].rep
+            self._dirty_reps.clear()
+        view = cache.view()
+        view.flags.writeable = False
+        return view
 
     def seeds(self) -> np.ndarray:
         """``(B, d)`` matrix of assignment seeds, in id order."""

@@ -33,7 +33,7 @@ from ..exceptions import InvalidPointError, UnknownPointError
 from ..geometry import DistanceCounter
 from ..observability import Observability
 from ..types import BubbleId
-from .assignment import make_assigner
+from .assignment import Assigner, AssignerCache
 from .bubble_set import BubbleSet
 from .config import DonorPolicy, MaintenanceConfig
 from .quality import BetaQuality, BubbleClass, QualityMeasure, QualityReport
@@ -127,6 +127,7 @@ class IncrementalMaintainer:
         )
         self._counter = counter if counter is not None else DistanceCounter()
         self._rng = np.random.default_rng(self._config.seed)
+        self._assigner_cache = AssignerCache()
         self._batch_callbacks: list[
             Callable[[UpdateBatch, BatchReport], None]
         ] = []
@@ -212,6 +213,23 @@ class IncrementalMaintainer:
             help="Latency of the point-to-seed assignment phase per "
             "batch.",
         )
+        self._m_assignment_batch_points = m.histogram(
+            "repro_assignment_batch_points",
+            help="Points per batch run through the vectorized "
+            "assignment engine.",
+            unit="points",
+            buckets=(1, 8, 64, 256, 1024, 4096, 16384, 65536),
+        )
+        self._m_assigner_cache_hits = m.counter(
+            "repro_assigner_cache_hits_total",
+            help="Batch assignments served by a cached assigner "
+            "(seed matrix reused; bubble set unchanged).",
+        )
+        self._m_assigner_cache_misses = m.counter(
+            "repro_assigner_cache_misses_total",
+            help="Batch assignments that had to (re)build the assigner "
+            "because the bubble set mutated.",
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -240,6 +258,11 @@ class IncrementalMaintainer:
     def obs(self) -> Observability | None:
         """The observability handle, or ``None`` when uninstrumented."""
         return self._obs
+
+    @property
+    def assigner_cache(self) -> AssignerCache:
+        """The cache serving this maintainer's batch assigners."""
+        return self._assigner_cache
 
     def classify(self) -> QualityReport:
         """Classify the current bubbles without performing any rebuilds."""
@@ -464,32 +487,68 @@ class IncrementalMaintainer:
             dtype=np.int64,
         )
         points = batch.insertions
-        assigner = make_assigner(
-            self._bubbles.reps(),
-            counter=self._counter,
-            use_triangle_inequality=self._config.use_triangle_inequality,
-            rng=self._rng,
-        )
+        active = self._assignable_ids()
+        assigner = self._batch_assigner(active)
+        pruned_before = assigner.assign_pruned
+        computed_before = assigner.assign_computed
         assignment = self._timed_assign(assigner, points)
+        if active is not None:
+            assignment = np.asarray(active, dtype=np.int64)[assignment]
         for bubble_id in np.unique(assignment):
             mask = assignment == bubble_id
             self._bubbles[int(bubble_id)].absorb_many(
                 new_ids[mask], points[mask]
             )
         self._store.set_owners(new_ids, assignment)
-        return assigner.pruned_fraction
+        # Per-batch fraction from the assigner's counter deltas, not its
+        # lifetime totals — the cached assigner may outlive this batch.
+        computed = assigner.assign_computed - computed_before
+        pruned = assigner.assign_pruned - pruned_before
+        considered = computed + pruned
+        return pruned / considered if considered else 0.0
+
+    def _batch_assigner(
+        self, active_ids: list[BubbleId] | None
+    ) -> Assigner:
+        """The batch assignment engine for the current bubble set.
+
+        Served from :class:`~repro.core.assignment.AssignerCache`, so the
+        seed-to-seed matrix is rebuilt only when the bubble set actually
+        mutated since the last assignment.
+        """
+        hits = self._assigner_cache.hits
+        assigner = self._assigner_cache.get(
+            self._bubbles,
+            counter=self._counter,
+            use_triangle_inequality=self._config.use_triangle_inequality,
+            rng=self._rng,
+            active_ids=active_ids,
+        )
+        if self._obs is not None:
+            if self._assigner_cache.hits > hits:
+                self._m_assigner_cache_hits.inc()
+            else:
+                self._m_assigner_cache_misses.inc()
+        return assigner
+
+    def _assignable_ids(self) -> list[BubbleId] | None:
+        """Bubble ids insertions may be assigned to; ``None`` means all
+        (hook for subclasses — the adaptive maintainer excludes retired
+        bubbles)."""
+        return None
 
     def _timed_assign(
         self, assigner, points: np.ndarray
     ) -> np.ndarray:
         """Run ``assign_many`` with batch-granular timing (two monotonic
-        reads per batch — the per-point loop itself is untouched)."""
+        reads per batch — the vectorized kernel itself is untouched)."""
         if self._obs is None:
             return assigner.assign_many(points)
         started = time.perf_counter()
         assignment = assigner.assign_many(points)
         self._m_assignment_seconds.observe(time.perf_counter() - started)
         self._m_assignment_points.inc(points.shape[0])
+        self._m_assignment_batch_points.observe(points.shape[0])
         return assignment
 
     # ------------------------------------------------------------------
@@ -522,6 +581,7 @@ class IncrementalMaintainer:
                 strategy=self._config.split_strategy,
                 use_triangle_inequality=self._config.use_triangle_inequality,
                 merge_exclude=self._merge_exclude(),
+                assigner_cache=self._assigner_cache,
             )
             rebuilt.extend((over_id, donor_id))
             if self._obs is not None:

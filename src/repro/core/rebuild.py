@@ -23,6 +23,7 @@ import numpy as np
 
 from ..database import PointStore, UpdateBatch
 from ..geometry import DistanceCounter
+from ..observability import Observability
 from .builder import BubbleBuilder
 from .bubble_set import BubbleSet
 from .config import BubbleConfig
@@ -42,6 +43,8 @@ class CompleteRebuildMaintainer:
             enabled to measure a pruned rebuild instead.
         counter: shared distance counter; a private one is created when
             omitted.
+        obs: optional observability sink, forwarded to the builder so the
+            rebuild's assignment scans are timed like incremental batches.
     """
 
     def __init__(
@@ -49,11 +52,12 @@ class CompleteRebuildMaintainer:
         store: PointStore,
         config: BubbleConfig,
         counter: DistanceCounter | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self._store = store
         self._config = config
         self._counter = counter if counter is not None else DistanceCounter()
-        self._builder = BubbleBuilder(config, counter=self._counter)
+        self._builder = BubbleBuilder(config, counter=self._counter, obs=obs)
         self._bubbles: BubbleSet | None = None
 
     @staticmethod

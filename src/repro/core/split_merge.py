@@ -30,7 +30,7 @@ import numpy as np
 from ..database import PointStore
 from ..geometry import DistanceCounter
 from ..types import BubbleId
-from .assignment import make_assigner
+from .assignment import AssignerCache, make_assigner
 from .bubble_set import BubbleSet
 from .config import SplitStrategy
 
@@ -67,6 +67,7 @@ def merge_bubble(
     use_triangle_inequality: bool = True,
     rng: np.random.Generator | None = None,
     exclude: frozenset[BubbleId] = frozenset(),
+    assigner_cache: AssignerCache | None = None,
 ) -> int:
     """Empty the donor bubble, reassigning its points to other bubbles.
 
@@ -76,6 +77,9 @@ def merge_bubble(
     Args:
         exclude: bubble ids that must not receive points (used by the
             adaptive maintainer to keep retired bubbles empty).
+        assigner_cache: optional shared cache; when given, the assigner
+            (and its seed-to-seed matrix) is reused across calls for as
+            long as the bubble set and candidate ids stay unchanged.
     """
     donor = bubbles[donor_id]
     if donor.is_empty():
@@ -96,13 +100,21 @@ def merge_bubble(
     )
     if other_ids.size == 0:
         raise ValueError("merge_bubble has no target bubbles left")
-    reps = bubbles.reps()[other_ids]
-    assigner = make_assigner(
-        reps,
-        counter=counter,
-        use_triangle_inequality=use_triangle_inequality,
-        rng=rng,
-    )
+    if assigner_cache is not None:
+        assigner = assigner_cache.get(
+            bubbles,
+            counter=counter,
+            use_triangle_inequality=use_triangle_inequality,
+            rng=rng,
+            active_ids=other_ids,
+        )
+    else:
+        assigner = make_assigner(
+            bubbles.reps()[other_ids],
+            counter=counter,
+            use_triangle_inequality=use_triangle_inequality,
+            rng=rng,
+        )
     assignment = other_ids[assigner.assign_many(points)]
 
     for target_id in np.unique(assignment):
@@ -198,6 +210,7 @@ def rebuild_pair(
     strategy: SplitStrategy = SplitStrategy.RANDOM,
     use_triangle_inequality: bool = True,
     merge_exclude: frozenset[BubbleId] = frozenset(),
+    assigner_cache: AssignerCache | None = None,
 ) -> RebuildOutcome:
     """One synchronized merge + split: the unit of Figure 6.
 
@@ -216,6 +229,7 @@ def rebuild_pair(
         use_triangle_inequality=use_triangle_inequality,
         rng=rng,
         exclude=merge_exclude,
+        assigner_cache=assigner_cache,
     )
     donor_n, over_n = split_bubble(
         bubbles,

@@ -12,6 +12,7 @@ from .distance import (
     nearest_index,
     pairwise,
     point_to_points,
+    row_norms,
     squared_euclidean,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "nearest_index",
     "pairwise",
     "point_to_points",
+    "row_norms",
     "squared_euclidean",
 ]

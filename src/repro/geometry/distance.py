@@ -20,6 +20,7 @@ from ..types import Point, PointMatrix
 __all__ = [
     "euclidean",
     "squared_euclidean",
+    "row_norms",
     "point_to_points",
     "pairwise",
     "cross_pairwise",
@@ -47,10 +48,23 @@ def squared_euclidean(a: Point, b: Point) -> float:
     return float(np.dot(diff, diff))
 
 
+def row_norms(diffs: PointMatrix) -> np.ndarray:
+    """Euclidean norm of each row of a ``(m, d)`` difference matrix.
+
+    This is the shared reduction kernel behind every distance the
+    assigners compare: scalar probes (a one-row matrix) and the batch
+    assignment engine (a block of rows) both go through this exact einsum
+    spec, so a given row of coordinates always reduces to the *bit-same*
+    float regardless of how many rows travel together. That equality is
+    what makes the batch assigners' results provably identical to their
+    scalar counterparts, ties included.
+    """
+    return np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+
+
 def point_to_points(point: Point, points: PointMatrix) -> np.ndarray:
     """Distances from one point to each row of ``points``; shape ``(m,)``."""
-    diff = points - point
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return row_norms(points - point)
 
 
 def pairwise(points: PointMatrix) -> np.ndarray:

@@ -55,6 +55,80 @@ class TestNaiveAssigner:
         with pytest.raises(ValueError):
             NaiveAssigner(np.empty((0, 2)))
 
+    def test_assign_many_parity_duplicate_and_equidistant_seeds(self):
+        # Norm-trick drift regression: with duplicate seeds and points
+        # exactly equidistant between seeds, an expanded-norm batch path
+        # can produce tiny negative squared distances or break argmin
+        # tie-breaks. The batch kernel must pick the same (first) index
+        # as the scalar path for every row.
+        seeds = np.array(
+            [
+                [0.0, 0.0],
+                [2.0, 0.0],
+                [2.0, 0.0],  # duplicate of seed 1
+                [0.0, 0.0],  # duplicate of seed 0
+                [1.0, 3.0],
+            ]
+        )
+        points = np.array(
+            [
+                [1.0, 0.0],  # equidistant between seeds 0/3 and 1/2
+                [2.0, 0.0],  # exactly on the duplicated seed pair 1/2
+                [0.0, 0.0],  # exactly on the duplicated seed pair 0/3
+                [1.0, 1.5],  # equidistant between 0, 1 and their twins
+            ]
+        )
+        assigner = NaiveAssigner(seeds)
+        bulk = assigner.assign_many(points)
+        for i, point in enumerate(points):
+            assert bulk[i] == assigner.assign(point), f"row {i}"
+
+    def test_assign_many_parity_far_from_origin(self):
+        # The expanded norm trick loses the most precision when points sit
+        # far from the origin with tiny separations; exact blockwise
+        # distances must keep batch == scalar there too.
+        offset = np.array([1e8, -1e8, 1e8])
+        seeds = offset + np.array(
+            [[0.0, 0.0, 0.0], [1e-3, 0.0, 0.0], [0.0, 1e-3, 0.0]]
+        )
+        rng = np.random.default_rng(7)
+        points = offset + rng.normal(scale=1e-3, size=(64, 3))
+        assigner = NaiveAssigner(seeds)
+        bulk = assigner.assign_many(points)
+        for i, point in enumerate(points):
+            assert bulk[i] == assigner.assign(point), f"row {i}"
+
+
+class TestAssignManyValidation:
+    """assign_many must fail fast on malformed input, naming (m, d)."""
+
+    @pytest.mark.parametrize("use_ti", [False, True])
+    def test_rejects_1d_input(self, seeds, use_ti):
+        assigner = make_assigner(seeds, use_triangle_inequality=use_ti)
+        with pytest.raises(ValueError, match=r"\(m, 3\)"):
+            assigner.assign_many(np.zeros(3))
+
+    @pytest.mark.parametrize("use_ti", [False, True])
+    def test_rejects_wrong_dim(self, seeds, use_ti):
+        assigner = make_assigner(seeds, use_triangle_inequality=use_ti)
+        with pytest.raises(ValueError, match=r"\(m, 3\)"):
+            assigner.assign_many(np.zeros((5, 4)))
+
+    @pytest.mark.parametrize("use_ti", [False, True])
+    def test_rejects_3d_input(self, seeds, use_ti):
+        assigner = make_assigner(seeds, use_triangle_inequality=use_ti)
+        with pytest.raises(ValueError, match=r"\(m, 3\)"):
+            assigner.assign_many(np.zeros((2, 2, 3)))
+
+    def test_rejects_before_accounting(self, seeds):
+        # A shape error must not leave partial accounting behind.
+        counter = DistanceCounter()
+        assigner = NaiveAssigner(seeds, counter)
+        with pytest.raises(ValueError):
+            assigner.assign_many(np.zeros((5, 4)))
+        assert counter.computed == 0
+        assert assigner.assign_computed == 0
+
 
 class TestTriangleInequalityAssigner:
     def test_always_agrees_with_naive(self, seeds, rng):
@@ -128,6 +202,37 @@ class TestTriangleInequalityAssigner:
         counter = DistanceCounter()
         TriangleInequalityAssigner(seeds, counter, count_setup=False)
         assert counter.computed == 0
+
+    def test_setup_contract_both_modes(self, seeds):
+        # The contract: setup_computed always reports B·(B-1)/2 — the
+        # matrix is always built — while count_setup only controls
+        # whether that cost also lands in the shared counter.
+        b = len(seeds)
+        expected = b * (b - 1) // 2
+
+        counted = DistanceCounter()
+        a1 = TriangleInequalityAssigner(
+            seeds, counted, rng=np.random.default_rng(4), count_setup=True
+        )
+        assert a1.setup_computed == expected
+        assert counted.computed == expected
+        assert counted.pruned == 0
+
+        uncounted = DistanceCounter()
+        a2 = TriangleInequalityAssigner(
+            seeds, uncounted, rng=np.random.default_rng(4), count_setup=False
+        )
+        assert a2.setup_computed == expected  # attribute unaffected
+        assert uncounted.computed == 0
+        assert uncounted.pruned == 0
+
+        # After assigning, the two counters differ by exactly the setup
+        # cost (identical RNGs -> identical assignment accounting).
+        points = np.random.default_rng(11).normal(size=(20, 3)) * 10.0
+        a1.assign_many(points)
+        a2.assign_many(points)
+        assert counted.computed - uncounted.computed == expected
+        assert counted.pruned == uncounted.pruned
 
     def test_single_seed(self):
         assigner = TriangleInequalityAssigner(np.zeros((1, 2)))

@@ -1,0 +1,304 @@
+"""Equivalence and caching tests for the batch assignment engine.
+
+The vectorized :meth:`TriangleInequalityAssigner.assign_many` promises
+*bit-identical* results to the scalar Figure 2 loop under the same RNG:
+same indices, same computed/pruned totals, and the same RNG stream
+position afterwards (so scalar and batch calls can interleave freely).
+These tests pin that contract, plus the :class:`AssignerCache` /
+``BubbleSet.version`` machinery that lets maintainers reuse one assigner
+(and its O(B²) seed matrix) across batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AssignerCache,
+    BubbleSet,
+    TriangleInequalityAssigner,
+)
+from repro.geometry import DistanceCounter
+
+
+def _paired_assigners(seeds, seed=0, **kwargs):
+    """Two TI assigners over the same seeds with identically seeded RNGs."""
+    scalar = TriangleInequalityAssigner(
+        seeds,
+        DistanceCounter(),
+        rng=np.random.default_rng(seed),
+        count_setup=False,
+        **kwargs,
+    )
+    batch = TriangleInequalityAssigner(
+        seeds,
+        DistanceCounter(),
+        rng=np.random.default_rng(seed),
+        count_setup=False,
+        **kwargs,
+    )
+    return scalar, batch
+
+
+def _scalar_loop(assigner, points):
+    return np.array([assigner.assign(p) for p in points], dtype=np.int64)
+
+
+class TestBatchScalarEquivalence:
+    """assign_many == a scalar assign() loop, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "num_points,num_seeds,dim,scale",
+        [
+            (1, 2, 2, 1.0),  # single point, minimal seed count
+            (7, 3, 1, 5.0),  # 1-d data
+            (50, 25, 3, 10.0),  # generic
+            (200, 40, 2, 0.3),  # dense overlap: little pruning
+            (128, 16, 8, 50.0),  # well-separated: heavy pruning
+            (1030, 10, 2, 10.0),  # crosses the default block boundary
+        ],
+    )
+    def test_property_bit_identical(self, num_points, num_seeds, dim, scale):
+        rng = np.random.default_rng(num_points * 31 + num_seeds)
+        seeds = rng.normal(size=(num_seeds, dim)) * scale
+        points = rng.normal(size=(num_points, dim)) * scale
+
+        scalar, batch = _paired_assigners(seeds, seed=99)
+        expected = _scalar_loop(scalar, points)
+        actual = batch.assign_many(points)
+
+        assert actual.tolist() == expected.tolist()
+        assert batch.assign_computed == scalar.assign_computed
+        assert batch.assign_pruned == scalar.assign_pruned
+        assert batch.counter.computed == scalar.counter.computed
+        assert batch.counter.pruned == scalar.counter.pruned
+        # Same RNG stream position: further draws stay in lockstep.
+        assert (
+            batch._rng.bit_generator.state == scalar._rng.bit_generator.state
+        )
+
+    def test_clustered_data_heavy_pruning(self):
+        rng = np.random.default_rng(5)
+        seeds = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(30, 2)),
+                rng.normal([80, 80], 0.2, size=(30, 2)),
+            ]
+        )
+        points = np.vstack(
+            [
+                rng.normal([0, 0], 1.0, size=(300, 2)),
+                rng.normal([80, 80], 1.0, size=(300, 2)),
+            ]
+        )
+        scalar, batch = _paired_assigners(seeds, seed=3)
+        expected = _scalar_loop(scalar, points)
+        actual = batch.assign_many(points)
+        assert actual.tolist() == expected.tolist()
+        assert batch.assign_pruned == scalar.assign_pruned
+        assert batch.pruned_fraction > 0.3  # pruning actually engaged
+
+    def test_small_block_size_multi_block(self):
+        # A tiny block size forces many blocks; totals and indices must
+        # be independent of the blocking.
+        rng = np.random.default_rng(17)
+        seeds = rng.normal(size=(12, 3)) * 4.0
+        points = rng.normal(size=(97, 3)) * 4.0
+        scalar, batch = _paired_assigners(seeds, seed=1, block_size=8)
+        expected = _scalar_loop(scalar, points)
+        actual = batch.assign_many(points)
+        assert actual.tolist() == expected.tolist()
+        assert batch.assign_computed == scalar.assign_computed
+        assert batch.assign_pruned == scalar.assign_pruned
+
+    def test_block_size_does_not_change_results(self):
+        rng = np.random.default_rng(23)
+        seeds = rng.normal(size=(20, 2)) * 6.0
+        points = rng.normal(size=(150, 2)) * 6.0
+        a, b = _paired_assigners(seeds, seed=2, block_size=1)
+        b2 = TriangleInequalityAssigner(
+            seeds,
+            DistanceCounter(),
+            rng=np.random.default_rng(2),
+            count_setup=False,
+            block_size=1024,
+        )
+        assert a.assign_many(points).tolist() == b2.assign_many(points).tolist()
+
+    def test_empty_batch(self):
+        seeds = np.random.default_rng(0).normal(size=(5, 2))
+        scalar, batch = _paired_assigners(seeds, seed=0)
+        result = batch.assign_many(np.empty((0, 2)))
+        assert result.shape == (0,)
+        assert batch.assign_computed == 0
+        assert batch.assign_pruned == 0
+        # m == 0 consumes no randomness.
+        assert (
+            batch._rng.bit_generator.state == scalar._rng.bit_generator.state
+        )
+
+    def test_single_seed_batch(self):
+        # B == 1: one computed distance per point, RNG untouched.
+        seeds = np.zeros((1, 2))
+        scalar, batch = _paired_assigners(seeds, seed=0)
+        points = np.random.default_rng(1).normal(size=(9, 2))
+        expected = _scalar_loop(scalar, points)
+        actual = batch.assign_many(points)
+        assert actual.tolist() == expected.tolist() == [0] * 9
+        assert batch.assign_computed == scalar.assign_computed == 9
+        assert (
+            batch._rng.bit_generator.state == scalar._rng.bit_generator.state
+        )
+
+    def test_interleaved_scalar_and_batch_calls(self):
+        # Because both paths consume the RNG identically, any interleaving
+        # of scalar and batch calls stays reproducible across assigners.
+        rng = np.random.default_rng(8)
+        seeds = rng.normal(size=(15, 2)) * 5.0
+        p1 = rng.normal(size=(20, 2)) * 5.0
+        p2 = rng.normal(size=(3, 2)) * 5.0
+        p3 = rng.normal(size=(40, 2)) * 5.0
+
+        a, b = _paired_assigners(seeds, seed=6)
+        # a: batch, scalar, batch — b: scalar, batch, scalar loop.
+        r_a = [
+            a.assign_many(p1),
+            _scalar_loop(a, p2),
+            a.assign_many(p3),
+        ]
+        r_b = [
+            _scalar_loop(b, p1),
+            b.assign_many(p2),
+            _scalar_loop(b, p3),
+        ]
+        for got, want in zip(r_a, r_b):
+            assert got.tolist() == want.tolist()
+        assert a.assign_computed == b.assign_computed
+        assert a.assign_pruned == b.assign_pruned
+
+
+class TestAssignerCache:
+    def _bubble_set(self, seeds):
+        bubbles = BubbleSet(dim=seeds.shape[1])
+        for seed in seeds:
+            bubbles.add_bubble(seed)
+        return bubbles
+
+    def test_hit_while_unchanged(self):
+        seeds = np.random.default_rng(0).normal(size=(6, 2))
+        bubbles = self._bubble_set(seeds)
+        cache = AssignerCache()
+        counter = DistanceCounter()
+        rng = np.random.default_rng(0)
+        a1 = cache.get(bubbles, counter, rng=rng)
+        a2 = cache.get(bubbles, counter, rng=rng)
+        assert a1 is a2
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_miss_after_mutation(self):
+        seeds = np.random.default_rng(0).normal(size=(6, 2))
+        bubbles = self._bubble_set(seeds)
+        cache = AssignerCache()
+        counter = DistanceCounter()
+        a1 = cache.get(bubbles, counter)
+        bubbles[0].absorb(0, np.array([1.0, 1.0]))
+        a2 = cache.get(bubbles, counter)
+        assert a1 is not a2
+        assert cache.misses == 2
+
+    def test_key_includes_active_ids_and_flag(self):
+        seeds = np.random.default_rng(0).normal(size=(6, 2))
+        bubbles = self._bubble_set(seeds)
+        cache = AssignerCache()
+        counter = DistanceCounter()
+        full = cache.get(bubbles, counter)
+        subset = cache.get(bubbles, counter, active_ids=[0, 2, 4])
+        assert subset is not full
+        assert subset.num_locations == 3
+        naive = cache.get(
+            bubbles, counter, use_triangle_inequality=False
+        )
+        assert naive is not subset
+
+    def test_invalidate(self):
+        seeds = np.random.default_rng(0).normal(size=(4, 2))
+        bubbles = self._bubble_set(seeds)
+        cache = AssignerCache()
+        counter = DistanceCounter()
+        a1 = cache.get(bubbles, counter)
+        cache.invalidate()
+        a2 = cache.get(bubbles, counter)
+        assert a1 is not a2
+        assert cache.misses == 2
+
+    def test_cached_assigner_is_isolated_from_later_mutations(self):
+        # reps() hands out views of live cache rows; the assigner must
+        # have copied them so later bubble mutations cannot skew an
+        # in-flight (stale-keyed) assigner's geometry.
+        seeds = np.random.default_rng(0).normal(size=(4, 2))
+        bubbles = self._bubble_set(seeds)
+        cache = AssignerCache()
+        assigner = cache.get(bubbles, DistanceCounter())
+        before = assigner.locations.copy()
+        bubbles[0].absorb(0, np.array([100.0, 100.0]))
+        bubbles.reps()  # refresh the set's cache in place
+        assert np.array_equal(assigner.locations, before)
+
+
+class TestBubbleSetVersioning:
+    def test_version_bumps_on_every_mutation(self):
+        bubbles = BubbleSet(dim=2)
+        v0 = bubbles.version
+        bubble = bubbles.add_bubble(np.zeros(2))
+        assert bubbles.version > v0
+
+        v1 = bubbles.version
+        bubble.absorb(0, np.array([1.0, 0.0]))
+        assert bubbles.version > v1
+
+        v2 = bubbles.version
+        bubble.release(0, np.array([1.0, 0.0]))
+        assert bubbles.version > v2
+
+        v3 = bubbles.version
+        bubble.absorb_many(
+            np.array([1, 2]), np.array([[1.0, 0.0], [0.0, 1.0]])
+        )
+        assert bubbles.version > v3
+
+        v4 = bubbles.version
+        bubble.release_many(
+            np.array([1, 2]), np.array([[1.0, 0.0], [0.0, 1.0]])
+        )
+        assert bubbles.version > v4
+
+        v5 = bubbles.version
+        bubble.clear()
+        assert bubbles.version > v5
+
+        v6 = bubbles.version
+        bubble.reseed(np.array([3.0, 3.0]))
+        assert bubbles.version > v6
+
+    def test_reps_cache_refreshes_dirty_rows_only(self):
+        bubbles = BubbleSet(dim=2)
+        a = bubbles.add_bubble(np.array([0.0, 0.0]))
+        b = bubbles.add_bubble(np.array([5.0, 5.0]))
+        first = bubbles.reps()
+        assert first[0].tolist() == [0.0, 0.0]
+
+        a.absorb(0, np.array([2.0, 2.0]))
+        second = bubbles.reps()
+        assert second[0].tolist() == [2.0, 2.0]  # dirty row refreshed
+        assert second[1].tolist() == [5.0, 5.0]
+        # Same backing buffer: the refresh was in place, not a rebuild.
+        assert second.base is first.base
+
+    def test_reps_view_is_read_only(self):
+        bubbles = BubbleSet(dim=2)
+        bubbles.add_bubble(np.zeros(2))
+        reps = bubbles.reps()
+        with pytest.raises(ValueError):
+            reps[0, 0] = 1.0
