@@ -15,16 +15,13 @@ slow side by construction.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 import numpy as np
+from _results import write_bench_result
 
 from repro.core import TriangleInequalityAssigner
 from repro.geometry import DistanceCounter
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 NUM_POINTS = 10_000
 NUM_SEEDS = 100
@@ -124,9 +121,7 @@ def test_batch_engine_speedup_gate(benchmark):
             "pruned_fraction": batch_assigner.pruned_fraction,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_assignment_batch.json"
-    out.write_text(json.dumps(document, indent=2) + "\n")
+    write_bench_result("assignment_batch", document)
 
     assert speedup >= SPEEDUP_GATE, (
         f"batch engine speedup {speedup:.1f}x below the "

@@ -16,17 +16,15 @@ shared CI runner).
 
 from __future__ import annotations
 
-import json
 import pathlib
 import tempfile
 import time
 
 import numpy as np
+from _results import write_bench_result
 
 from repro.faults import FAILPOINTS
 from repro.streaming import DurableSummarizer
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 ROUNDS = 7
 CHUNKS = 12
@@ -104,9 +102,7 @@ def test_disarmed_failpoints_within_budget(benchmark):
         "overhead_fraction": overhead,
         "overhead_budget": OVERHEAD_BUDGET,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_faults.json"
-    out.write_text(json.dumps(document, indent=2) + "\n")
+    write_bench_result("faults", document)
 
     assert overhead <= OVERHEAD_BUDGET, (
         f"disarmed fault-injection overhead {overhead:.1%} exceeds the "

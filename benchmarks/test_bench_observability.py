@@ -1,33 +1,49 @@
 """Instrumentation overhead: the observability layer must be ~free.
 
-Two measurements of the same deterministic streaming workload — once with
-``obs=None`` (instrumentation compiled out by the ``None`` checks) and
-once with a live :class:`~repro.observability.Observability` handle — give
-the overhead fraction the CI gate tracks. The result is written to
-``benchmarks/results/BENCH_observability.json`` so the perf trajectory of
-the instrumentation itself is visible across PRs.
+Three measurements of the same deterministic streaming workload give the
+overhead fractions the CI gate tracks:
 
-Methodology: best-of-N wall-clock over identical runs (min, not mean —
-the minimum is the least noisy estimator of the achievable time on a
-shared CI runner).
+* ``obs=None`` — instrumentation compiled out by the ``None`` checks
+  (the baseline);
+* a metrics-only :class:`~repro.observability.Observability` handle —
+  the original counters/gauges/histograms arm;
+* the full flight recorder — event tracer + span tracer + windowed
+  time-series recorder, the heaviest configuration ``summarize`` can
+  enable.
+
+Both instrumented arms must stay within the same 5% budget over the
+baseline. The result is written to
+``benchmarks/results/BENCH_observability.json`` (mirrored at the repo
+root) so the perf trajectory of the instrumentation itself is visible
+across PRs.
+
+Methodology: the arms are interleaved within each round (order rotated
+per round, GC controlled per run) and the gate statistic is the lower
+quartile of per-round overhead ratios — see :func:`_measure_rounds` and
+:func:`_lower_quartile` for why that stays honest on a noisy shared
+runner.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
+import gc
 import time
 
 import numpy as np
+from _results import write_bench_result
 
-from repro.observability import Observability
+from repro.observability import (
+    EventTracer,
+    Observability,
+    SpanTracer,
+    TimeseriesRecorder,
+)
 from repro.streaming import SlidingWindowSummarizer
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-ROUNDS = 7
-CHUNKS = 10
+ROUNDS = 10
+CHUNKS = 30
 CHUNK_SIZE = 400
+OVERHEAD_BUDGET = 0.05
 
 
 def _chunks() -> list[np.ndarray]:
@@ -36,6 +52,14 @@ def _chunks() -> list[np.ndarray]:
         rng.normal(size=(CHUNK_SIZE, 2)) + [0.1 * i, -0.05 * i]
         for i in range(CHUNKS)
     ]
+
+
+def _flight_recorder() -> Observability:
+    return Observability(
+        tracer=EventTracer(),
+        spans=SpanTracer(),
+        timeseries=TimeseriesRecorder(interval=1),
+    )
 
 
 def _run_stream(chunks: list[np.ndarray], obs: Observability | None) -> None:
@@ -50,36 +74,84 @@ def _run_stream(chunks: list[np.ndarray], obs: Observability | None) -> None:
         stream.append(chunk)
 
 
-def _best_of(fn, rounds: int = ROUNDS) -> float:
-    best = float("inf")
-    for _ in range(rounds):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
-    return best
+def _measure_rounds(fns, rounds: int = ROUNDS) -> list[list[float]]:
+    """Per-round wall-clock for every arm, arms interleaved within a round.
+
+    Interleaving keeps each round's arms adjacent in time, so a slow
+    epoch on a shared runner (thermal throttling, a noisy neighbour)
+    inflates one *round* uniformly instead of one *arm*; overhead is then
+    computed per round and the cleanest round wins, which stays honest
+    even when the machine's speed drifts over the run. The arm order
+    rotates each round so a periodic disturbance cannot align with the
+    same arm every time, and GC is collected before / disabled during
+    each timed run so collection pauses (which would otherwise land in
+    the allocation-heavier instrumented arms) stay out of the
+    measurement.
+    """
+    times = [[0.0] * len(fns) for _ in range(rounds)]
+    for round_index in range(rounds):
+        order = [
+            (round_index + offset) % len(fns)
+            for offset in range(len(fns))
+        ]
+        for index in order:
+            gc.collect()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                fns[index]()
+                times[round_index][index] = (
+                    time.perf_counter() - started
+                )
+            finally:
+                gc.enable()
+    return times
+
+
+def _lower_quartile(values) -> float:
+    """The 25th-percentile value.
+
+    Timing noise on a shared runner only ever *adds* to a round, so a
+    low quantile estimates the intrinsic cost; the quartile (unlike the
+    minimum) still requires a quarter of the rounds to agree, which
+    keeps one freak-fast round from deciding the gate.
+    """
+    ordered = sorted(values)
+    return ordered[len(ordered) // 4]
 
 
 def test_instrumentation_overhead_within_budget(benchmark):
-    """obs=Observability() costs <= 5% over obs=None on the same stream."""
+    """Metrics and the full flight recorder cost <= 5% over obs=None."""
     chunks = _chunks()
-    # One throwaway run to warm caches before either arm is timed.
+    # One throwaway run to warm caches before any arm is timed.
     _run_stream(chunks, None)
 
-    baseline = _best_of(lambda: _run_stream(chunks, None))
-    instrumented = _best_of(
-        lambda: _run_stream(chunks, Observability())
+    rounds = _measure_rounds(
+        [
+            lambda: _run_stream(chunks, None),
+            lambda: _run_stream(chunks, Observability()),
+            lambda: _run_stream(chunks, _flight_recorder()),
+        ]
     )
-    overhead = instrumented / baseline - 1.0
+    # Lower quartile of per-round ratios: each round's arms are adjacent
+    # in time, so the ratio cancels epoch-wide slowdowns (which a ratio
+    # of cross-round minima would not), and the low quantile discards
+    # the rounds a burst did manage to split.
+    overhead = _lower_quartile(r[1] / r[0] - 1.0 for r in rounds)
+    flight_overhead = _lower_quartile(r[2] / r[0] - 1.0 for r in rounds)
+    baseline = min(r[0] for r in rounds)
+    instrumented = min(r[1] for r in rounds)
+    flight = min(r[2] for r in rounds)
 
     # Registered as a pedantic benchmark so the run also lands in the
     # pytest-benchmark JSON artifact next to the assignment numbers.
     benchmark.pedantic(
-        lambda: _run_stream(chunks, Observability()),
+        lambda: _run_stream(chunks, _flight_recorder()),
         rounds=1,
         iterations=1,
     )
 
-    obs = Observability()
+    obs = _flight_recorder()
     _run_stream(chunks, obs)
     snapshot = obs.metrics.snapshot()
     computed = snapshot.value("repro_distance_computed_total")
@@ -96,19 +168,25 @@ def test_instrumentation_overhead_within_budget(benchmark):
         "baseline_seconds": baseline,
         "instrumented_seconds": instrumented,
         "overhead_fraction": overhead,
-        "overhead_budget": 0.05,
+        "flight_recorder_seconds": flight,
+        "flight_recorder_overhead_fraction": flight_overhead,
+        "overhead_budget": OVERHEAD_BUDGET,
         "registry": {
             "distance_computed_total": computed,
             "distance_pruned_total": pruned,
             "pruned_fraction": pruned / (computed + pruned),
             "metrics_registered": len(snapshot),
+            "spans_opened": obs.spans.total_opened,
+            "timeseries_windows": len(obs.timeseries),
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_observability.json"
-    out.write_text(json.dumps(document, indent=2) + "\n")
+    write_bench_result("observability", document)
 
-    assert overhead <= 0.05, (
+    assert overhead <= OVERHEAD_BUDGET, (
         f"instrumentation overhead {overhead:.1%} exceeds the 5% budget "
         f"(baseline {baseline:.4f}s, instrumented {instrumented:.4f}s)"
+    )
+    assert flight_overhead <= OVERHEAD_BUDGET, (
+        f"flight-recorder overhead {flight_overhead:.1%} exceeds the 5% "
+        f"budget (baseline {baseline:.4f}s, flight {flight:.4f}s)"
     )

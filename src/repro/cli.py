@@ -11,6 +11,7 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles summarize --wal-dir state/ [--resume] [--chunks 20] ...
     repro-bubbles stats     --wal-dir state/ [--format text|json|prom]
     repro-bubbles audit     --wal-dir state/ [--no-repair]
+    repro-bubbles report    --wal-dir state/ [--format text|json]
 
 Every evaluation command prints the corresponding table/series in the
 paper's layout. ``--quick`` shrinks sizes/repetitions for a fast smoke run;
@@ -23,12 +24,16 @@ batches. Re-running with ``--resume`` recovers the summary (snapshot +
 WAL-tail replay) and continues the stream where the previous process — or
 crash — left off. With ``--metrics-out m.json`` the run's metrics registry
 is written as JSON (plus a Prometheus twin ``m.prom``); ``--trace-out``
-streams maintenance/persistence events as JSON lines. ``stats`` inspects a
-durable state directory read-only and reports its metrics in any of the
-three formats. ``audit`` recovers a durable state directory and runs the
-self-healing invariant audit over it (exit code 1 when the summary is
-inconsistent and could not be repaired). See docs/PERSISTENCE.md,
-docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
+streams maintenance/persistence events as JSON lines; ``--timeseries-out``
+records windowed counter deltas and gauges as JSON lines (window width
+``--timeseries-window`` batches); ``--health-out`` writes the one-page
+health-report document as JSON. ``stats`` inspects a durable state
+directory read-only and reports its metrics in any of the three formats.
+``audit`` recovers a durable state directory and runs the self-healing
+invariant audit over it (exit code 1 when the summary is inconsistent and
+could not be repaired). ``report`` recovers a state directory under a
+fully instrumented handle and renders its health report (text or JSON).
+See docs/PERSISTENCE.md, docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -69,9 +74,14 @@ from .observability import (
     EventTracer,
     MetricsRegistry,
     Observability,
+    SpanTracer,
+    TimeseriesRecorder,
+    collect_health,
+    render_health,
     render_text,
     to_json,
     to_prometheus,
+    write_health,
     write_metrics,
 )
 from .persistence import read_snapshot
@@ -112,14 +122,29 @@ def _stream_chunk(seed: int, index: int, size: int):
 
 def _make_observability(args: argparse.Namespace) -> Observability | None:
     """An instrumented handle when any observability output was requested."""
-    if args.metrics_out is None and args.trace_out is None:
+    wanted = (
+        args.metrics_out,
+        args.trace_out,
+        getattr(args, "timeseries_out", None),
+        getattr(args, "health_out", None),
+    )
+    if all(out is None for out in wanted):
         return None
     tracer = (
         EventTracer(sink=args.trace_out)
         if args.trace_out is not None
         else None
     )
-    return Observability(tracer=tracer)
+    timeseries = (
+        TimeseriesRecorder(interval=args.timeseries_window)
+        if getattr(args, "timeseries_out", None) is not None
+        else None
+    )
+    # Spans cost nothing to carry and feed both the metrics registry
+    # (repro_span_seconds) and the health report's latency table.
+    return Observability(
+        tracer=tracer, spans=SpanTracer(), timeseries=timeseries
+    )
 
 
 def _run_summarize(args: argparse.Namespace) -> None:
@@ -171,11 +196,29 @@ def _run_summarize(args: argparse.Namespace) -> None:
         f"({totals.pruned_fraction:.0%} pruned)"
     )
     if obs is not None:
-        _finish_observability(args, obs, totals)
+        _finish_observability(args, obs, totals, summarizer=stream)
     print(f"re-run with --resume --wal-dir {args.wal_dir} to continue")
 
 
-def _finish_observability(args, obs: Observability, totals) -> None:
+def _finish_observability(
+    args, obs: Observability, totals, summarizer=None
+) -> None:
+    if obs.timeseries is not None:
+        if summarizer is not None:
+            summarizer.flush_timeseries()
+        else:
+            obs.timeseries.flush()
+        obs.timeseries.write_jsonl(args.timeseries_out)
+        print(
+            f"wrote {len(obs.timeseries)} time-series windows to "
+            f"{args.timeseries_out}"
+        )
+    if getattr(args, "health_out", None) is not None:
+        report = collect_health(
+            obs, summarizer=summarizer, source=str(args.wal_dir)
+        )
+        write_health(report, args.health_out)
+        print(f"wrote health report to {args.health_out}")
     if obs.tracer is not None:
         obs.tracer.close()
         print(f"wrote event trace to {args.trace_out}")
@@ -239,6 +282,46 @@ def _run_audit(args: argparse.Namespace) -> None:
         obs.tracer.close()
     if not report.healthy:
         raise SystemExit(1)
+
+
+def _run_report(args: argparse.Namespace) -> None:
+    """Render a health report from a durable state directory.
+
+    The directory is recovered under a fresh, fully instrumented
+    observability handle (spans + time-series) and checked with a
+    non-repairing audit, so the span latency table and robustness
+    section reflect genuinely measured recovery/audit work — not
+    whatever instrumentation the original run happened to enable.
+    """
+    if args.wal_dir is None:
+        raise SystemExit("report requires --wal-dir")
+    obs = Observability(
+        tracer=EventTracer(),
+        spans=SpanTracer(),
+        timeseries=TimeseriesRecorder(interval=args.timeseries_window),
+    )
+    stream = DurableSummarizer.recover(
+        args.wal_dir, fsync=not args.no_fsync, obs=obs
+    )
+    stream.audit(repair=False)
+    report = collect_health(
+        obs, summarizer=stream, source=str(args.wal_dir)
+    )
+    stream.close(checkpoint=False)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_health(report), end="")
+    if args.health_out is not None:
+        write_health(report, args.health_out)
+        print(f"wrote health report to {args.health_out}")
+    if args.timeseries_out is not None:
+        obs.timeseries.flush()
+        obs.timeseries.write_jsonl(args.timeseries_out)
+        print(
+            f"wrote {len(obs.timeseries)} time-series windows to "
+            f"{args.timeseries_out}"
+        )
 
 
 def _run_stats(args: argparse.Namespace) -> None:
@@ -358,11 +441,13 @@ def build_parser() -> argparse.ArgumentParser:
             "summarize",
             "stats",
             "audit",
+            "report",
             "all",
         ],
         help="which artifact to regenerate ('summarize' runs a durable "
         "stream summarization; 'stats' inspects its state directory; "
-        "'audit' checks and repairs its invariants)",
+        "'audit' checks and repairs its invariants; 'report' renders a "
+        "health report from it)",
     )
     parser.add_argument(
         "--size", type=int, default=10_000,
@@ -457,8 +542,23 @@ def build_parser() -> argparse.ArgumentParser:
         "as JSON lines (summarize only)",
     )
     observability.add_argument(
+        "--timeseries-out", default=None, metavar="PATH",
+        help="write windowed time-series telemetry (counter deltas + "
+        "gauges per window) to PATH as JSON lines",
+    )
+    observability.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="write a health-report document to PATH as JSON "
+        "(summarize, report)",
+    )
+    observability.add_argument(
+        "--timeseries-window", type=int, default=1, metavar="N",
+        help="time-series window width in appended batches (default 1)",
+    )
+    observability.add_argument(
         "--format", choices=["text", "json", "prom"], default="text",
-        help="stats output format (default text)",
+        help="stats/report output format (default text; 'prom' is "
+        "stats-only)",
     )
     return parser
 
@@ -492,6 +592,9 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         return
     if command == "audit":
         _run_audit(args)
+        return
+    if command == "report":
+        _run_report(args)
         return
     config = _base_config(args)
     table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)

@@ -28,6 +28,7 @@ from ..database import PointStore, UpdateBatch
 from ..exceptions import InvalidConfigError
 from ..geometry import DistanceCounter
 from ..observability import Observability
+from ..observability.spans import maybe_span
 from .bubble_set import BubbleSet
 from .config import MaintenanceConfig
 from .maintenance import BatchReport, IncrementalMaintainer
@@ -167,14 +168,17 @@ class AdaptiveMaintainer(IncrementalMaintainer):
 
     def _steer_count(self) -> None:
         deficit = self.target_count - self.active_count
-        if deficit > 0:
-            for _ in range(min(deficit, self._max_adjust)):
-                self._grow_one()
-        elif deficit < 0:
-            for _ in range(min(-deficit, self._max_adjust)):
-                if self.active_count <= 1:
-                    break
-                self._shrink_one()
+        if deficit == 0:
+            return
+        with maybe_span(self._obs, "adaptive_steer", deficit=deficit):
+            if deficit > 0:
+                for _ in range(min(deficit, self._max_adjust)):
+                    self._grow_one()
+            else:
+                for _ in range(min(-deficit, self._max_adjust)):
+                    if self.active_count <= 1:
+                        break
+                    self._shrink_one()
 
     def _grow_one(self) -> None:
         """Add (or revive) one bubble by splitting the fullest one."""
@@ -199,6 +203,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             counter=self._counter,
             rng=self._rng,
             strategy=self._config.split_strategy,
+            obs=self._obs,
         )
         if self._obs is not None:
             self._obs.metrics.counter(
@@ -230,6 +235,7 @@ class AdaptiveMaintainer(IncrementalMaintainer):
             rng=self._rng,
             exclude=exclude - {emptiest},
             assigner_cache=self._assigner_cache,
+            obs=self._obs,
         )
         self._retired.add(emptiest)
         if self._obs is not None:

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..geometry import DistanceCounter, pairwise
 from ..geometry.distance import row_norms
+from ..observability.spans import maybe_span
 from ..types import Point, PointMatrix
 
 __all__ = [
@@ -78,12 +79,17 @@ class Assigner:
             representative matrix).
         counter: shared :class:`DistanceCounter`; a private one is created
             when omitted.
+        obs: observability handle; batch kernels run each block under an
+            ``assign_block`` span when span tracing is enabled. Mutable
+            (:attr:`obs`) so a cached assigner can follow its owner's
+            handle without invalidating the cache.
     """
 
     def __init__(
         self,
         locations: PointMatrix,
         counter: DistanceCounter | None = None,
+        obs=None,
     ) -> None:
         locations = np.array(locations, dtype=np.float64, order="C")
         if locations.ndim != 2 or locations.shape[0] == 0:
@@ -95,6 +101,7 @@ class Assigner:
         self._counter = counter if counter is not None else DistanceCounter()
         self._assign_computed = 0
         self._assign_pruned = 0
+        self.obs = obs
 
     @property
     def num_locations(self) -> int:
@@ -205,14 +212,20 @@ class NaiveAssigner(Assigner):
         block = max(1, _NAIVE_BLOCK_ELEMENTS // (num * dim))
         for start in range(0, num_points, block):
             chunk = points[start : start + block]
-            # (rows, B, d) difference tensor, reduced row-by-row through
-            # the exact same kernel assign() uses — bit-identical floats,
-            # hence bit-identical argmin tie-breaks.
-            diff = chunk[:, None, :] - locations[None, :, :]
-            dists = row_norms(diff.reshape(-1, dim)).reshape(
-                chunk.shape[0], num
-            )
-            result[start : start + chunk.shape[0]] = np.argmin(dists, axis=1)
+            with maybe_span(
+                self.obs, "assign_block", points=chunk.shape[0]
+            ):
+                # (rows, B, d) difference tensor, reduced row-by-row
+                # through the exact same kernel assign() uses —
+                # bit-identical floats, hence bit-identical argmin
+                # tie-breaks.
+                diff = chunk[:, None, :] - locations[None, :, :]
+                dists = row_norms(diff.reshape(-1, dim)).reshape(
+                    chunk.shape[0], num
+                )
+                result[start : start + chunk.shape[0]] = np.argmin(
+                    dists, axis=1
+                )
         return result
 
 
@@ -269,8 +282,9 @@ class TriangleInequalityAssigner(Assigner):
         rng: np.random.Generator | None = None,
         count_setup: bool = True,
         block_size: int | None = None,
+        obs=None,
     ) -> None:
-        super().__init__(locations, counter)
+        super().__init__(locations, counter, obs=obs)
         if block_size is not None and block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         self._rng = rng if rng is not None else np.random.default_rng()
@@ -355,7 +369,12 @@ class TriangleInequalityAssigner(Assigner):
             block = max(DEFAULT_BLOCK_SIZE, _TI_BLOCK_ELEMENTS // num)
         for start in range(0, num_points, block):
             chunk = points[start : start + block]
-            result[start : start + chunk.shape[0]] = self._assign_block(chunk)
+            with maybe_span(
+                self.obs, "assign_block", points=chunk.shape[0]
+            ):
+                result[start : start + chunk.shape[0]] = self._assign_block(
+                    chunk
+                )
         return result
 
     def _workspace(
@@ -525,6 +544,7 @@ class AssignerCache:
         use_triangle_inequality: bool = True,
         rng: np.random.Generator | None = None,
         active_ids: np.ndarray | list | None = None,
+        obs=None,
     ) -> Assigner:
         """The cached assigner, rebuilt only when the bubble set changed.
 
@@ -536,6 +556,10 @@ class AssignerCache:
             active_ids: optional id subset to assign among (e.g. the
                 adaptive maintainer's non-retired bubbles, or a merge's
                 everything-but-the-donor set); ``None`` means all bubbles.
+            obs: observability handle stamped onto the assigner (hit or
+                miss) so block spans follow the caller; deliberately NOT
+                part of the cache key — instrumentation must never change
+                cache behaviour.
         """
         key = (
             bubbles.version,
@@ -546,6 +570,7 @@ class AssignerCache:
         )
         if self._assigner is not None and key == self._key:
             self.hits += 1
+            self._assigner.obs = obs
             return self._assigner
         reps = bubbles.reps()
         if active_ids is not None:
@@ -555,6 +580,7 @@ class AssignerCache:
             counter=counter,
             use_triangle_inequality=use_triangle_inequality,
             rng=rng,
+            obs=obs,
         )
         self._key = key
         self.misses += 1
@@ -566,6 +592,7 @@ def make_assigner(
     counter: DistanceCounter | None = None,
     use_triangle_inequality: bool = True,
     rng: np.random.Generator | None = None,
+    obs=None,
 ) -> Assigner:
     """Factory selecting the pruning or naive assigner.
 
@@ -574,5 +601,5 @@ def make_assigner(
     """
     locations = np.asarray(locations, dtype=np.float64)
     if use_triangle_inequality and locations.shape[0] > 1:
-        return TriangleInequalityAssigner(locations, counter, rng)
-    return NaiveAssigner(locations, counter)
+        return TriangleInequalityAssigner(locations, counter, rng, obs=obs)
+    return NaiveAssigner(locations, counter, obs=obs)

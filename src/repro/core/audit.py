@@ -34,6 +34,7 @@ import numpy as np
 
 from ..database import PointStore
 from ..observability import Observability
+from ..observability.spans import maybe_span
 from ..sufficient import SufficientStatistics
 from .bubble_set import BubbleSet
 from .maintenance import IncrementalMaintainer
@@ -120,26 +121,30 @@ class InvariantAuditor:
         (``report.healthy`` tells the caller whether the summary is — or
         is again — sound).
         """
-        check = verify_consistency(
-            self._bubbles, self._store, rel_tol=self._rel_tol
-        )
-        self._note_check(check.ok, len(check.violations))
-        if check.ok:
-            return AuditReport(ok=True)
-        if not repair:
-            return AuditReport(ok=False, violations=check.violations)
-        repaired, reassigned = self._repair()
-        recheck = verify_consistency(
-            self._bubbles, self._store, rel_tol=self._rel_tol
-        )
-        self._note_repair(repaired, reassigned, recheck.ok)
-        return AuditReport(
-            ok=False,
-            violations=check.violations,
-            repaired_bubbles=tuple(repaired),
-            reassigned_points=reassigned,
-            post_repair_ok=recheck.ok,
-        )
+        with maybe_span(self._obs, "audit", repair=repair):
+            check = verify_consistency(
+                self._bubbles, self._store, rel_tol=self._rel_tol
+            )
+            self._note_check(check.ok, len(check.violations))
+            if check.ok:
+                return AuditReport(ok=True)
+            if not repair:
+                return AuditReport(ok=False, violations=check.violations)
+            with maybe_span(
+                self._obs, "audit_repair", violations=len(check.violations)
+            ):
+                repaired, reassigned = self._repair()
+            recheck = verify_consistency(
+                self._bubbles, self._store, rel_tol=self._rel_tol
+            )
+            self._note_repair(repaired, reassigned, recheck.ok)
+            return AuditReport(
+                ok=False,
+                violations=check.violations,
+                repaired_bubbles=tuple(repaired),
+                reassigned_points=reassigned,
+                post_repair_ok=recheck.ok,
+            )
 
     # ------------------------------------------------------------------
     # Repair

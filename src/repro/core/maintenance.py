@@ -32,6 +32,7 @@ from ..database import PointStore, UpdateBatch
 from ..exceptions import InvalidPointError, UnknownPointError
 from ..geometry import DistanceCounter
 from ..observability import Observability
+from ..observability.spans import maybe_span
 from ..types import BubbleId
 from .assignment import Assigner, AssignerCache
 from .bubble_set import BubbleSet
@@ -133,6 +134,7 @@ class IncrementalMaintainer:
         ] = []
         self._obs = obs
         self._prev_classes: tuple[BubbleClass, ...] | None = None
+        self._last_report: QualityReport | None = None
         if obs is not None:
             self._create_metric_handles(obs)
 
@@ -268,6 +270,17 @@ class IncrementalMaintainer:
         """Classify the current bubbles without performing any rebuilds."""
         return self._quality.classify(self._bubbles, self._store.size)
 
+    @property
+    def last_quality_report(self) -> QualityReport | None:
+        """The final classification of the last batch's repair loop.
+
+        ``None`` before the first batch. The telemetry gauges read this
+        instead of re-classifying every window; it can trail the live
+        state by one adaptive steering step, which is fine for trend
+        monitoring (and costs nothing).
+        """
+        return self._last_report
+
     # ------------------------------------------------------------------
     # Durability hooks
     # ------------------------------------------------------------------
@@ -322,7 +335,13 @@ class IncrementalMaintainer:
         else:
             before = self._counter.snapshot()
             started = time.perf_counter()
-            report = self._apply_batch_inner(batch)
+            with maybe_span(
+                self._obs,
+                "apply_batch",
+                deletions=batch.num_deletions,
+                insertions=batch.num_insertions,
+            ):
+                report = self._apply_batch_inner(batch)
             elapsed = time.perf_counter() - started
             # The counter delta — not the report's fields — feeds the
             # registry: subclass work after the inner report is cut (the
@@ -396,7 +415,13 @@ class IncrementalMaintainer:
         rebuilt: list[BubbleId] = []
         rounds = 0
         for _ in range(self._config.rebuild_rounds):
-            report = self._quality.classify(self._bubbles, self._store.size)
+            with maybe_span(
+                self._obs, "classify", bubbles=len(self._bubbles)
+            ):
+                report = self._quality.classify(
+                    self._bubbles, self._store.size
+                )
+            self._last_report = report
             if first_report is None:
                 first_report = report
             over_ids = report.over_filled_ids
@@ -453,6 +478,12 @@ class IncrementalMaintainer:
     def _apply_deletions(self, batch: UpdateBatch) -> None:
         if not batch.deletions:
             return
+        with maybe_span(
+            self._obs, "maintain_delete", points=len(batch.deletions)
+        ):
+            self._apply_deletions_inner(batch)
+
+    def _apply_deletions_inner(self, batch: UpdateBatch) -> None:
         ids = np.asarray(batch.deletions, dtype=np.int64)
 
         def owner_of(point_id: int) -> int:
@@ -482,6 +513,12 @@ class IncrementalMaintainer:
     def _apply_insertions(self, batch: UpdateBatch) -> float:
         if batch.num_insertions == 0:
             return 0.0
+        with maybe_span(
+            self._obs, "maintain_insert", points=batch.num_insertions
+        ):
+            return self._apply_insertions_inner(batch)
+
+    def _apply_insertions_inner(self, batch: UpdateBatch) -> float:
         new_ids = np.asarray(
             self._store.insert(batch.insertions, batch.insertion_labels),
             dtype=np.int64,
@@ -523,6 +560,7 @@ class IncrementalMaintainer:
             use_triangle_inequality=self._config.use_triangle_inequality,
             rng=self._rng,
             active_ids=active_ids,
+            obs=self._obs,
         )
         if self._obs is not None:
             if self._assigner_cache.hits > hits:
@@ -582,6 +620,7 @@ class IncrementalMaintainer:
                 use_triangle_inequality=self._config.use_triangle_inequality,
                 merge_exclude=self._merge_exclude(),
                 assigner_cache=self._assigner_cache,
+                obs=self._obs,
             )
             rebuilt.extend((over_id, donor_id))
             if self._obs is not None:

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..database import PointStore
 from ..geometry import DistanceCounter
+from ..observability.spans import maybe_span
 from ..types import BubbleId
 from .assignment import AssignerCache, make_assigner
 from .bubble_set import BubbleSet
@@ -68,6 +69,7 @@ def merge_bubble(
     rng: np.random.Generator | None = None,
     exclude: frozenset[BubbleId] = frozenset(),
     assigner_cache: AssignerCache | None = None,
+    obs=None,
 ) -> int:
     """Empty the donor bubble, reassigning its points to other bubbles.
 
@@ -80,11 +82,41 @@ def merge_bubble(
         assigner_cache: optional shared cache; when given, the assigner
             (and its seed-to-seed matrix) is reused across calls for as
             long as the bubble set and candidate ids stay unchanged.
+        obs: observability handle; the merge runs under a
+            ``merge_bubble`` span when span tracing is enabled.
     """
     donor = bubbles[donor_id]
     if donor.is_empty():
         return 0
 
+    with maybe_span(
+        obs, "merge_bubble", donor=int(donor_id), points=donor.n
+    ):
+        return _merge_bubble_inner(
+            bubbles,
+            store,
+            donor_id,
+            counter,
+            use_triangle_inequality,
+            rng,
+            exclude,
+            assigner_cache,
+            obs,
+        )
+
+
+def _merge_bubble_inner(
+    bubbles: BubbleSet,
+    store: PointStore,
+    donor_id: BubbleId,
+    counter: DistanceCounter,
+    use_triangle_inequality: bool,
+    rng: np.random.Generator | None,
+    exclude: frozenset[BubbleId],
+    assigner_cache: AssignerCache | None,
+    obs,
+) -> int:
+    donor = bubbles[donor_id]
     member_ids = donor.member_ids()
     points = store.points_of(member_ids)
     donor.clear()
@@ -107,6 +139,7 @@ def merge_bubble(
             use_triangle_inequality=use_triangle_inequality,
             rng=rng,
             active_ids=other_ids,
+            obs=obs,
         )
     else:
         assigner = make_assigner(
@@ -114,6 +147,7 @@ def merge_bubble(
             counter=counter,
             use_triangle_inequality=use_triangle_inequality,
             rng=rng,
+            obs=obs,
         )
     assignment = other_ids[assigner.assign_many(points)]
 
@@ -152,6 +186,7 @@ def split_bubble(
     counter: DistanceCounter,
     rng: np.random.Generator,
     strategy: SplitStrategy = SplitStrategy.RANDOM,
+    obs=None,
 ) -> tuple[int, int]:
     """Split the over-filled bubble across itself and the (empty) donor.
 
@@ -176,28 +211,34 @@ def split_bubble(
     if over.is_empty():
         raise ValueError(f"cannot split empty bubble {over_id}")
 
-    member_ids = over.member_ids()
-    points = store.points_of(member_ids)
-    seed_one, seed_two = _select_split_seeds(points, strategy, rng, counter)
+    with maybe_span(
+        obs, "split_bubble", over=int(over_id), donor=int(donor_id)
+    ):
+        member_ids = over.member_ids()
+        points = store.points_of(member_ids)
+        seed_one, seed_two = _select_split_seeds(
+            points, strategy, rng, counter
+        )
 
-    donor.reseed(seed_one)
-    over.clear()
-    over.reseed(seed_two)
+        donor.reseed(seed_one)
+        over.clear()
+        over.reseed(seed_two)
 
-    # Distribute the points between the two new seeds; with two candidates
-    # the triangle inequality cannot prune, so compute both distances.
-    counter.record_computed(2 * points.shape[0])
-    diff_one = points - seed_one
-    diff_two = points - seed_two
-    to_donor = np.einsum("ij,ij->i", diff_one, diff_one) <= np.einsum(
-        "ij,ij->i", diff_two, diff_two
-    )
+        # Distribute the points between the two new seeds; with two
+        # candidates the triangle inequality cannot prune, so compute
+        # both distances.
+        counter.record_computed(2 * points.shape[0])
+        diff_one = points - seed_one
+        diff_two = points - seed_two
+        to_donor = np.einsum("ij,ij->i", diff_one, diff_one) <= np.einsum(
+            "ij,ij->i", diff_two, diff_two
+        )
 
-    donor.absorb_many(member_ids[to_donor], points[to_donor])
-    over.absorb_many(member_ids[~to_donor], points[~to_donor])
-    owners = np.where(to_donor, donor_id, over_id)
-    store.set_owners(member_ids, owners)
-    return int(to_donor.sum()), int(member_ids.size - to_donor.sum())
+        donor.absorb_many(member_ids[to_donor], points[to_donor])
+        over.absorb_many(member_ids[~to_donor], points[~to_donor])
+        owners = np.where(to_donor, donor_id, over_id)
+        store.set_owners(member_ids, owners)
+        return int(to_donor.sum()), int(member_ids.size - to_donor.sum())
 
 
 def rebuild_pair(
@@ -211,6 +252,7 @@ def rebuild_pair(
     use_triangle_inequality: bool = True,
     merge_exclude: frozenset[BubbleId] = frozenset(),
     assigner_cache: AssignerCache | None = None,
+    obs=None,
 ) -> RebuildOutcome:
     """One synchronized merge + split: the unit of Figure 6.
 
@@ -221,25 +263,30 @@ def rebuild_pair(
     Returns a :class:`RebuildOutcome` describing the migration and the
     post-split sizes (the maintenance event tracer records these).
     """
-    moved = merge_bubble(
-        bubbles,
-        store,
-        donor_id,
-        counter,
-        use_triangle_inequality=use_triangle_inequality,
-        rng=rng,
-        exclude=merge_exclude,
-        assigner_cache=assigner_cache,
-    )
-    donor_n, over_n = split_bubble(
-        bubbles,
-        store,
-        over_id,
-        donor_id,
-        counter,
-        rng,
-        strategy=strategy,
-    )
+    with maybe_span(
+        obs, "rebuild_pair", over=int(over_id), donor=int(donor_id)
+    ):
+        moved = merge_bubble(
+            bubbles,
+            store,
+            donor_id,
+            counter,
+            use_triangle_inequality=use_triangle_inequality,
+            rng=rng,
+            exclude=merge_exclude,
+            assigner_cache=assigner_cache,
+            obs=obs,
+        )
+        donor_n, over_n = split_bubble(
+            bubbles,
+            store,
+            over_id,
+            donor_id,
+            counter,
+            rng,
+            strategy=strategy,
+            obs=obs,
+        )
     return RebuildOutcome(
         points_migrated=moved, donor_size=donor_n, over_size=over_n
     )

@@ -10,6 +10,13 @@ makes those signals first-class at runtime:
   process-wide registry (:func:`get_registry`);
 * :mod:`~repro.observability.tracer` — structured maintenance/streaming/
   persistence events as timestamped JSON lines;
+* :mod:`~repro.observability.spans` — hierarchical (parented) spans
+  timing every instrumented operation, folded into per-op latency
+  histograms;
+* :mod:`~repro.observability.timeseries` — bounded-ring windowed
+  counter deltas and gauges (JSONL);
+* :mod:`~repro.observability.health` — one-page health reports (text +
+  JSON) aggregating all of the above;
 * :mod:`~repro.observability.export` — JSON and Prometheus text
   exposition of registry snapshots.
 
@@ -41,6 +48,12 @@ from .export import (
     to_prometheus,
     write_metrics,
 )
+from .health import (
+    HEALTH_SCHEMA_VERSION,
+    collect_health,
+    render_health,
+    write_health,
+)
 from .registry import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -52,7 +65,18 @@ from .registry import (
     Timer,
     get_registry,
 )
-from .tracer import EVENT_KINDS, EventTracer, TraceEvent
+from .spans import NULL_SPAN, Span, SpanTracer, maybe_span
+from .timeseries import (
+    TIMESERIES_SCHEMA_VERSION,
+    TimeseriesRecorder,
+    WindowSample,
+)
+from .tracer import (
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    EventTracer,
+    TraceEvent,
+)
 
 __all__ = [
     "Counter",
@@ -60,25 +84,37 @@ __all__ = [
     "EVENT_KINDS",
     "EventTracer",
     "Gauge",
+    "HEALTH_SCHEMA_VERSION",
     "Histogram",
     "MetricSample",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NULL_SPAN",
     "Observability",
+    "Span",
+    "SpanTracer",
+    "TIMESERIES_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
     "Timer",
+    "TimeseriesRecorder",
     "TraceEvent",
+    "WindowSample",
+    "collect_health",
     "escape_help",
     "escape_label_value",
     "get_registry",
+    "maybe_span",
+    "render_health",
     "render_text",
     "to_json",
     "to_prometheus",
+    "write_health",
     "write_metrics",
 ]
 
 
 class Observability:
-    """One handle bundling a metrics registry and an (optional) tracer.
+    """One handle bundling metrics, tracing, spans, and time-series.
 
     Args:
         registry: the metrics sink; a fresh private
@@ -88,20 +124,49 @@ class Observability:
             events are still *counted* in the registry
             (``repro_events_total{kind=...}``), so split/migration counts
             survive even metric-only runs.
+        spans: a :class:`SpanTracer` enabling hierarchical operation
+            timing via :meth:`span`; ``None`` (the default) makes
+            :meth:`span` a true no-op (it returns the shared
+            :data:`NULL_SPAN`).
+        timeseries: a :class:`TimeseriesRecorder` enabling windowed
+            counter deltas; ``None`` disables it. The streaming layer
+            ticks the recorder once per appended batch.
     """
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         tracer: EventTracer | None = None,
+        spans: SpanTracer | None = None,
+        timeseries: TimeseriesRecorder | None = None,
     ) -> None:
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        self.spans = spans
+        self.timeseries = timeseries
         self._event_counters: dict[str, Counter] = {}
+        if spans is not None:
+            spans.bind(self)
+        if timeseries is not None:
+            timeseries.bind(self)
+
+    def span(self, op: str, **fields):
+        """A context manager timing ``op`` as a parented span.
+
+        Returns :data:`NULL_SPAN` (a shared no-op) when no
+        :class:`SpanTracer` is attached, so call sites never branch.
+        """
+        if self.spans is None:
+            return NULL_SPAN
+        return self.spans.span(op, fields)
 
     def emit(self, kind: str, **fields) -> None:
         """Record one event: counted in the registry, traced if a tracer
         is attached."""
+        self.emit_fields(kind, fields)
+
+    def emit_fields(self, kind: str, fields: dict) -> None:
+        """:meth:`emit` with a pre-built payload dict (hot-path form)."""
         counter = self._event_counters.get(kind)
         if counter is None:
             counter = self.metrics.counter(
@@ -112,7 +177,7 @@ class Observability:
             self._event_counters[kind] = counter
         counter.inc()
         if self.tracer is not None:
-            self.tracer.emit(kind, **fields)
+            self.tracer.emit_fields(kind, fields)
 
     def event_count(self, kind: str) -> int:
         """How many events of ``kind`` this handle has recorded."""
@@ -120,5 +185,10 @@ class Observability:
         return 0 if counter is None else int(counter.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        traced = "traced" if self.tracer is not None else "untraced"
-        return f"Observability({len(self.metrics)} metrics, {traced})"
+        parts = [f"{len(self.metrics)} metrics"]
+        parts.append("traced" if self.tracer is not None else "untraced")
+        if self.spans is not None:
+            parts.append("spans")
+        if self.timeseries is not None:
+            parts.append("timeseries")
+        return f"Observability({', '.join(parts)})"

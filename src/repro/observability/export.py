@@ -108,6 +108,10 @@ def to_json(snapshot: MetricsSnapshot, extra: dict | None = None) -> dict:
             figures) merged into the document.
     """
     document: dict = {
+        # "schema" is the cross-format version key (trace lines,
+        # timeseries windows, and health reports carry it too);
+        # "metrics_format_version" is kept for pre-schema consumers.
+        "schema": METRICS_FORMAT_VERSION,
         "metrics_format_version": METRICS_FORMAT_VERSION,
         "metrics": [sample.as_dict() for sample in snapshot],
     }

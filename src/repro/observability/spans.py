@@ -1,0 +1,224 @@
+"""Hierarchical span tracing: parented, monotonic-clock operation timing.
+
+Where the :mod:`~repro.observability.tracer` answers "what happened" and
+the :mod:`~repro.observability.registry` answers "how much", spans answer
+"what did the summarizer spend its time *on*": every instrumented
+operation (a maintenance batch, an insertion assignment, a per-block
+assignment kernel round, a WAL append, a checkpoint, a recovery replay,
+an audit) opens a span on entry and closes it on exit. Spans are
+parented Dapper-style — a span opened while another is live records that
+span as its parent — so a trace consumer can reassemble the full latency
+tree of one batch: ``apply_batch`` → ``maintain_insert`` →
+``assign_block`` × N.
+
+Each span costs two monotonic ``time.perf_counter`` reads plus two trace
+events (``span_start`` / ``span_end``) and one histogram observation
+(``repro_span_seconds{op=...}``); nothing here reads the wall clock. The
+shipped instrumentation only opens spans at batch/block granularity,
+never per point.
+
+Disabled instrumentation stays free: :func:`maybe_span` (and
+:meth:`Observability.span <repro.observability.Observability.span>`)
+hand out the shared :data:`NULL_SPAN` no-op context manager whenever the
+observability handle is ``None`` or carries no :class:`SpanTracer`, so
+uninstrumented hot paths pay a single attribute check. Spans never touch
+the maintenance RNG or the :class:`~repro.geometry.DistanceCounter`, so
+instrumented runs are bit-identical to uninstrumented ones.
+
+Example:
+    >>> from repro.observability import Observability, SpanTracer
+    >>> obs = Observability(spans=SpanTracer())
+    >>> with obs.span("apply_batch", batch=7):
+    ...     with obs.span("maintain_insert", points=100):
+    ...         pass
+    >>> obs.event_count("span_end")
+    2
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["NULL_SPAN", "Span", "SpanTracer", "maybe_span"]
+
+#: Histogram family every closed span's duration is folded into,
+#: labelled by operation name.
+SPAN_SECONDS_METRIC = "repro_span_seconds"
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out when spans are disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: The process-wide disabled-span singleton; entering and exiting it does
+#: no work at all.
+NULL_SPAN = _NullSpan()
+
+
+def maybe_span(obs, op: str, **fields):
+    """A live span when ``obs`` carries a :class:`SpanTracer`, else
+    :data:`NULL_SPAN`.
+
+    The single helper every instrumentation site uses, so hot paths stay
+    single-sourced: ``with maybe_span(self._obs, "maintain_insert",
+    points=n): ...`` is a no-op context for uninstrumented runs.
+    """
+    if obs is None or obs.spans is None:
+        return NULL_SPAN
+    return obs.spans.span(op, fields)
+
+
+class Span:
+    """One live span: a context manager timing a parented operation.
+
+    Produced by :meth:`SpanTracer.span`; not constructed directly. The
+    span's identity (``span_id``, ``parent_id``) is fixed at creation;
+    entering emits ``span_start``, exiting emits ``span_end`` with the
+    monotonic duration and feeds the per-operation latency histogram.
+    """
+
+    __slots__ = ("op", "span_id", "parent_id", "fields", "_tracer", "_started")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        op: str,
+        span_id: int,
+        parent_id: int | None,
+        fields: dict,
+    ) -> None:
+        self.op = op
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.fields = fields
+        self._tracer = tracer
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        # Start the clock *after* the start event, so the event-emission
+        # overhead is excluded from the span's own duration.
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._started
+        self._tracer._exit(self, elapsed, error=exc_type is not None)
+
+
+class SpanTracer:
+    """Allocates parented spans and folds their durations into metrics.
+
+    Attach one to an :class:`~repro.observability.Observability` handle
+    (``Observability(spans=SpanTracer())``); the handle binds the tracer
+    to its registry and event stream, after which ``obs.span(op, ...)``
+    opens spans. One tracer belongs to one handle — spans inherit the
+    handle's single-threaded batch-update model, like every other metric.
+
+    Parenting uses an explicit stack: the innermost live span is the
+    parent of the next one opened. ``with`` blocks close spans LIFO, so
+    the stack discipline always holds for context-manager use.
+    """
+
+    __slots__ = ("_obs", "_stack", "_next_id", "_histograms", "_counts")
+
+    def __init__(self) -> None:
+        self._obs = None
+        self._stack: list[int] = []
+        self._next_id = 0
+        self._histograms: dict = {}
+        self._counts: dict[str, int] = {}
+
+    def bind(self, obs) -> None:
+        """Attach to an Observability handle (called by its constructor)."""
+        if self._obs is not None and self._obs is not obs:
+            raise ValueError(
+                "SpanTracer is already bound to another Observability "
+                "handle; create one tracer per handle"
+            )
+        self._obs = obs
+
+    # ------------------------------------------------------------------
+    # Opening spans
+    # ------------------------------------------------------------------
+    def span(self, op: str, fields: dict | None = None) -> Span:
+        """A new span for ``op``, parented under the innermost live span."""
+        if self._obs is None:
+            raise ValueError(
+                "SpanTracer is not bound; attach it to an Observability "
+                "handle (Observability(spans=tracer)) before opening spans"
+            )
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, op, span_id, parent, fields or {})
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """How many spans are currently live (nested)."""
+        return len(self._stack)
+
+    @property
+    def total_opened(self) -> int:
+        """Spans opened over the tracer's lifetime."""
+        return self._next_id
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime *closed*-span counts per operation."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (called by Span.__enter__/__exit__)
+    # ------------------------------------------------------------------
+    def _enter(self, span: Span) -> None:
+        self._stack.append(span.span_id)
+        fields = {
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "op": span.op,
+        }
+        fields.update(span.fields)
+        self._obs.emit_fields("span_start", fields)
+
+    def _exit(self, span: Span, elapsed: float, error: bool) -> None:
+        # Context managers unwind LIFO; a mismatch means spans were
+        # entered without `with` and closed out of order — drop back to
+        # the matching frame so one misuse cannot corrupt all parenting.
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:  # pragma: no cover - misuse
+            del self._stack[self._stack.index(span.span_id):]
+        self._counts[span.op] = self._counts.get(span.op, 0) + 1
+        self._histogram(span.op).observe(elapsed)
+        end_fields = {"span": span.span_id, "op": span.op, "seconds": elapsed}
+        if error:
+            end_fields["error"] = True
+        self._obs.emit_fields("span_end", end_fields)
+
+    def _histogram(self, op: str):
+        histogram = self._histograms.get(op)
+        if histogram is None:
+            histogram = self._obs.metrics.histogram(
+                SPAN_SECONDS_METRIC,
+                help="Span durations by operation (hierarchical tracing).",
+                unit="seconds",
+                labels={"op": op},
+            )
+            self._histograms[op] = histogram
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanTracer(opened={self._next_id}, depth={len(self._stack)})"
+        )

@@ -1,0 +1,249 @@
+"""Windowed time-series telemetry: per-window counter deltas and gauges.
+
+Cumulative counters answer "how much, ever"; the paper's evaluation plots
+answer "how much, *when*" — distance computations saved per arriving
+batch (Figures 10-11), split/merge activity as the stream drifts
+(Section 4.2). This module closes that gap with a bounded ring of
+windowed samples, in the spirit of the snapshot-over-time exposition
+streaming-clustering monitors use (cf. CluStream's pyramidal time
+frames): every ``interval`` appended batches the recorder diffs the
+metrics registry against the previous window boundary and stores the
+per-window *deltas* of the key flow counters alongside instantaneous
+gauges of summary state (bubble count, β spread, quality-class fill,
+cache hit rate).
+
+Windows are counted in **batches**, not wall-clock seconds — the
+summarizer is batch-driven and deterministic, so batch index is the only
+time axis that is reproducible across runs. No wall clock or RNG is
+touched; rolling a window costs one registry snapshot plus one gauge
+probe, both outside the per-point hot loops.
+
+Samples serialize as JSONL (one window per line, ``"schema": 1``) via
+``summarize --timeseries-out``; :class:`WindowSample` is also what
+:mod:`~repro.observability.health` aggregates for trend sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import Counter, MetricsSnapshot
+
+__all__ = [
+    "TIMESERIES_SCHEMA_VERSION",
+    "TRACKED_COUNTERS",
+    "TimeseriesRecorder",
+    "WindowSample",
+]
+
+#: Version stamped on every serialized window line.
+TIMESERIES_SCHEMA_VERSION = 1
+
+#: Counter families whose per-window deltas every sample records. Values
+#: are summed across label sets of the same name, so e.g. WAL appends
+#: keep counting if a future PR labels them by domain.
+TRACKED_COUNTERS: tuple[str, ...] = (
+    "repro_distance_computed_total",
+    "repro_distance_pruned_total",
+    "repro_maintenance_bubble_splits_total",
+    "repro_maintenance_donor_migrations_total",
+    "repro_maintenance_class_changes_total",
+    "repro_stream_evictions_total",
+    "repro_wal_appends_total",
+    "repro_snapshot_writes_total",
+    "repro_io_retries_total",
+)
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One closed window: counter deltas plus end-of-window gauges."""
+
+    window: int
+    start_batch: int
+    end_batch: int
+    counters: dict[str, int | float] = field(default_factory=dict)
+    gauges: dict[str, int | float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (one JSONL line)."""
+        return {
+            "schema": TIMESERIES_SCHEMA_VERSION,
+            "window": self.window,
+            "start_batch": self.start_batch,
+            "end_batch": self.end_batch,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+
+def _sum_counters(snapshot: MetricsSnapshot) -> dict[str, int | float]:
+    """Tracked counter totals in ``snapshot``, summed across label sets."""
+    totals: dict[str, int | float] = dict.fromkeys(TRACKED_COUNTERS, 0)
+    for sample in snapshot:
+        if sample.kind == "counter" and sample.name in totals:
+            totals[sample.name] += sample.value
+    return totals
+
+
+def _live_totals(registry) -> dict[str, int | float]:
+    """Tracked counter totals read straight off the live registry.
+
+    Equivalent to ``_sum_counters(registry.snapshot())`` but without
+    materializing a full snapshot — a snapshot copies every histogram's
+    bucket array, which at one window per batch would dominate the
+    recorder's cost (the overhead benchmark gates this path).
+    """
+    totals: dict[str, int | float] = dict.fromkeys(TRACKED_COUNTERS, 0)
+    for metric in registry:
+        if isinstance(metric, Counter) and metric.name in totals:
+            totals[metric.name] += metric.value
+    return totals
+
+
+class TimeseriesRecorder:
+    """Bounded ring of windowed counter deltas and instantaneous gauges.
+
+    Attach one to an :class:`~repro.observability.Observability` handle
+    (``Observability(timeseries=TimeseriesRecorder())``); the streaming
+    layer then ticks it once per appended batch via :meth:`maybe_roll`,
+    passing a zero-argument callable that probes the summarizer's gauges.
+    Every ``interval`` ticks a window closes: tracked counters are diffed
+    against the previous boundary, the gauge probe runs, and the
+    :class:`WindowSample` joins the ring. When the ring is full the
+    oldest window is dropped (and counted), keeping memory bounded on
+    unbounded streams.
+
+    Args:
+        interval: batches per window (≥ 1).
+        capacity: maximum retained windows (≥ 1); older windows fall off.
+    """
+
+    __slots__ = (
+        "interval",
+        "capacity",
+        "dropped",
+        "_obs",
+        "_samples",
+        "_window",
+        "_batches",
+        "_window_start",
+        "_baseline",
+    )
+
+    def __init__(self, interval: int = 1, capacity: int = 4096) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.interval = interval
+        self.capacity = capacity
+        self.dropped = 0
+        self._obs = None
+        self._samples: list[WindowSample] = []
+        self._window = 0
+        self._batches = 0
+        self._window_start = 0
+        self._baseline: dict[str, int | float] | None = None
+
+    def bind(self, obs) -> None:
+        """Attach to an Observability handle (called by its constructor)."""
+        if self._obs is not None and self._obs is not obs:
+            raise ValueError(
+                "TimeseriesRecorder is already bound to another "
+                "Observability handle; create one recorder per handle"
+            )
+        self._obs = obs
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def maybe_roll(self, gauges_fn=None) -> WindowSample | None:
+        """Count one batch; close the window when the interval is full.
+
+        Returns the closed :class:`WindowSample`, or ``None`` when the
+        window is still open. ``gauges_fn`` (zero-argument, returning a
+        flat ``{name: number}`` dict) is only called at window
+        boundaries, so gauge probing cost is amortised over ``interval``
+        batches.
+        """
+        if self._obs is None:
+            raise ValueError(
+                "TimeseriesRecorder is not bound; attach it to an "
+                "Observability handle before recording"
+            )
+        self._batches += 1
+        if self._batches - self._window_start < self.interval:
+            return None
+        return self._close_window(gauges_fn)
+
+    def flush(self, gauges_fn=None) -> WindowSample | None:
+        """Close a partial window (end of stream), if any batches remain."""
+        if self._obs is None or self._batches == self._window_start:
+            return None
+        return self._close_window(gauges_fn)
+
+    def _close_window(self, gauges_fn) -> WindowSample:
+        totals = _live_totals(self._obs.metrics)
+        if self._baseline is None:
+            deltas = dict(totals)
+        else:
+            deltas = {
+                name: totals[name] - self._baseline.get(name, 0)
+                for name in totals
+            }
+        gauges = dict(gauges_fn()) if gauges_fn is not None else {}
+        sample = WindowSample(
+            window=self._window,
+            start_batch=self._window_start,
+            end_batch=self._batches,
+            counters=deltas,
+            gauges=gauges,
+        )
+        self._samples.append(sample)
+        if len(self._samples) > self.capacity:
+            del self._samples[0]
+            self.dropped += 1
+        self._baseline = totals
+        self._window += 1
+        self._window_start = self._batches
+        self._obs.emit(
+            "timeseries_window",
+            window=sample.window,
+            start_batch=sample.start_batch,
+            end_batch=sample.end_batch,
+        )
+        return sample
+
+    # ------------------------------------------------------------------
+    # Reading / serialization
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> tuple[WindowSample, ...]:
+        """Retained windows, oldest first."""
+        return tuple(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def to_jsonl(self) -> str:
+        """Retained windows as JSON lines (trailing newline included)."""
+        import json
+
+        lines = [
+            json.dumps(sample.as_dict(), sort_keys=True)
+            for sample in self._samples
+        ]
+        return "".join(line + "\n" for line in lines)
+
+    def write_jsonl(self, path) -> None:
+        """Write retained windows to ``path`` as JSONL."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeseriesRecorder(interval={self.interval}, "
+            f"windows={len(self._samples)}, dropped={self.dropped})"
+        )

@@ -27,7 +27,10 @@ import pathlib
 import time
 from dataclasses import dataclass
 
-__all__ = ["TraceEvent", "EventTracer", "EVENT_KINDS"]
+__all__ = ["TraceEvent", "EventTracer", "EVENT_KINDS", "TRACE_SCHEMA_VERSION"]
+
+#: Version stamped on every serialized trace line (the JSONL contract).
+TRACE_SCHEMA_VERSION = 1
 
 #: Canonical event kinds emitted by the instrumented subsystems, grouped
 #: by layer. Free-form kinds are allowed; these are the ones the shipped
@@ -57,6 +60,10 @@ EVENT_KINDS: tuple[str, ...] = (
     "bad_points_rejected",
     "audit",
     "audit_repair",
+    # flight recorder (hierarchical spans, windowed telemetry)
+    "span_start",
+    "span_end",
+    "timeseries_window",
 )
 
 
@@ -78,8 +85,19 @@ class TraceEvent:
     fields: dict
 
     def as_dict(self) -> dict:
-        """JSON-ready representation (one trace line)."""
-        return {"seq": self.seq, "ts": self.ts, "kind": self.kind, **self.fields}
+        """JSON-ready representation (one trace line).
+
+        Envelope keys (``schema``/``seq``/``ts``/``kind``) always win:
+        an event field sharing one of those names cannot corrupt the
+        line's own sequencing or typing.
+        """
+        return {
+            **self.fields,
+            "schema": TRACE_SCHEMA_VERSION,
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+        }
 
 
 class EventTracer:
@@ -128,6 +146,15 @@ class EventTracer:
     # ------------------------------------------------------------------
     def emit(self, kind: str, **fields) -> TraceEvent:
         """Record one event; returns the stored :class:`TraceEvent`."""
+        return self.emit_fields(kind, fields)
+
+    def emit_fields(self, kind: str, fields: dict) -> TraceEvent:
+        """:meth:`emit` with a pre-built payload dict.
+
+        The span tracer emits two events per span from hot paths; taking
+        the dict directly (adopted, not copied) skips a kwargs repack
+        per event.
+        """
         event = TraceEvent(
             seq=self._seq,
             ts=self._anchor + (time.perf_counter() - self._origin),

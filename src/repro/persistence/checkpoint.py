@@ -44,6 +44,7 @@ import time
 from ..exceptions import PersistenceError, SnapshotError
 from ..faults import FAILPOINTS, RetryPolicy, declare_failpoint, maybe_wrap
 from ..observability import Observability
+from ..observability.spans import maybe_span
 from .snapshot import read_snapshot, write_snapshot
 from .state import SummarizerState
 from .wal import WriteAheadLog
@@ -257,19 +258,25 @@ class CheckpointManager:
         forward when the newest file is corrupted at rest.
         """
         started = time.perf_counter()
-        path = self._dir / f"snapshot-{state.batches_applied:012d}.npz"
-        write_snapshot(path, state, fsync=self._fsync, retry=self._retry)
-        FAILPOINTS.fire(_FP_SNAPSHOT_WRITTEN)
-        self._prune_snapshots()
-        retained = self.snapshot_paths()
-        oldest = (
-            min(
-                int(_SNAPSHOT_RE.match(p.name).group(1)) for p in retained
+        with maybe_span(
+            self._obs, "checkpoint", batches=state.batches_applied
+        ):
+            path = self._dir / f"snapshot-{state.batches_applied:012d}.npz"
+            write_snapshot(
+                path, state, fsync=self._fsync, retry=self._retry
             )
-            if retained
-            else state.batches_applied
-        )
-        dropped = self._wal.compact(oldest)
+            FAILPOINTS.fire(_FP_SNAPSHOT_WRITTEN)
+            self._prune_snapshots()
+            retained = self.snapshot_paths()
+            oldest = (
+                min(
+                    int(_SNAPSHOT_RE.match(p.name).group(1))
+                    for p in retained
+                )
+                if retained
+                else state.batches_applied
+            )
+            dropped = self._wal.compact(oldest)
         if self._obs is not None:
             elapsed = time.perf_counter() - started
             size = path.stat().st_size

@@ -34,6 +34,7 @@ from ..exceptions import (
     PersistenceError,
     WalCorruptionError,
 )
+from ..observability.spans import maybe_span
 from .checkpoint import CheckpointManager
 from .state import SummarizerState
 from .wal import WalRecord
@@ -68,8 +69,13 @@ class RecoveredState:
 
 def recover_state(
     manager: CheckpointManager,
+    obs=None,
 ) -> RecoveredState:
     """Collect snapshot + replayable tail from a state directory.
+
+    Args:
+        obs: observability handle; the scan runs under a
+            ``recovery_scan`` span when span tracing is enabled.
 
     Raises:
         PersistenceError: the directory holds no durable state, or the
@@ -79,6 +85,11 @@ def recover_state(
             batch zero — the missing history cannot be replayed.
         WalCorruptionError: the log is damaged before its tail.
     """
+    with maybe_span(obs, "recovery_scan"):
+        return _recover_state_inner(manager)
+
+
+def _recover_state_inner(manager: CheckpointManager) -> RecoveredState:
     manifest = manager.read_manifest()
     state = manager.latest_state()
     records = manager.wal.replay()

@@ -51,6 +51,7 @@ from .exceptions import (
 )
 from .geometry import DistanceCounter
 from .observability import Observability
+from .observability.spans import maybe_span
 from .persistence import (
     CheckpointManager,
     SummarizerState,
@@ -318,12 +319,16 @@ class SlidingWindowSummarizer:
         self._chunks_seen += 1
         if self._maintainer is None:
             # Buffering phase: mutate the store directly.
-            if evicted:
-                self._store.delete(np.asarray(evicted, dtype=np.int64))
-            self._store.insert(points, label_tuple)
-            self._maybe_bootstrap()
+            with maybe_span(
+                self._obs, "stream_append", points=points.shape[0]
+            ):
+                if evicted:
+                    self._store.delete(np.asarray(evicted, dtype=np.int64))
+                self._store.insert(points, label_tuple)
+                self._maybe_bootstrap()
             self._record_append(points.shape[0], len(evicted))
             self._maybe_audit()
+            self._tick_timeseries()
             return None
 
         batch = UpdateBatch(
@@ -331,10 +336,60 @@ class SlidingWindowSummarizer:
             insertions=points,
             insertion_labels=label_tuple,
         )
-        report = self._maintainer.apply_batch(batch)
+        with maybe_span(
+            self._obs,
+            "stream_append",
+            points=points.shape[0],
+            evicted=len(evicted),
+        ):
+            report = self._maintainer.apply_batch(batch)
         self._record_append(points.shape[0], len(evicted))
         self._maybe_audit()
+        self._tick_timeseries()
         return report
+
+    def _tick_timeseries(self) -> None:
+        """Advance the windowed telemetry by one appended batch."""
+        obs = self._obs
+        if obs is None or obs.timeseries is None:
+            return
+        obs.timeseries.maybe_roll(self._timeseries_gauges)
+
+    def flush_timeseries(self) -> None:
+        """Close the current partial telemetry window (end of a run)."""
+        obs = self._obs
+        if obs is None or obs.timeseries is None:
+            return
+        obs.timeseries.flush(self._timeseries_gauges)
+
+    def _timeseries_gauges(self) -> dict:
+        """Instantaneous gauges probed at each closed telemetry window.
+
+        Everything here is counts-only arithmetic over existing state —
+        no distance computations, no RNG draws — so probing cannot
+        perturb the summarization stream.
+        """
+        gauges: dict = {"window_points": self._store.size}
+        maintainer = self._maintainer
+        if maintainer is None:
+            return gauges
+        gauges["active_bubbles"] = maintainer.active_count
+        report = maintainer.last_quality_report
+        if report is None:
+            report = maintainer.classify()
+        values = report.values
+        if values.size:
+            gauges["beta_min"] = float(values.min())
+            gauges["beta_median"] = float(np.median(values))
+            gauges["beta_max"] = float(values.max())
+        gauges["under_filled"] = len(report.under_filled_ids)
+        gauges["over_filled"] = len(report.over_filled_ids)
+        cache = maintainer.assigner_cache
+        lookups = cache.hits + cache.misses
+        gauges["assigner_cache_hit_rate"] = (
+            cache.hits / lookups if lookups else 0.0
+        )
+        return gauges
 
     def audit(self, repair: bool = True) -> AuditReport:
         """Audit (and by default repair) summary/database consistency.
@@ -412,15 +467,21 @@ class SlidingWindowSummarizer:
         )
         before = self._counter.snapshot()
         started = time.perf_counter()
-        bubbles = builder.build(self._store)
-        self._maintainer = AdaptiveMaintainer(
-            bubbles,
-            self._store,
-            points_per_bubble=self._points_per_bubble,
-            config=self._config,
-            counter=self._counter,
-            obs=self._obs,
-        )
+        with maybe_span(
+            self._obs,
+            "bootstrap",
+            points=self._store.size,
+            bubbles=num_bubbles,
+        ):
+            bubbles = builder.build(self._store)
+            self._maintainer = AdaptiveMaintainer(
+                bubbles,
+                self._store,
+                points_per_bubble=self._points_per_bubble,
+                config=self._config,
+                counter=self._counter,
+                obs=self._obs,
+            )
         if self._obs is not None:
             # Construction is the one distance-spending phase outside the
             # maintainer, so its delta is folded into the registry here to
@@ -748,68 +809,72 @@ class DurableSummarizer:
             fsync=fsync,
             obs=obs,
         )
-        recovered = recover_state(manager)
-        stream = cls.__new__(cls)
-        stream._manager = manager
-        stream._replaying = False
-        stream._callback_registered = False
-        stream._obs = obs
-        stream._create_wal_metrics(obs)
-        # Older manifests predate the bad-point policy; default strict.
-        on_bad_point = str(manifest.get("on_bad_point", "strict"))
-        if recovered.state is not None:
-            try:
-                stream._inner = SlidingWindowSummarizer.from_state(
-                    recovered.state,
+        with maybe_span(obs, "recovery"):
+            recovered = recover_state(manager, obs=obs)
+            stream = cls.__new__(cls)
+            stream._manager = manager
+            stream._replaying = False
+            stream._callback_registered = False
+            stream._obs = obs
+            stream._create_wal_metrics(obs)
+            # Older manifests predate the bad-point policy; default strict.
+            on_bad_point = str(manifest.get("on_bad_point", "strict"))
+            if recovered.state is not None:
+                try:
+                    stream._inner = SlidingWindowSummarizer.from_state(
+                        recovered.state,
+                        obs=obs,
+                        on_bad_point=on_bad_point,
+                        audit_every=audit_every,
+                    )
+                except ValueError as exc:
+                    # The snapshot decoded but violates internal invariants
+                    # (a buggy writer, or tampering the checksum cannot see).
+                    raise CorruptStateError(
+                        f"snapshot state for {wal_dir} is internally "
+                        f"inconsistent ({exc}); rename the newest "
+                        f"snapshot-*.npz aside to fall back to an older "
+                        f"generation, or rebuild from the source stream"
+                    ) from exc
+                stream._seq = recovered.state.batches_applied
+            else:
+                stream._inner = SlidingWindowSummarizer(
+                    dim=int(manifest["dim"]),
+                    window_size=int(manifest["window_size"]),
+                    points_per_bubble=int(manifest["points_per_bubble"]),
+                    config=config_from_dict(manifest["config"]),
+                    seed=(
+                        None
+                        if manifest["seed"] is None
+                        else int(manifest["seed"])
+                    ),
                     obs=obs,
                     on_bad_point=on_bad_point,
                     audit_every=audit_every,
                 )
-            except ValueError as exc:
-                # The snapshot decoded but violates internal invariants
-                # (a buggy writer, or tampering the checksum cannot see).
-                raise CorruptStateError(
-                    f"snapshot state for {wal_dir} is internally "
-                    f"inconsistent ({exc}); rename the newest "
-                    f"snapshot-*.npz aside to fall back to an older "
-                    f"generation, or rebuild from the source stream"
-                ) from exc
-            stream._seq = recovered.state.batches_applied
-        else:
-            stream._inner = SlidingWindowSummarizer(
-                dim=int(manifest["dim"]),
-                window_size=int(manifest["window_size"]),
-                points_per_bubble=int(manifest["points_per_bubble"]),
-                config=config_from_dict(manifest["config"]),
-                seed=(
-                    None
-                    if manifest["seed"] is None
-                    else int(manifest["seed"])
-                ),
-                obs=obs,
-                on_bad_point=on_bad_point,
-                audit_every=audit_every,
-            )
-            stream._seq = 0
-        stream._register_callback_if_ready()
+                stream._seq = 0
+            stream._register_callback_if_ready()
 
-        if recovered.tail:
-            stream._replaying = True
-            try:
-                for record in recovered.tail:
-                    stream._seq += 1
-                    stream._inner.append(
-                        record.batch.insertions,
-                        list(record.batch.insertion_labels),
-                    )
-                    stream._register_callback_if_ready()
-            finally:
-                stream._replaying = False
-            # Re-establish the invariant "snapshot + log tail == state":
-            # everything replayed is now captured in one fresh snapshot
-            # and the log is truncated, so the next crash recovers from
-            # here instead of repeating this replay.
-            stream.checkpoint()
+            if recovered.tail:
+                stream._replaying = True
+                try:
+                    with maybe_span(
+                        obs, "replay", batches=len(recovered.tail)
+                    ):
+                        for record in recovered.tail:
+                            stream._seq += 1
+                            stream._inner.append(
+                                record.batch.insertions,
+                                list(record.batch.insertion_labels),
+                            )
+                            stream._register_callback_if_ready()
+                finally:
+                    stream._replaying = False
+                # Re-establish the invariant "snapshot + log tail == state":
+                # everything replayed is now captured in one fresh snapshot
+                # and the log is truncated, so the next crash recovers from
+                # here instead of repeating this replay.
+                stream.checkpoint()
         if obs is not None:
             obs.metrics.counter(
                 "repro_recovery_replays_total",
@@ -876,14 +941,22 @@ class DurableSummarizer:
             self._manager.wal.append(self._seq, batch)
         else:
             started = time.perf_counter()
-            nbytes = self._manager.wal.append(self._seq, batch)
+            # "wal_seq", not "seq": a field named "seq" would collide
+            # with the trace line's own sequence number on serialization.
+            with maybe_span(
+                self._obs,
+                "wal_append",
+                wal_seq=self._seq,
+                points=points.shape[0],
+            ):
+                nbytes = self._manager.wal.append(self._seq, batch)
             elapsed = time.perf_counter() - started
             self._m_wal_appends.inc()
             self._m_wal_bytes.inc(nbytes)
             self._m_wal_seconds.observe(elapsed)
             self._obs.emit(
                 "wal_append",
-                seq=self._seq,
+                wal_seq=self._seq,
                 bytes=nbytes,
                 points=points.shape[0],
                 seconds=elapsed,
@@ -994,6 +1067,10 @@ class DurableSummarizer:
     def audit(self, repair: bool = True) -> AuditReport:
         """Audit (and by default repair) the summary's invariants."""
         return self._inner.audit(repair=repair)
+
+    def flush_timeseries(self) -> None:
+        """Close the current partial telemetry window (end of a run)."""
+        self._inner.flush_timeseries()
 
     # ------------------------------------------------------------------
     # Internals

@@ -192,7 +192,117 @@ class TestObservabilityOutputs:
         assert "insert_batch" in kinds
         assert "wal_append" in kinds
         assert "snapshot_write" in kinds
+        assert "span_start" in kinds and "span_end" in kinds
         assert all("ts" in event and "seq" in event for event in events)
+
+    def test_timeseries_out_writes_one_window_per_batch(self, tmp_path):
+        ts_path = tmp_path / "ts.jsonl"
+        code = self._summarize(
+            tmp_path / "state", ["--timeseries-out", str(ts_path)]
+        )
+        assert code == 0
+        windows = [
+            json.loads(line) for line in ts_path.read_text().splitlines()
+        ]
+        assert len(windows) == 8  # default window = 1 batch, 8 chunks
+        assert all(w["schema"] == 1 for w in windows)
+        assert windows[-1]["gauges"]["active_bubbles"] > 0
+
+    def test_timeseries_window_flag_coalesces_batches(self, tmp_path):
+        ts_path = tmp_path / "ts.jsonl"
+        code = self._summarize(
+            tmp_path / "state",
+            ["--timeseries-out", str(ts_path), "--timeseries-window", "3"],
+        )
+        assert code == 0
+        windows = [
+            json.loads(line) for line in ts_path.read_text().splitlines()
+        ]
+        # 8 batches in windows of 3: two full windows + a flushed partial.
+        assert [w["end_batch"] for w in windows] == [3, 6, 8]
+
+    def test_health_out_writes_report(self, tmp_path, capsys):
+        health_path = tmp_path / "health.json"
+        code = self._summarize(
+            tmp_path / "state", ["--health-out", str(health_path)]
+        )
+        assert code == 0
+        report = json.loads(health_path.read_text())
+        assert report["schema"] == 1
+        assert report["quality"] is not None
+        assert report["pruning"]["distances_computed"] > 0
+        assert {row["op"] for row in report["spans"]} >= {
+            "stream_append",
+            "wal_append",
+        }
+        assert "wrote health report" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_requires_wal_dir(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def _state_dir(self, tmp_path):
+        state_dir = tmp_path / "state"
+        assert main(
+            [
+                "summarize",
+                "--wal-dir", str(state_dir),
+                "--chunks", "8",
+                "--chunk-size", "200",
+                "--window", "800",
+                "--points-per-bubble", "40",
+                "--no-fsync",
+            ]
+        ) == 0
+        return state_dir
+
+    def test_text_report_from_state_directory(self, tmp_path, capsys):
+        state_dir = self._state_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--wal-dir", str(state_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "health report (schema 1)" in out
+        assert f"source: {state_dir}" in out
+        # The span table reflects genuinely measured recovery work.
+        assert "recovery" in out
+        assert "window points     800" in out
+
+    def test_json_report_and_outputs(self, tmp_path, capsys):
+        state_dir = self._state_dir(tmp_path)
+        health_path = tmp_path / "health.json"
+        ts_path = tmp_path / "ts.jsonl"
+        capsys.readouterr()
+        assert main(
+            [
+                "report",
+                "--wal-dir", str(state_dir),
+                "--format", "json",
+                "--health-out", str(health_path),
+                "--timeseries-out", str(ts_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        printed = json.loads(out[: out.rindex("}") + 1])
+        assert printed["schema"] == 1
+        assert printed["stream"]["window_points"] == 800
+        assert printed["quality"] is not None
+        assert json.loads(health_path.read_text()) == printed
+        assert ts_path.exists()
+
+    def test_report_does_not_mutate_state(self, tmp_path, capsys):
+        state_dir = self._state_dir(tmp_path)
+        before = {
+            p.name: p.stat().st_size
+            for p in sorted(state_dir.iterdir())
+        }
+        assert main(["report", "--wal-dir", str(state_dir)]) == 0
+        after = {
+            p.name: p.stat().st_size
+            for p in sorted(state_dir.iterdir())
+        }
+        assert after == before
 
 
 class TestStats:

@@ -1,0 +1,124 @@
+"""Health reports: section contents, text rendering, file output."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    HEALTH_SCHEMA_VERSION,
+    EventTracer,
+    Observability,
+    SpanTracer,
+    TimeseriesRecorder,
+    collect_health,
+    render_health,
+    write_health,
+)
+from repro.streaming import SlidingWindowSummarizer
+
+
+def _instrumented_run():
+    obs = Observability(
+        tracer=EventTracer(),
+        spans=SpanTracer(),
+        timeseries=TimeseriesRecorder(interval=2),
+    )
+    stream = SlidingWindowSummarizer(
+        dim=2,
+        window_size=500,
+        points_per_bubble=25,
+        seed=0,
+        obs=obs,
+    )
+    rng = np.random.default_rng(5)
+    for i in range(6):
+        stream.append(rng.normal(size=(125, 2)) + 0.3 * i)
+    return obs, stream
+
+
+class TestCollect:
+    def test_live_run_fills_every_section(self):
+        obs, stream = _instrumented_run()
+        report = collect_health(obs, summarizer=stream)
+        assert report["schema"] == HEALTH_SCHEMA_VERSION
+        assert report["source"] == "live"
+
+        assert report["stream"]["window_points"] == stream.size
+        assert (
+            report["stream"]["active_bubbles"]
+            == stream.maintainer.active_count
+        )
+        assert report["stream"]["points_ingested"] == 750
+
+        quality = report["quality"]
+        classes = quality["classes"]
+        assert set(classes) == {"good", "under-filled", "over-filled"}
+        assert sum(classes.values()) == quality["bubbles"]
+        assert quality["beta"]["min"] <= quality["beta"]["median"]
+        assert quality["beta"]["median"] <= quality["beta"]["max"]
+        assert quality["boundaries"]["lower"] < quality["boundaries"]["upper"]
+
+        pruning = report["pruning"]
+        totals = stream.counter.snapshot()
+        assert pruning["distances_computed"] == totals.computed
+        assert pruning["distances_pruned"] == totals.pruned
+        assert 0.0 < pruning["savings_ratio"] < 1.0
+
+        ops = {row["op"] for row in report["spans"]}
+        assert {"stream_append", "apply_batch", "bootstrap"} <= ops
+        for row in report["spans"]:
+            assert row["mean_seconds"] * row["count"] == pytest.approx(
+                row["total_seconds"]
+            )
+
+        assert report["events"].get("insert_batch", 0) > 0
+        assert report["timeseries"]["interval"] == 2
+        assert report["timeseries"]["windows"] > 0
+
+    def test_without_summarizer_quality_is_null(self):
+        obs = Observability()
+        report = collect_health(obs, source="state/")
+        assert report["quality"] is None
+        assert report["source"] == "state/"
+        assert report["spans"] == []
+
+    def test_span_rows_sorted_by_total_time(self):
+        obs, stream = _instrumented_run()
+        rows = collect_health(obs, summarizer=stream)["spans"]
+        totals = [row["total_seconds"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestRender:
+    def test_text_report_names_every_section(self):
+        obs, stream = _instrumented_run()
+        text = render_health(collect_health(obs, summarizer=stream))
+        for heading in (
+            "stream",
+            "quality (Definitions 2-3)",
+            "pruning (Figures 10-11)",
+            "span latency (by total time)",
+            "events",
+            "robustness",
+            "timeseries",
+        ):
+            assert heading in text
+
+    def test_quality_placeholder_without_summarizer(self):
+        text = render_health(collect_health(Observability()))
+        assert "quality unavailable" in text
+        assert "no spans recorded" in text
+
+
+class TestWrite:
+    def test_write_health_round_trips(self, tmp_path):
+        obs, stream = _instrumented_run()
+        report = collect_health(obs, summarizer=stream)
+        path = tmp_path / "health.json"
+        write_health(report, path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["schema"] == HEALTH_SCHEMA_VERSION

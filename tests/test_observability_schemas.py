@@ -1,0 +1,157 @@
+"""Serialized-format contracts: schema stamps, round-trips, kind drift.
+
+Every document the observability layer writes carries ``"schema": 1``
+(metrics JSON, trace JSONL lines, time-series window lines, health
+reports), and every event kind the shipped instrumentation emits must be
+registered in ``EVENT_KINDS`` *and* documented in
+``docs/OBSERVABILITY.md``. These tests are the drift guard: adding an
+event kind or changing a serialized shape without updating the catalogue
+fails here, not in a consumer.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.observability import (
+    EVENT_KINDS,
+    HEALTH_SCHEMA_VERSION,
+    TIMESERIES_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    EventTracer,
+    Observability,
+    SpanTracer,
+    TimeseriesRecorder,
+    collect_health,
+    to_json,
+    write_metrics,
+)
+from repro.streaming import DurableSummarizer
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs" / "OBSERVABILITY.md"
+
+
+def _full_handle(sink=None) -> Observability:
+    return Observability(
+        tracer=EventTracer(sink=sink),
+        spans=SpanTracer(),
+        timeseries=TimeseriesRecorder(interval=1),
+    )
+
+
+def _durable_run(tmp_path, sink=None) -> Observability:
+    """A durable run that exercises streaming + persistence + audit."""
+    obs = _full_handle(sink=sink)
+    state = tmp_path / "state"
+    stream = DurableSummarizer(
+        state,
+        dim=2,
+        window_size=400,
+        points_per_bubble=20,
+        seed=1,
+        checkpoint_every=2,
+        obs=obs,
+    )
+    rng = np.random.default_rng(9)
+    for i in range(6):
+        stream.append(rng.normal(size=(100, 2)) + 0.3 * i)
+    stream.audit(repair=True)
+    stream.flush_timeseries()
+    stream.close()
+    return obs
+
+
+class TestEventKindDriftGuard:
+    def test_emitted_kinds_are_registered(self, tmp_path):
+        obs = _durable_run(tmp_path)
+        emitted = set(obs.tracer.counts())
+        unregistered = emitted - set(EVENT_KINDS)
+        assert not unregistered, (
+            f"event kinds emitted but missing from EVENT_KINDS: "
+            f"{sorted(unregistered)}"
+        )
+        # The run above must actually cover the flight-recorder kinds,
+        # or this guard is vacuous.
+        assert {"span_start", "span_end", "timeseries_window"} <= emitted
+
+    def test_registered_kinds_are_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        undocumented = [
+            kind for kind in EVENT_KINDS if f"`{kind}`" not in text
+        ]
+        assert not undocumented, (
+            f"EVENT_KINDS missing from docs/OBSERVABILITY.md: "
+            f"{undocumented}"
+        )
+
+    def test_span_ops_are_documented(self, tmp_path):
+        obs = _durable_run(tmp_path)
+        text = DOCS.read_text(encoding="utf-8")
+        undocumented = [
+            op for op in obs.spans.counts() if f"`{op}`" not in text
+        ]
+        assert not undocumented, (
+            f"span ops missing from docs/OBSERVABILITY.md: "
+            f"{undocumented}"
+        )
+
+
+class TestSchemaStamps:
+    def test_metrics_json_round_trips(self, tmp_path):
+        obs = _durable_run(tmp_path)
+        document = to_json(obs.metrics.snapshot(), extra={"run": {"n": 6}})
+        assert document["schema"] == 1
+        json_path, prom_path = write_metrics(
+            tmp_path / "m.json", obs.metrics.snapshot()
+        )
+        loaded = json.loads(json_path.read_text(encoding="utf-8"))
+        assert loaded["schema"] == 1
+        assert loaded["metrics"] == json.loads(
+            json.dumps(document["metrics"])
+        )
+        assert prom_path.exists()
+
+    def test_trace_lines_round_trip(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        obs = _durable_run(tmp_path, sink=sink)
+        obs.tracer.close()
+        lines = [
+            json.loads(line)
+            for line in sink.read_text(encoding="utf-8").splitlines()
+        ]
+        assert lines, "durable run emitted no trace lines"
+        assert len(lines) == obs.tracer.total_emitted
+        for line in lines:
+            assert line["schema"] == TRACE_SCHEMA_VERSION
+            assert line["kind"] in EVENT_KINDS
+        assert [line["seq"] for line in lines] == list(range(len(lines)))
+
+    def test_timeseries_lines_round_trip(self, tmp_path):
+        obs = _durable_run(tmp_path)
+        path = tmp_path / "ts.jsonl"
+        obs.timeseries.write_jsonl(path)
+        lines = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(lines) == len(obs.timeseries)
+        for line in lines:
+            assert line["schema"] == TIMESERIES_SCHEMA_VERSION
+        # Window deltas must re-sum to the cumulative totals: nothing is
+        # double-counted or lost across window boundaries.
+        total = sum(
+            line["counters"]["repro_distance_computed_total"]
+            for line in lines
+        )
+        assert total == obs.metrics.snapshot().value(
+            "repro_distance_computed_total"
+        )
+
+    def test_health_report_round_trips(self, tmp_path):
+        obs = _durable_run(tmp_path)
+        report = collect_health(obs, source="test")
+        assert report["schema"] == HEALTH_SCHEMA_VERSION
+        assert json.loads(json.dumps(report)) == report

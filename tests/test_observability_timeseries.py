@@ -1,0 +1,144 @@
+"""Windowed time-series telemetry: deltas, ring bounds, serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    TIMESERIES_SCHEMA_VERSION,
+    Observability,
+    TimeseriesRecorder,
+)
+from repro.observability.timeseries import TRACKED_COUNTERS
+
+
+def _recorder(interval: int = 1, capacity: int = 4096):
+    recorder = TimeseriesRecorder(interval=interval, capacity=capacity)
+    obs = Observability(timeseries=recorder)
+    return obs, recorder
+
+
+class TestWindows:
+    def test_windows_record_per_window_deltas(self):
+        obs, recorder = _recorder()
+        computed = obs.metrics.counter("repro_distance_computed_total")
+        computed.inc(10)
+        recorder.maybe_roll()
+        computed.inc(7)
+        recorder.maybe_roll()
+        first, second = recorder.samples
+        assert first.counters["repro_distance_computed_total"] == 10
+        assert second.counters["repro_distance_computed_total"] == 7
+        assert (first.start_batch, first.end_batch) == (0, 1)
+        assert (second.start_batch, second.end_batch) == (1, 2)
+
+    def test_interval_amortises_gauge_probes(self):
+        obs, recorder = _recorder(interval=3)
+        probes = []
+        for batch in range(7):
+            recorder.maybe_roll(lambda: probes.append(1) or {"n": 1})
+        # Two closed windows (batches 3 and 6); the probe ran only there.
+        assert len(recorder.samples) == 2
+        assert len(probes) == 2
+        assert [s.end_batch for s in recorder.samples] == [3, 6]
+
+    def test_flush_closes_partial_window(self):
+        obs, recorder = _recorder(interval=4)
+        recorder.maybe_roll()
+        recorder.maybe_roll()
+        sample = recorder.flush(lambda: {"active_bubbles": 9})
+        assert sample is not None
+        assert sample.end_batch == 2
+        assert sample.gauges == {"active_bubbles": 9}
+        # Nothing pending: a second flush is a no-op.
+        assert recorder.flush() is None
+
+    def test_deltas_sum_across_label_sets(self):
+        obs, recorder = _recorder()
+        obs.metrics.counter(
+            "repro_wal_appends_total", labels={"domain": "a"}
+        ).inc(2)
+        obs.metrics.counter(
+            "repro_wal_appends_total", labels={"domain": "b"}
+        ).inc(3)
+        recorder.maybe_roll()
+        (sample,) = recorder.samples
+        assert sample.counters["repro_wal_appends_total"] == 5
+
+    def test_every_tracked_counter_is_present_even_at_zero(self):
+        obs, recorder = _recorder()
+        recorder.maybe_roll()
+        (sample,) = recorder.samples
+        assert set(sample.counters) == set(TRACKED_COUNTERS)
+        assert all(value == 0 for value in sample.counters.values())
+
+    def test_window_close_emits_timeseries_window_event(self):
+        obs, recorder = _recorder()
+        recorder.maybe_roll()
+        assert obs.event_count("timeseries_window") == 1
+
+
+class TestRingBounds:
+    def test_ring_drops_oldest_at_capacity(self):
+        obs, recorder = _recorder(capacity=3)
+        for _ in range(5):
+            recorder.maybe_roll()
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        assert [s.window for s in recorder.samples] == [2, 3, 4]
+
+    def test_exact_capacity_drops_nothing(self):
+        obs, recorder = _recorder(capacity=3)
+        for _ in range(3):
+            recorder.maybe_roll()
+        assert len(recorder) == 3
+        assert recorder.dropped == 0
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError, match="interval"):
+            TimeseriesRecorder(interval=0)
+        with pytest.raises(ValueError, match="capacity"):
+            TimeseriesRecorder(capacity=0)
+
+
+class TestBinding:
+    def test_unbound_recorder_refuses_rolls(self):
+        recorder = TimeseriesRecorder()
+        with pytest.raises(ValueError, match="not bound"):
+            recorder.maybe_roll()
+
+    def test_recorder_cannot_serve_two_handles(self):
+        recorder = TimeseriesRecorder()
+        Observability(timeseries=recorder)
+        with pytest.raises(ValueError, match="already bound"):
+            Observability(timeseries=recorder)
+
+
+class TestSerialization:
+    def test_jsonl_lines_carry_schema_and_sections(self, tmp_path):
+        obs, recorder = _recorder()
+        obs.metrics.counter("repro_distance_pruned_total").inc(4)
+        recorder.maybe_roll(lambda: {"active_bubbles": 12})
+        recorder.maybe_roll()
+        path = tmp_path / "ts.jsonl"
+        recorder.write_jsonl(path)
+        lines = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(lines) == 2
+        for line in lines:
+            assert line["schema"] == TIMESERIES_SCHEMA_VERSION
+            assert set(line) == {
+                "schema",
+                "window",
+                "start_batch",
+                "end_batch",
+                "counters",
+                "gauges",
+            }
+        assert lines[0]["counters"]["repro_distance_pruned_total"] == 4
+        assert lines[0]["gauges"] == {"active_bubbles": 12}
+        assert lines[1]["gauges"] == {}

@@ -51,6 +51,27 @@ class TestEventTracer:
         assert tracer.total_emitted == 5
         assert tracer.counts()["fifo_eviction"] == 5
 
+    def test_ring_wraparound_at_exact_capacity_boundary(self):
+        # Filling the ring to exactly `capacity` must not drop anything;
+        # one past it drops exactly the oldest (off-by-one guard).
+        tracer = EventTracer(capacity=4)
+        for i in range(4):
+            tracer.emit("insert_batch", index=i)
+        assert [e.fields["index"] for e in tracer.events()] == [0, 1, 2, 3]
+        tracer.emit("insert_batch", index=4)
+        assert [e.fields["index"] for e in tracer.events()] == [1, 2, 3, 4]
+        tracer.emit("insert_batch", index=5)
+        assert [e.fields["index"] for e in tracer.events()] == [2, 3, 4, 5]
+        assert tracer.total_emitted == 6
+
+    def test_capacity_one_ring_keeps_only_the_newest(self):
+        tracer = EventTracer(capacity=1)
+        for i in range(3):
+            tracer.emit("insert_batch", index=i)
+        (kept,) = tracer.events()
+        assert kept.fields["index"] == 2
+        assert kept.seq == 2
+
     def test_jsonl_sink_receives_every_line(self, tmp_path):
         sink = tmp_path / "trace.jsonl"
         with EventTracer(sink=sink) as tracer:
