@@ -12,6 +12,8 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles stats     --wal-dir state/ [--format text|json|prom]
     repro-bubbles audit     --wal-dir state/ [--no-repair]
     repro-bubbles report    --wal-dir state/ [--format text|json]
+    repro-bubbles loadgen   --out events.ndjson [--tenants 8] [--events 5000]
+    repro-bubbles serve     --fleet-dir fleet/ --input events.ndjson ...
 
 Every evaluation command prints the corresponding table/series in the
 paper's layout. ``--quick`` shrinks sizes/repetitions for a fast smoke run;
@@ -33,7 +35,17 @@ directory read-only and reports its metrics in any of the three formats.
 invariant audit over it (exit code 1 when the summary is inconsistent and
 could not be repaired). ``report`` recovers a state directory under a
 fully instrumented handle and renders its health report (text or JSON).
-See docs/PERSISTENCE.md, docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
+
+``loadgen`` writes a deterministic NDJSON event stream (Zipf-skewed
+tenant sizes, bursty Poisson arrivals) to ``--out`` or stdout.
+``serve`` runs the multi-tenant ingestion service: NDJSON events from
+``--input`` (or stdin) are routed to per-tenant durable shards under
+``--fleet-dir``, micro-batched through bounded queues with explicit
+backpressure, drained gracefully at end of stream, and summarized in a
+fleet rollup (``--rollup-out``/``--fleet-health-out`` write it as
+JSON). ``serve --resume`` crash-recovers the whole fleet from its
+per-tenant WAL directories first. See docs/PERSISTENCE.md,
+docs/OBSERVABILITY.md, docs/ROBUSTNESS.md and docs/SERVICE.md.
 """
 
 from __future__ import annotations
@@ -85,9 +97,30 @@ from .observability import (
     write_metrics,
 )
 from .persistence import read_snapshot
+from .service import (
+    FleetConfig,
+    FleetManager,
+    LoadSpec,
+    generate_events,
+    render_rollup,
+    serve_ndjson,
+    write_events,
+)
 from .streaming import DurableSummarizer
 
 __all__ = ["main", "build_parser"]
+
+
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 
 def _stream_chunk(seed: int, index: int, size: int):
@@ -324,6 +357,85 @@ def _run_report(args: argparse.Namespace) -> None:
         )
 
 
+def _run_loadgen(args: argparse.Namespace) -> None:
+    """Write a deterministic NDJSON event stream for the service."""
+    spec = LoadSpec(
+        tenants=args.tenants,
+        events=args.events,
+        dim=args.dim,
+        seed=args.seed,
+        zipf_s=args.zipf,
+        burst_mean=args.burst,
+    )
+    if args.out == "-":
+        write_events(sys.stdout, generate_events(spec))
+        return
+    count = write_events(args.out, generate_events(spec))
+    print(
+        f"wrote {count} events ({spec.tenants} tenants, zipf "
+        f"{spec.zipf_s}, burst mean {spec.burst_mean:.0f}, seed "
+        f"{spec.seed}) to {args.out}"
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    """Run the multi-tenant ingestion service over an NDJSON stream."""
+    if args.fleet_dir is None:
+        raise SystemExit("serve requires --fleet-dir")
+    runtime = FleetConfig(
+        dim=args.dim,
+        window_size=args.window,
+        points_per_bubble=args.points_per_bubble,
+        checkpoint_every=args.checkpoint_every,
+        seed=args.seed,
+        fsync=not args.no_fsync,
+        on_bad_point=args.on_bad_point,
+        queue_points=args.queue_points,
+        batch_points=args.batch_points,
+        backpressure=args.backpressure,
+        workers=args.workers,
+    )
+    if args.resume:
+        fleet = FleetManager.recover(args.fleet_dir, config=runtime)
+        print(
+            f"recovered fleet {args.fleet_dir}: "
+            f"{len(fleet.tenants)} tenant shard(s) resumed"
+        )
+    else:
+        fleet = FleetManager(args.fleet_dir, config=runtime)
+        print(
+            f"initialized fleet in {args.fleet_dir} "
+            f"({args.workers} worker(s), {args.backpressure} "
+            "backpressure)"
+        )
+    source = sys.stdin if args.input == "-" else args.input
+    stats = serve_ndjson(fleet, source, on_bad_event=args.on_bad_event)
+    print(render_rollup(stats.rollup), end="")
+    print(
+        f"served {stats.events} events: {stats.accepted} accepted, "
+        f"{stats.dropped} dropped, {stats.invalid_lines} invalid "
+        f"line(s) in {stats.elapsed_seconds:.2f}s "
+        f"({stats.points_per_second:.0f} points/s)"
+    )
+    if args.rollup_out is not None:
+        pathlib.Path(args.rollup_out).write_text(
+            json.dumps(stats.rollup, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote fleet rollup to {args.rollup_out}")
+    if args.fleet_health_out is not None:
+        pathlib.Path(args.fleet_health_out).write_text(
+            json.dumps(fleet.fleet_health(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote fleet health to {args.fleet_health_out}")
+    print(
+        f"re-run with serve --resume --fleet-dir {args.fleet_dir} to "
+        "continue the fleet"
+    )
+
+
 def _run_stats(args: argparse.Namespace) -> None:
     """Read-only inspection of a durable state directory."""
     if args.wal_dir is None:
@@ -442,12 +554,20 @@ def build_parser() -> argparse.ArgumentParser:
             "stats",
             "audit",
             "report",
+            "serve",
+            "loadgen",
             "all",
         ],
         help="which artifact to regenerate ('summarize' runs a durable "
         "stream summarization; 'stats' inspects its state directory; "
         "'audit' checks and repairs its invariants; 'report' renders a "
-        "health report from it)",
+        "health report from it; 'serve' runs the multi-tenant ingestion "
+        "service; 'loadgen' writes a deterministic NDJSON event stream)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     parser.add_argument(
         "--size", type=int, default=10_000,
@@ -560,6 +680,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats/report output format (default text; 'prom' is "
         "stats-only)",
     )
+    service = parser.add_argument_group(
+        "service", "options for the ingestion service (serve, loadgen)"
+    )
+    service.add_argument(
+        "--fleet-dir", default=None,
+        help="fleet root directory: one durable shard state dir per "
+        "tenant under tenants/ (required for 'serve')",
+    )
+    service.add_argument(
+        "--input", default="-", metavar="PATH",
+        help="NDJSON event stream for 'serve' ('-' reads stdin; "
+        "default '-')",
+    )
+    service.add_argument(
+        "--workers", type=int, default=4,
+        help="flusher threads; tenants are striped across them "
+        "(0 = synchronous dispatch with deterministic batching; "
+        "default 4)",
+    )
+    service.add_argument(
+        "--queue-points", type=int, default=1_024,
+        help="per-shard queue capacity in points (default 1024)",
+    )
+    service.add_argument(
+        "--batch-points", type=int, default=64,
+        help="points folded into one micro-batched append (default 64)",
+    )
+    service.add_argument(
+        "--backpressure", choices=["block", "shed"], default="block",
+        help="full-queue policy: block the dispatcher or shed the "
+        "event (default block)",
+    )
+    service.add_argument(
+        "--on-bad-event", choices=["strict", "skip"], default="skip",
+        help="malformed NDJSON lines: abort the serve (strict) or drop "
+        "and count them (skip, default)",
+    )
+    service.add_argument(
+        "--dim", type=int, default=2,
+        help="point dimensionality for serve/loadgen (default 2)",
+    )
+    service.add_argument(
+        "--rollup-out", default=None, metavar="PATH",
+        help="write the end-of-run fleet rollup as JSON to PATH",
+    )
+    service.add_argument(
+        "--fleet-health-out", default=None, metavar="PATH",
+        help="write the rollup plus one full health document per "
+        "tenant shard as JSON to PATH",
+    )
+    loadgen = parser.add_argument_group(
+        "loadgen", "workload shape for the load generator"
+    )
+    loadgen.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="where loadgen writes NDJSON events ('-' writes stdout; "
+        "default '-')",
+    )
+    loadgen.add_argument(
+        "--tenants", type=int, default=8,
+        help="tenant streams to simulate (default 8)",
+    )
+    loadgen.add_argument(
+        "--events", type=int, default=5_000,
+        help="total point events to generate (default 5000)",
+    )
+    loadgen.add_argument(
+        "--zipf", type=float, default=1.1,
+        help="Zipf exponent of the tenant-size skew (0 = uniform; "
+        "default 1.1)",
+    )
+    loadgen.add_argument(
+        "--burst", type=float, default=32.0,
+        help="mean Poisson burst size in events (default 32)",
+    )
     return parser
 
 
@@ -595,6 +790,14 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         return
     if command == "report":
         _run_report(args)
+        return
+    if command == "serve":
+        started = time.perf_counter()
+        _run_serve(args)
+        print(f"\n[serve finished in {time.perf_counter() - started:.1f}s]")
+        return
+    if command == "loadgen":
+        _run_loadgen(args)
         return
     config = _base_config(args)
     table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)

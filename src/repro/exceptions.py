@@ -74,6 +74,32 @@ class InvalidPointError(ReproError, ValueError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for ingestion-service failures (:mod:`repro.service`).
+
+    Raised for fleet-level misuse (submitting to a drained fleet, a
+    tenant whose shard has failed) and for malformed service
+    configuration. Shard-level *data* problems are not errors: a full
+    queue under the ``shed`` policy drops the event and counts it, and a
+    bad point follows the summarizer's ``on_bad_point`` policy.
+    """
+
+
+class EventError(ServiceError):
+    """An NDJSON point event failed to parse or validate.
+
+    Carries the offending line number when known. Under the service's
+    ``strict`` event policy this aborts ingestion; under ``skip`` the
+    line is dropped and counted.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno
+
+
 class PersistenceError(ReproError):
     """Base class for durable-state failures (WAL, snapshots, recovery)."""
 

@@ -1,0 +1,224 @@
+"""NDJSON point events: the ingestion service's wire format.
+
+One event is one JSON object on one line (newline-delimited JSON). The
+schema is deliberately tiny — a tenant routes the event to its shard and
+a point is what the summarizer ingests::
+
+    {"schema": 1, "tenant": "user-0042", "point": [0.18, -3.2],
+     "label": 7, "ts": 12.0}
+
+Fields:
+
+* ``tenant`` (required) — stream identifier; becomes the shard's state
+  directory name under the fleet root, so it is restricted to a safe
+  charset (``[A-Za-z0-9][A-Za-z0-9._-]*``, at most 64 characters, and
+  never ``.`` or ``..``).
+* ``point`` (required) — list of finite numbers; the arity must match
+  the fleet's dimensionality (checked at the shard boundary, not here,
+  so one parser serves fleets of any dimension).
+* ``label`` (optional, default ``-1``) — integer ground-truth label
+  carried through to the store for evaluation workloads.
+* ``ts`` (optional) — producer-side virtual timestamp; recorded by the
+  load generator (burst index), ignored by the dispatcher. Ingestion
+  latency is measured from *arrival at the service*, not from ``ts``.
+* ``schema`` (optional) — format version; only ``1`` is accepted.
+
+Unknown keys are rejected — silently ignoring them would hide producer
+bugs (a typo'd ``lable`` must not become an unlabeled point).
+
+Parsing follows the same policy split as the ingestion guards
+(:mod:`repro.core.validate`): ``strict`` raises
+:class:`~repro.exceptions.EventError` with the line number, ``skip``
+drops the malformed line and counts it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO
+
+from ..exceptions import EventError
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "PointEvent",
+    "encode_event",
+    "parse_event",
+    "read_events",
+    "valid_tenant",
+    "write_events",
+]
+
+#: Version accepted (and stamped) on every NDJSON point event.
+EVENT_SCHEMA_VERSION = 1
+
+#: Tenant ids become directory names under the fleet root, so they are
+#: restricted to a filesystem- and shell-safe charset.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_ALLOWED_KEYS = frozenset({"schema", "tenant", "point", "label", "ts"})
+
+
+def valid_tenant(tenant: str) -> bool:
+    """Whether ``tenant`` is a legal shard/directory name."""
+    return (
+        isinstance(tenant, str)
+        and tenant not in (".", "..")
+        and _TENANT_RE.match(tenant) is not None
+    )
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """One parsed NDJSON point event."""
+
+    tenant: str
+    point: tuple[float, ...]
+    label: int = -1
+    ts: float | None = None
+
+
+def encode_event(event: PointEvent) -> str:
+    """Serialize one event as a single NDJSON line (no trailing newline)."""
+    document: dict = {
+        "schema": EVENT_SCHEMA_VERSION,
+        "tenant": event.tenant,
+        "point": list(event.point),
+    }
+    if event.label != -1:
+        document["label"] = int(event.label)
+    if event.ts is not None:
+        document["ts"] = float(event.ts)
+    return json.dumps(document, separators=(",", ":"))
+
+
+def parse_event(line: str, lineno: int | None = None) -> PointEvent:
+    """Parse one NDJSON line into a :class:`PointEvent`.
+
+    Raises:
+        EventError: the line is not valid JSON, is not an object, has an
+            unsupported schema version, unknown keys, a bad tenant id,
+            or a non-finite/non-numeric point.
+    """
+    try:
+        document = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise EventError(f"not valid JSON ({exc.msg})", lineno) from None
+    if not isinstance(document, dict):
+        raise EventError(
+            f"expected a JSON object, got {type(document).__name__}",
+            lineno,
+        )
+    unknown = set(document) - _ALLOWED_KEYS
+    if unknown:
+        raise EventError(
+            f"unknown keys {sorted(unknown)} (allowed: "
+            f"{sorted(_ALLOWED_KEYS)})",
+            lineno,
+        )
+    schema = document.get("schema", EVENT_SCHEMA_VERSION)
+    if schema != EVENT_SCHEMA_VERSION:
+        raise EventError(
+            f"unsupported event schema {schema!r} "
+            f"(this build reads schema {EVENT_SCHEMA_VERSION})",
+            lineno,
+        )
+    tenant = document.get("tenant")
+    if not valid_tenant(tenant):
+        raise EventError(
+            f"invalid tenant {tenant!r} (expected 1-64 chars of "
+            "[A-Za-z0-9._-], starting alphanumeric)",
+            lineno,
+        )
+    raw_point = document.get("point")
+    if not isinstance(raw_point, list) or not raw_point:
+        raise EventError(
+            f"'point' must be a non-empty list, got {raw_point!r}", lineno
+        )
+    point: list[float] = []
+    for value in raw_point:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EventError(
+                f"point coordinate {value!r} is not a number", lineno
+            )
+        coordinate = float(value)
+        if not math.isfinite(coordinate):
+            raise EventError(
+                f"point coordinate {value!r} is not finite", lineno
+            )
+        point.append(coordinate)
+    label = document.get("label", -1)
+    if isinstance(label, bool) or not isinstance(label, int):
+        raise EventError(f"label {label!r} is not an integer", lineno)
+    ts = document.get("ts")
+    if ts is not None:
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            raise EventError(f"ts {ts!r} is not a number", lineno)
+        ts = float(ts)
+    return PointEvent(
+        tenant=tenant, point=tuple(point), label=label, ts=ts
+    )
+
+
+def read_events(
+    source: str | pathlib.Path | TextIO,
+    on_bad_event: str = "strict",
+    bad_event_sink=None,
+) -> Iterator[PointEvent]:
+    """Stream events from an NDJSON file, path, or text handle.
+
+    Blank lines are ignored. ``on_bad_event`` is ``"strict"`` (raise
+    :class:`~repro.exceptions.EventError` with the line number) or
+    ``"skip"`` (drop the line; when ``bad_event_sink`` is given, call it
+    with the :class:`~repro.exceptions.EventError` so callers can count
+    or log the drop).
+    """
+    if on_bad_event not in ("strict", "skip"):
+        raise EventError(
+            f"unknown event policy {on_bad_event!r} "
+            "(expected 'strict' or 'skip')"
+        )
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from read_events(
+                handle, on_bad_event=on_bad_event,
+                bad_event_sink=bad_event_sink,
+            )
+        return
+    for lineno, line in enumerate(source, start=1):
+        if not line.strip():
+            continue
+        try:
+            yield parse_event(line, lineno)
+        except EventError as exc:
+            if on_bad_event == "strict":
+                raise
+            if bad_event_sink is not None:
+                bad_event_sink(exc)
+
+
+def write_events(
+    target: str | pathlib.Path | TextIO, events: Iterable[PointEvent]
+) -> int:
+    """Write events as NDJSON to a path or text handle; returns the count."""
+    if isinstance(target, (str, pathlib.Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_events(handle, events)
+    count = 0
+    buffer: list[str] = []
+    for event in events:
+        buffer.append(encode_event(event))
+        count += 1
+        if len(buffer) >= 1024:
+            target.write("\n".join(buffer) + "\n")
+            buffer.clear()
+    if buffer:
+        target.write("\n".join(buffer) + "\n")
+    if isinstance(target, io.TextIOBase):
+        target.flush()
+    return count

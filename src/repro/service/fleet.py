@@ -1,0 +1,674 @@
+"""Fleet of shards: tenant routing, worker pool, rollups, recovery.
+
+One :class:`FleetManager` owns one fleet root directory::
+
+    <root>/
+        fleet.json                 fleet-wide construction parameters
+        tenants/
+            <tenant-a>/            one DurableSummarizer state dir
+                manifest.json      (see repro.persistence.checkpoint)
+                wal.log
+                snapshot-*.npz
+            <tenant-b>/
+                ...
+
+Shards are created lazily on a tenant's first event: the tenant id (a
+directory-safe string, validated by the NDJSON parser) becomes the
+state-directory name, and the shard's summarizer seed is derived
+deterministically from the fleet seed and the tenant id — so a fleet
+rebuilt from the same event stream produces the same per-tenant
+summaries regardless of tenant arrival order.
+
+Dispatch model: exactly one dispatcher thread calls :meth:`submit`.
+With ``workers > 0`` the fleet runs that many flusher threads and each
+tenant is striped onto one of them (``crc32(tenant) % workers``), so a
+shard is only ever flushed by a single thread and per-tenant event
+order is preserved end to end. With ``workers == 0`` the dispatcher
+flushes inline whenever a shard's queue reaches one full micro-batch —
+the *synchronous* mode, whose batch boundaries are a pure function of
+the event stream (the determinism contract in docs/SERVICE.md).
+
+Crash recovery is fleet-wide: :meth:`FleetManager.recover` re-opens
+every tenant directory under ``tenants/`` through
+:meth:`~repro.streaming.DurableSummarizer.recover`, which replays each
+shard's WAL tail through the normal maintenance path — the recovered
+per-shard summaries are bit-identical to the state the crashed (or
+drained) process had durably acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+import zlib
+from dataclasses import dataclass, replace
+
+from ..exceptions import (
+    EventError,
+    InvalidConfigError,
+    PersistenceError,
+    ServiceError,
+)
+from ..observability import Observability, SpanTracer, collect_health
+from ..streaming import DurableSummarizer
+from .events import PointEvent, valid_tenant
+from .shard import BACKPRESSURE_POLICIES, Shard
+
+__all__ = [
+    "FLEET_VERSION",
+    "FleetConfig",
+    "FleetManager",
+    "render_rollup",
+    "tenant_seed",
+]
+
+#: Version stamped on ``fleet.json``.
+FLEET_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-wide parameters.
+
+    The first block (``dim`` … ``on_bad_point``) is durable — persisted
+    in ``fleet.json`` and applied to every shard's summarizer. The
+    second block (``queue_points`` … ``workers``) is runtime-only
+    service tuning: it shapes queues and threading, never the durable
+    history, so it may change freely between runs of the same fleet.
+    """
+
+    dim: int = 2
+    window_size: int = 5_000
+    points_per_bubble: int = 50
+    checkpoint_every: int = 16
+    seed: int | None = 0
+    fsync: bool = True
+    on_bad_point: str = "skip"
+
+    queue_points: int = 1_024
+    batch_points: int = 64
+    backpressure: str = "block"
+    workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise InvalidConfigError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise InvalidConfigError(
+                f"unknown backpressure policy {self.backpressure!r} "
+                f"(expected one of {BACKPRESSURE_POLICIES})"
+            )
+
+
+def tenant_seed(fleet_seed: int | None, tenant: str) -> int | None:
+    """Deterministic per-tenant summarizer seed.
+
+    Mixes the fleet seed with a CRC of the tenant id, so two tenants
+    never share an RNG stream and the derivation is stable across
+    processes, platforms, and tenant arrival order.
+    """
+    if fleet_seed is None:
+        return None
+    return (int(fleet_seed) ^ zlib.crc32(tenant.encode("utf-8"))) & 0x7FFFFFFF
+
+
+class _PoolWorker(threading.Thread):
+    """One flusher thread draining a fixed stripe of shards."""
+
+    def __init__(self, index: int) -> None:
+        super().__init__(name=f"repro-shard-worker-{index}", daemon=True)
+        self.cond = threading.Condition()
+        self.shards: list[Shard] = []
+        self._stop_when_idle = False
+        self._stop_now = False
+
+    def add(self, shard: Shard) -> None:
+        with self.cond:
+            self.shards.append(shard)
+            self.cond.notify()
+
+    def shutdown(self, immediate: bool = False) -> None:
+        with self.cond:
+            if immediate:
+                self._stop_now = True
+            self._stop_when_idle = True
+            self.cond.notify()
+
+    def _idle(self) -> bool:
+        return all(
+            shard.pending == 0 or shard.state in ("failed", "stopped")
+            for shard in self.shards
+        )
+
+    def run(self) -> None:
+        while True:
+            with self.cond:
+                shards = list(self.shards)
+            applied = 0
+            for shard in shards:
+                if self._stop_now:
+                    return
+                try:
+                    applied += shard.flush_once()
+                except ServiceError:
+                    continue  # shard is failed; recorded in its stats
+            with self.cond:
+                if self._stop_now:
+                    return
+                if self._stop_when_idle and self._idle():
+                    return
+                if applied == 0:
+                    # Timed wait doubles as the missed-notify backstop:
+                    # a submit between the scan and this wait is picked
+                    # up at the next tick.
+                    self.cond.wait(timeout=0.02)
+
+
+class FleetManager:
+    """Hosts many tenant shards under one fleet root (see module doc).
+
+    Args:
+        root: the fleet directory; created when missing. Must not
+            already hold a fleet (use :meth:`recover` for that).
+        config: fleet-wide parameters; defaults to :class:`FleetConfig`.
+        obs: optional fleet-level observability handle used only for
+            dispatcher-side events; each shard always gets its own
+            private handle so per-tenant metrics never mix.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        config: FleetConfig | None = None,
+        obs: Observability | None = None,
+        _recovered_shards: dict[str, Shard] | None = None,
+    ) -> None:
+        self._root = pathlib.Path(root)
+        self._config = config if config is not None else FleetConfig()
+        self._obs = obs
+        self._shards: dict[str, Shard] = {}
+        self._shard_worker: dict[str, _PoolWorker] = {}
+        self._lock = threading.Lock()
+        self._draining = False
+        self._closed = False
+        self._started = time.perf_counter()
+        self.invalid_points = 0
+        self.failed_submissions = 0
+
+        if _recovered_shards is None:
+            if (self._root / "fleet.json").exists():
+                raise PersistenceError(
+                    f"{self._root} already holds a fleet; use "
+                    "FleetManager.recover() to resume it"
+                )
+            self._tenants_dir.mkdir(parents=True, exist_ok=True)
+            self._write_fleet_manifest()
+        self._workers: list[_PoolWorker] = [
+            _PoolWorker(i) for i in range(self._config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        if _recovered_shards:
+            for tenant, shard in sorted(_recovered_shards.items()):
+                self._adopt(tenant, shard)
+
+    # ------------------------------------------------------------------
+    # Layout + manifest
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> pathlib.Path:
+        """The fleet directory."""
+        return self._root
+
+    @property
+    def config(self) -> FleetConfig:
+        """The fleet-wide parameters in force."""
+        return self._config
+
+    @property
+    def _tenants_dir(self) -> pathlib.Path:
+        return self._root / "tenants"
+
+    def tenant_dir(self, tenant: str) -> pathlib.Path:
+        """The durable state directory backing ``tenant``'s shard."""
+        return self._tenants_dir / tenant
+
+    def _write_fleet_manifest(self) -> None:
+        document = {
+            "fleet_version": FLEET_VERSION,
+            "dim": int(self._config.dim),
+            "window_size": int(self._config.window_size),
+            "points_per_bubble": int(self._config.points_per_bubble),
+            "checkpoint_every": int(self._config.checkpoint_every),
+            "seed": (
+                None if self._config.seed is None else int(self._config.seed)
+            ),
+            "on_bad_point": self._config.on_bad_point,
+        }
+        payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        tmp = self._root / "fleet.json.tmp"
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, self._root / "fleet.json")
+
+    @staticmethod
+    def read_fleet_manifest(root: str | pathlib.Path) -> dict:
+        """Load and validate ``fleet.json`` under ``root``."""
+        path = pathlib.Path(root) / "fleet.json"
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"{pathlib.Path(root)} holds no fleet (fleet.json is "
+                "missing); start a new fleet instead of recovering"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PersistenceError(
+                f"unreadable fleet.json in {root}: {exc}"
+            ) from exc
+        version = int(document.get("fleet_version", -1))
+        if version != FLEET_VERSION:
+            raise PersistenceError(
+                f"unsupported fleet version {version} in {root}"
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        root: str | pathlib.Path,
+        config: FleetConfig | None = None,
+        obs: Observability | None = None,
+    ) -> "FleetManager":
+        """Re-open a fleet: every tenant directory is crash-recovered.
+
+        Durable parameters come from ``fleet.json``; the runtime block
+        of ``config`` (queues, batching, backpressure, workers, fsync)
+        overrides the defaults when given. Each shard's summarizer is
+        recovered through the normal snapshot + WAL-tail replay, so the
+        fleet resumes bit-identical to its durably acknowledged state.
+        """
+        manifest = cls.read_fleet_manifest(root)
+        runtime = config if config is not None else FleetConfig()
+        merged = replace(
+            runtime,
+            dim=int(manifest["dim"]),
+            window_size=int(manifest["window_size"]),
+            points_per_bubble=int(manifest["points_per_bubble"]),
+            checkpoint_every=int(manifest["checkpoint_every"]),
+            seed=(
+                None if manifest["seed"] is None else int(manifest["seed"])
+            ),
+            on_bad_point=str(manifest["on_bad_point"]),
+        )
+        shards: dict[str, Shard] = {}
+        tenants_dir = pathlib.Path(root) / "tenants"
+        tenant_dirs = (
+            sorted(p for p in tenants_dir.iterdir() if p.is_dir())
+            if tenants_dir.exists()
+            else []
+        )
+        try:
+            for tenant_path in tenant_dirs:
+                if not (tenant_path / "manifest.json").exists():
+                    continue  # never initialized (crashed pre-manifest)
+                shard_obs = Observability(spans=SpanTracer())
+                summarizer = DurableSummarizer.recover(
+                    tenant_path, fsync=merged.fsync, obs=shard_obs
+                )
+                shards[tenant_path.name] = Shard(
+                    tenant_path.name,
+                    summarizer,
+                    queue_points=merged.queue_points,
+                    batch_points=merged.batch_points,
+                    backpressure=merged.backpressure,
+                    obs=shard_obs,
+                )
+        except BaseException:
+            for shard in shards.values():
+                shard.close(checkpoint=False)
+            raise
+        return cls(
+            root, config=merged, obs=obs, _recovered_shards=shards
+        )
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenant ids with live shards, sorted."""
+        with self._lock:
+            return tuple(sorted(self._shards))
+
+    def shard(self, tenant: str) -> Shard:
+        """The live shard for ``tenant``.
+
+        Raises:
+            ServiceError: no shard exists for ``tenant``.
+        """
+        with self._lock:
+            try:
+                return self._shards[tenant]
+            except KeyError:
+                raise ServiceError(
+                    f"no shard for tenant {tenant!r}"
+                ) from None
+
+    def _adopt(self, tenant: str, shard: Shard) -> None:
+        """Register a shard and stripe it onto its pool worker."""
+        with self._lock:
+            self._shards[tenant] = shard
+            if self._workers:
+                worker = self._workers[
+                    zlib.crc32(tenant.encode("utf-8")) % len(self._workers)
+                ]
+                self._shard_worker[tenant] = worker
+                worker.add(shard)
+
+    def _get_or_create(self, tenant: str) -> Shard:
+        with self._lock:
+            shard = self._shards.get(tenant)
+        if shard is not None:
+            return shard
+        config = self._config
+        shard_obs = Observability(spans=SpanTracer())
+        summarizer = DurableSummarizer(
+            self.tenant_dir(tenant),
+            dim=config.dim,
+            window_size=config.window_size,
+            points_per_bubble=config.points_per_bubble,
+            seed=tenant_seed(config.seed, tenant),
+            checkpoint_every=config.checkpoint_every,
+            fsync=config.fsync,
+            obs=shard_obs,
+            on_bad_point=config.on_bad_point,
+        )
+        shard = Shard(
+            tenant,
+            summarizer,
+            queue_points=config.queue_points,
+            batch_points=config.batch_points,
+            backpressure=config.backpressure,
+            obs=shard_obs,
+        )
+        self._adopt(tenant, shard)
+        if self._obs is not None:
+            self._obs.emit("shard_created", tenant=tenant)
+        return shard
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def submit(self, event: PointEvent) -> bool:
+        """Route one event to its tenant's shard; returns acceptance.
+
+        ``False`` means the event was dropped: shed by backpressure,
+        rejected for a dimension mismatch, or aimed at a failed shard
+        (each counted separately). Dimension screening happens *here*
+        because a wrong-arity row cannot even be assembled into the
+        micro-batch matrix, let alone reach the summarizer's own
+        screening.
+
+        Raises:
+            ServiceError: the fleet is draining or closed.
+            EventError: the tenant id is invalid (the NDJSON parser
+                normally rejects these earlier).
+        """
+        if self._draining or self._closed:
+            raise ServiceError(
+                "the fleet is draining and no longer accepts events"
+            )
+        if not valid_tenant(event.tenant):
+            raise EventError(f"invalid tenant {event.tenant!r}")
+        if len(event.point) != self._config.dim:
+            self.invalid_points += 1
+            return False
+        shard = self._get_or_create(event.tenant)
+        try:
+            accepted = shard.submit(event.point, event.label)
+        except ServiceError:
+            # The shard failed earlier; its error is in the rollup.
+            self.failed_submissions += 1
+            return False
+        if not accepted:
+            return False
+        if self._workers:
+            if shard.pending == 1:
+                # Empty→non-empty transition: wake the stripe's worker
+                # now instead of waiting out its idle tick.
+                worker = self._shard_worker[event.tenant]
+                with worker.cond:
+                    worker.cond.notify()
+        else:
+            try:
+                while shard.pending >= shard.batch_points:
+                    shard.flush_once()
+            except ServiceError:
+                # Same isolation as the pool workers: the shard is now
+                # failed (and its queue cleared), the fleet carries on.
+                self.failed_submissions += 1
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Gracefully stop: flush every queue, checkpoint, close.
+
+        Idempotent. After it returns, every non-failed shard has applied
+        all accepted events, written a final checkpoint, and released
+        its file handles; :meth:`rollup` remains readable.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.begin_drain()
+        for worker in self._workers:
+            worker.shutdown()
+        for worker in self._workers:
+            worker.join()
+        for shard in shards:
+            if shard.state == "failed":
+                continue
+            try:
+                shard.drain_flush()
+            except ServiceError:
+                continue  # entered failed state during the final flush
+        for shard in shards:
+            shard.close(checkpoint=True)
+        self._closed = True
+        if self._obs is not None:
+            self._obs.emit("fleet_drained", tenants=len(shards))
+
+    def close(self) -> None:
+        """Stop immediately without flushing queues (crash-like).
+
+        Queued-but-unapplied points are lost *from memory only* — they
+        were never acknowledged as durable. Durably appended batches
+        survive in each shard's WAL; :meth:`recover` replays them.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        for worker in self._workers:
+            worker.shutdown(immediate=True)
+        for worker in self._workers:
+            worker.join()
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.close(checkpoint=False)
+        self._closed = True
+
+    def __enter__(self) -> "FleetManager":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.drain()
+        else:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Rollups
+    # ------------------------------------------------------------------
+    def rollup(self) -> dict:
+        """Fleet-wide health rollup (``schema: 1``).
+
+        Aggregates every shard's stats plus fleet totals: applied
+        points/sec over the fleet's lifetime, the fleet-wide p95 ingest
+        latency (merged across the shard histograms, bucket-granular),
+        shard state counts, and backpressure/shed/invalid tallies.
+        """
+        with self._lock:
+            shards = dict(sorted(self._shards.items()))
+        tenants = {t: shard.stats() for t, shard in shards.items()}
+        states: dict[str, int] = {}
+        totals = {
+            "enqueued_points": 0,
+            "applied_points": 0,
+            "applied_batches": 0,
+            "shed_points": 0,
+            "blocked_submissions": 0,
+            "blocked_seconds": 0.0,
+            "pending_points": 0,
+        }
+        for row in tenants.values():
+            states[row["state"]] = states.get(row["state"], 0) + 1
+            for key in totals:
+                totals[key] += row[key]
+        elapsed = time.perf_counter() - self._started
+        merged_p95 = self._merged_ingest_p95(shards.values())
+        return {
+            "schema": 1,
+            "root": str(self._root),
+            "fleet": {
+                "tenants": len(shards),
+                "states": states,
+                "elapsed_seconds": elapsed,
+                "points_per_second": (
+                    totals["applied_points"] / elapsed if elapsed else 0.0
+                ),
+                "ingest_p95_seconds": merged_p95,
+                "invalid_points": self.invalid_points,
+                "failed_submissions": self.failed_submissions,
+                **totals,
+            },
+            "tenants": tenants,
+        }
+
+    @staticmethod
+    def _merged_ingest_p95(shards) -> float | None:
+        """p95 over the union of all shards' ingest histograms."""
+        bounds: tuple[float, ...] | None = None
+        counts: list[int] = []
+        total = 0
+        for shard in shards:
+            histogram = shard._h_ingest
+            if bounds is None:
+                bounds = histogram.bounds
+                counts = [0] * (len(bounds) + 1)
+            for i, count in enumerate(histogram.bucket_counts()):
+                counts[i] += count
+            total += histogram.count
+        if not total or bounds is None:
+            return None
+        target = 0.95 * total
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            if cumulative >= target:
+                return float(bound)
+        return None
+
+    def fleet_health(self) -> dict:
+        """Rollup plus one full per-shard health document per tenant."""
+        with self._lock:
+            shards = dict(sorted(self._shards.items()))
+        return {
+            "schema": 1,
+            "root": str(self._root),
+            "rollup": self.rollup(),
+            "shards": {
+                tenant: collect_health(
+                    shard.obs,
+                    summarizer=shard.summarizer,
+                    source=str(self.tenant_dir(tenant)),
+                )
+                for tenant, shard in shards.items()
+            },
+        }
+
+
+def render_rollup(rollup: dict) -> str:
+    """Render a fleet rollup as an aligned plain-text report."""
+    fleet = rollup["fleet"]
+    lines = [
+        f"fleet rollup (schema {rollup['schema']})",
+        f"root: {rollup['root']}",
+        "",
+        (
+            f"tenants {fleet['tenants']}  states "
+            + " ".join(
+                f"{state}={count}"
+                for state, count in sorted(fleet["states"].items())
+            )
+        ),
+        (
+            f"applied {fleet['applied_points']} points in "
+            f"{fleet['applied_batches']} batches "
+            f"({fleet['points_per_second']:.0f} points/s over "
+            f"{fleet['elapsed_seconds']:.2f}s)"
+        ),
+        (
+            f"backpressure: {fleet['blocked_submissions']} blocked "
+            f"submissions ({fleet['blocked_seconds']:.3f}s), "
+            f"{fleet['shed_points']} shed"
+        ),
+        (
+            f"dropped: {fleet['invalid_points']} invalid points, "
+            f"{fleet['failed_submissions']} to failed shards"
+        ),
+        (
+            "fleet ingest p95 <= "
+            + (
+                f"{fleet['ingest_p95_seconds'] * 1e3:.1f}ms"
+                if fleet["ingest_p95_seconds"] is not None
+                else "inf"
+            )
+        ),
+        "",
+    ]
+    tenants = rollup["tenants"]
+    if not tenants:
+        lines.append("(no tenants)")
+        return "\n".join(lines) + "\n"
+    width = max(len(t) for t in tenants)
+    lines.append(
+        f"{'tenant'.ljust(width)}  {'state':>8}  {'points':>8}  "
+        f"{'batches':>7}  {'shed':>6}  {'blocked':>7}  {'p95_ms':>8}  "
+        f"{'window':>7}  {'bubbles':>7}"
+    )
+    for tenant, row in tenants.items():
+        p95 = row["ingest_p95_seconds"]
+        p95_text = "-" if p95 is None else f"{p95 * 1e3:.1f}"
+        lines.append(
+            f"{tenant.ljust(width)}  {row['state']:>8}  "
+            f"{row['applied_points']:>8}  {row['applied_batches']:>7}  "
+            f"{row['shed_points']:>6}  {row['blocked_submissions']:>7}  "
+            f"{p95_text:>8}  {row['window_points']:>7}  "
+            f"{row['active_bubbles']:>7}"
+        )
+    return "\n".join(lines) + "\n"

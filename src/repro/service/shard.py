@@ -1,0 +1,373 @@
+"""One tenant's shard: bounded queue, backpressure, micro-batched appends.
+
+A :class:`Shard` pairs one tenant's
+:class:`~repro.streaming.DurableSummarizer` with a bounded in-memory
+queue of arrived-but-unapplied points. The dispatcher calls
+:meth:`Shard.submit` for every event; a flusher (a pool worker thread,
+or the dispatcher itself in synchronous mode) calls
+:meth:`Shard.flush_once` to drain up to ``batch_points`` queued points
+into one :meth:`~repro.streaming.DurableSummarizer.append` — the
+batch-incremental framing: bursty per-point arrivals become per-shard
+micro-batches, so maintenance cost is paid per batch, not per point.
+
+Backpressure engages when the queue holds ``queue_points`` points:
+
+* ``block`` (default) — :meth:`submit` waits until the flusher frees
+  space. Every submission that had to wait increments the block counter
+  and the total blocked seconds, so saturation is visible in rollups.
+* ``shed`` — :meth:`submit` drops the event immediately, counts it, and
+  returns ``False``. Nothing shed ever reaches the WAL.
+
+Ingestion latency is measured per point from arrival (``submit``) to
+durable application (the end of the ``append`` that consumed it) and
+recorded in the ``repro_service_ingest_seconds`` histogram of the
+shard's own metrics registry — each shard has a private
+:class:`~repro.observability.Observability` handle, so per-tenant
+signals never mix.
+
+Thread contract: exactly one flusher at a time may call
+:meth:`flush_once` (the fleet stripes shards over pool workers so a
+shard always belongs to one worker); any thread may call
+:meth:`submit`. A shard whose ``append`` raised enters the ``failed``
+state, wakes every blocked submitter, and refuses further traffic —
+other shards are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import InvalidConfigError, ServiceError
+from ..observability import Observability
+from ..streaming import DurableSummarizer
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BATCH_POINTS_BUCKETS",
+    "SHARD_STATES",
+    "Shard",
+    "histogram_quantile",
+]
+
+#: Legal backpressure policies for a full shard queue.
+BACKPRESSURE_POLICIES = ("block", "shed")
+
+#: Shard lifecycle states surfaced in fleet rollups.
+SHARD_STATES = ("running", "draining", "stopped", "failed")
+
+#: Bucket bounds for the micro-batch size histogram (points per append).
+BATCH_POINTS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def histogram_quantile(histogram, q: float) -> float | None:
+    """Upper bucket bound covering quantile ``q`` of a live histogram.
+
+    Fixed-bucket histograms only support bound-granular quantiles; the
+    returned value guarantees ``quantile <= bound``. ``None`` means the
+    quantile falls in the ``+Inf`` bucket (or no observations exist).
+    """
+    if histogram.count == 0:
+        return None
+    target = q * histogram.count
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, histogram.bucket_counts()):
+        cumulative += count
+        if cumulative >= target:
+            return float(bound)
+    return None
+
+
+class Shard:
+    """One tenant's queue + durable summarizer (see module docstring).
+
+    Args:
+        tenant: the tenant/stream id this shard serves.
+        summarizer: the tenant's durable summarizer (the shard takes
+            ownership: :meth:`close` closes it).
+        queue_points: queue capacity in points; arrivals beyond it hit
+            the backpressure policy.
+        batch_points: at most this many queued points are folded into
+            one ``append`` micro-batch.
+        backpressure: ``"block"`` or ``"shed"``.
+        obs: the shard's observability handle; when ``None`` a private
+            metrics-only handle is created (service counters need a
+            registry to live in).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        summarizer: DurableSummarizer,
+        queue_points: int = 1024,
+        batch_points: int = 64,
+        backpressure: str = "block",
+        obs: Observability | None = None,
+    ) -> None:
+        if queue_points < 1:
+            raise InvalidConfigError(
+                f"queue_points must be >= 1, got {queue_points}"
+            )
+        if batch_points < 1:
+            raise InvalidConfigError(
+                f"batch_points must be >= 1, got {batch_points}"
+            )
+        if batch_points > queue_points:
+            raise InvalidConfigError(
+                f"batch_points ({batch_points}) must not exceed "
+                f"queue_points ({queue_points}); synchronous flushing "
+                "could never assemble a full batch"
+            )
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise InvalidConfigError(
+                f"unknown backpressure policy {backpressure!r} "
+                f"(expected one of {BACKPRESSURE_POLICIES})"
+            )
+        self.tenant = tenant
+        self.summarizer = summarizer
+        self.queue_points = int(queue_points)
+        self.batch_points = int(batch_points)
+        self.backpressure = backpressure
+        self.obs = obs if obs is not None else Observability()
+        self.error: str | None = None
+
+        self._queue: deque[tuple[tuple[float, ...], int, float]] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._state = "running"
+
+        self.enqueued_points = 0
+        self.applied_points = 0
+        self.applied_batches = 0
+        self.shed_points = 0
+        self.blocked_submissions = 0
+        self.blocked_seconds = 0.0
+
+        m = self.obs.metrics
+        self._m_enqueued = m.counter(
+            "repro_service_enqueued_points_total",
+            help="Points accepted into this shard's queue.",
+            unit="points",
+        )
+        self._m_applied = m.counter(
+            "repro_service_applied_points_total",
+            help="Points durably applied by micro-batched appends.",
+            unit="points",
+        )
+        self._m_batches = m.counter(
+            "repro_service_batches_total",
+            help="Micro-batches flushed into the summarizer.",
+        )
+        self._m_shed = m.counter(
+            "repro_service_shed_points_total",
+            help="Points dropped by the 'shed' backpressure policy.",
+            unit="points",
+        )
+        self._m_blocks = m.counter(
+            "repro_service_backpressure_blocks_total",
+            help="Submissions that had to wait for queue space "
+            "('block' policy).",
+        )
+        self._m_block_seconds = m.counter(
+            "repro_service_backpressure_seconds_total",
+            help="Total seconds submissions spent blocked on a full "
+            "queue.",
+            unit="seconds",
+        )
+        self._m_queue = m.gauge(
+            "repro_service_queue_points",
+            help="Points currently queued ahead of the summarizer.",
+            unit="points",
+        )
+        self._h_ingest = m.histogram(
+            "repro_service_ingest_seconds",
+            help="Per-point latency from arrival to durable "
+            "application.",
+            unit="seconds",
+        )
+        self._h_batch = m.histogram(
+            "repro_service_batch_points",
+            help="Micro-batch sizes (points per append).",
+            unit="points",
+            buckets=BATCH_POINTS_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Lifecycle state (one of :data:`SHARD_STATES`)."""
+        return self._state
+
+    @property
+    def pending(self) -> int:
+        """Points queued but not yet applied."""
+        return len(self._queue)
+
+    def ingest_p95_seconds(self) -> float | None:
+        """p95 arrival→applied latency bound (bucket-granular)."""
+        return histogram_quantile(self._h_ingest, 0.95)
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+    def submit(self, point: tuple[float, ...], label: int = -1) -> bool:
+        """Queue one point; returns whether it was accepted.
+
+        Blocks while the queue is full under the ``block`` policy;
+        returns ``False`` (and counts the shed) under ``shed``.
+
+        Raises:
+            ServiceError: the shard is draining, stopped, or failed.
+        """
+        with self._not_full:
+            self._check_accepting()
+            if len(self._queue) >= self.queue_points:
+                if self.backpressure == "shed":
+                    self.shed_points += 1
+                    self._m_shed.inc()
+                    return False
+                self.blocked_submissions += 1
+                self._m_blocks.inc()
+                started = time.perf_counter()
+                while len(self._queue) >= self.queue_points:
+                    self._not_full.wait(timeout=0.05)
+                    self._check_accepting()
+                waited = time.perf_counter() - started
+                self.blocked_seconds += waited
+                self._m_block_seconds.inc(waited)
+            self._queue.append((point, int(label), time.perf_counter()))
+            self.enqueued_points += 1
+            self._m_enqueued.inc()
+            self._m_queue.set(len(self._queue))
+        return True
+
+    def _check_accepting(self) -> None:
+        if self._state == "running":
+            return
+        if self._state == "failed":
+            raise ServiceError(
+                f"shard {self.tenant!r} has failed: {self.error}"
+            )
+        raise ServiceError(
+            f"shard {self.tenant!r} is {self._state} and no longer "
+            "accepts events"
+        )
+
+    # ------------------------------------------------------------------
+    # Flusher side (single-threaded per shard)
+    # ------------------------------------------------------------------
+    def flush_once(self) -> int:
+        """Apply up to one micro-batch; returns the points applied.
+
+        Raises:
+            ServiceError: the wrapped ``append`` failed; the shard is now
+                ``failed`` and every blocked submitter has been woken.
+        """
+        with self._not_full:
+            if not self._queue or self._state in ("stopped", "failed"):
+                return 0
+            take = min(self.batch_points, len(self._queue))
+            items = [self._queue.popleft() for _ in range(take)]
+            self._m_queue.set(len(self._queue))
+            self._not_full.notify_all()
+        points = np.asarray([item[0] for item in items], dtype=np.float64)
+        labels = [item[1] for item in items]
+        try:
+            self.summarizer.append(points, labels)
+        except BaseException as exc:
+            self._fail(exc)
+            raise ServiceError(
+                f"shard {self.tenant!r} failed applying a batch of "
+                f"{take} points: {exc}"
+            ) from exc
+        now = time.perf_counter()
+        for _, _, arrived in items:
+            self._h_ingest.observe(now - arrived)
+        self._h_batch.observe(take)
+        self.applied_points += take
+        self.applied_batches += 1
+        self._m_applied.inc(take)
+        self._m_batches.inc()
+        return take
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._not_full:
+            self._state = "failed"
+            self.error = f"{type(exc).__name__}: {exc}"
+            self._queue.clear()
+            self._m_queue.set(0)
+            self._not_full.notify_all()
+        # Handles are released without checkpointing: the WAL already
+        # covers everything acknowledged, and the failed batch was
+        # applied to neither the log nor the summary.
+        try:
+            self.summarizer.close(checkpoint=False)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Drain / shutdown
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop accepting events; queued points may still be flushed."""
+        with self._not_full:
+            if self._state == "running":
+                self._state = "draining"
+            self._not_full.notify_all()
+
+    def drain_flush(self) -> int:
+        """Flush everything still queued; returns the points applied."""
+        applied = 0
+        while True:
+            flushed = self.flush_once()
+            if flushed == 0:
+                return applied
+            applied += flushed
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Release the shard's durable handles (idempotent).
+
+        A ``failed`` shard was already closed without a checkpoint;
+        otherwise the summarizer is closed (by default after a final
+        checkpoint) and the shard becomes ``stopped``.
+        """
+        with self._not_full:
+            if self._state in ("stopped", "failed"):
+                return
+            self._state = "stopped"
+            self._not_full.notify_all()
+        self.summarizer.close(checkpoint=checkpoint)
+
+    def stats(self) -> dict:
+        """One rollup row: queue/backpressure/latency/summary signals."""
+        summarizer = self.summarizer
+        maintainer = summarizer.maintainer
+        return {
+            "state": self._state,
+            "pending_points": self.pending,
+            "enqueued_points": self.enqueued_points,
+            "applied_points": self.applied_points,
+            "applied_batches": self.applied_batches,
+            "shed_points": self.shed_points,
+            "blocked_submissions": self.blocked_submissions,
+            "blocked_seconds": self.blocked_seconds,
+            "ingest_p95_seconds": self.ingest_p95_seconds(),
+            "batches_durable": summarizer.batches_applied,
+            "window_points": summarizer.size,
+            "active_bubbles": (
+                maintainer.active_count if maintainer is not None else 0
+            ),
+            "rejected_points": summarizer.rejected_points,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Shard(tenant={self.tenant!r}, state={self._state!r}, "
+            f"pending={self.pending})"
+        )

@@ -734,6 +734,7 @@ class DurableSummarizer:
         self._seq = 0
         self._replaying = False
         self._callback_registered = False
+        self._closed = False
         self._obs = obs
         self._create_wal_metrics(obs)
 
@@ -809,12 +810,34 @@ class DurableSummarizer:
             fsync=fsync,
             obs=obs,
         )
+        try:
+            return cls._recover_with(
+                manager, manifest, wal_dir, obs, audit_every, started
+            )
+        except BaseException:
+            # A failed recovery must not leak the WAL file handle the
+            # manager opened — the service layer retries/raises past
+            # this and the directory must stay openable.
+            manager.close()
+            raise
+
+    @classmethod
+    def _recover_with(
+        cls,
+        manager: CheckpointManager,
+        manifest: dict,
+        wal_dir: str | pathlib.Path,
+        obs: Observability | None,
+        audit_every: int,
+        started: float,
+    ) -> "DurableSummarizer":
         with maybe_span(obs, "recovery"):
             recovered = recover_state(manager, obs=obs)
             stream = cls.__new__(cls)
             stream._manager = manager
             stream._replaying = False
             stream._callback_registered = False
+            stream._closed = False
             stream._obs = obs
             stream._create_wal_metrics(obs)
             # Older manifests predate the bad-point policy; default strict.
@@ -979,10 +1002,24 @@ class DurableSummarizer:
         self._manager.checkpoint(self._inner.capture_state(self._seq))
 
     def close(self, checkpoint: bool = True) -> None:
-        """Release file handles, by default after a final checkpoint."""
-        if checkpoint:
-            self.checkpoint()
-        self._manager.close()
+        """Release file handles, by default after a final checkpoint.
+
+        Idempotent: a second (or later) close is a no-op — it neither
+        writes another checkpoint nor touches the already-released
+        handles. The service's drain path closes shards from several
+        code paths (worker failure, drain, context exit), so double
+        closes are normal, not a bug.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if checkpoint:
+                self.checkpoint()
+        finally:
+            # Even when the goodbye checkpoint fails, the handles are
+            # released — the WAL still covers everything applied.
+            self._manager.close()
 
     def __enter__(self) -> "DurableSummarizer":
         return self

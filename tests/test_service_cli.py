@@ -1,0 +1,214 @@
+"""CLI coverage for serve, loadgen, --version, and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+QUICK_SERVE = [
+    "--workers", "0",
+    "--no-fsync",
+    "--window", "400",
+    "--points-per-bubble", "40",
+    "--checkpoint-every", "4",
+    "--queue-points", "64",
+    "--batch-points", "16",
+]
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip().split()[-1] == repro.__version__
+        assert "repro-bubbles" in out
+
+    def test_version_matches_package_metadata(self):
+        from repro.cli import _package_version
+
+        assert _package_version() == repro.__version__
+
+
+class TestExitCodes:
+    def test_unknown_subcommand_exits_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_no_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_serve_requires_fleet_dir(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+
+class TestParser:
+    def test_service_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.input == "-"
+        assert args.workers == 4
+        assert args.queue_points == 1024
+        assert args.batch_points == 64
+        assert args.backpressure == "block"
+        assert args.on_bad_event == "skip"
+        assert args.dim == 2
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.out == "-"
+        assert args.tenants == 8
+        assert args.events == 5000
+        assert args.zipf == pytest.approx(1.1)
+        assert args.burst == pytest.approx(32.0)
+
+    def test_bad_backpressure_choice_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--backpressure", "drop"])
+        assert excinfo.value.code == 2
+
+
+class TestLoadgen:
+    def test_writes_deterministic_file(self, tmp_path, capsys):
+        base = ["loadgen", "--events", "300", "--tenants", "4",
+                "--seed", "9"]
+        a, b = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+        assert main(base + ["--out", str(a)]) == 0
+        assert "wrote 300 events" in capsys.readouterr().out
+        assert main(base + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert len(a.read_text().splitlines()) == 300
+
+    def test_stdout_stream(self, capsys):
+        assert main(["loadgen", "--out", "-", "--events", "40"]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(lines) == 40
+        for line in lines:
+            document = json.loads(line)
+            assert document["schema"] == 1
+            assert document["tenant"].startswith("tenant-")
+
+
+class TestServe:
+    def _events(self, tmp_path, events=600, tenants=8):
+        path = tmp_path / "events.ndjson"
+        assert main(
+            [
+                "loadgen",
+                "--out", str(path),
+                "--events", str(events),
+                "--tenants", str(tenants),
+                "--seed", "7",
+            ]
+        ) == 0
+        return path
+
+    def test_round_trip_with_artifacts(self, tmp_path, capsys):
+        events = self._events(tmp_path)
+        fleet_dir = tmp_path / "fleet"
+        rollup_path = tmp_path / "rollup.json"
+        health_path = tmp_path / "health.json"
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--fleet-dir", str(fleet_dir),
+                "--input", str(events),
+                "--rollup-out", str(rollup_path),
+                "--fleet-health-out", str(health_path),
+                *QUICK_SERVE,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initialized fleet" in out
+        assert "fleet rollup (schema 1)" in out
+        assert "served 600 events: 600 accepted" in out
+        assert (fleet_dir / "fleet.json").exists()
+        tenant_dirs = sorted((fleet_dir / "tenants").iterdir())
+        assert len(tenant_dirs) == 8
+        rollup = json.loads(rollup_path.read_text())
+        assert rollup["fleet"]["applied_points"] == 600
+        assert rollup["fleet"]["states"] == {"stopped": 8}
+        health = json.loads(health_path.read_text())
+        assert len(health["shards"]) == 8
+
+    def test_resume_recovers_fleet(self, tmp_path, capsys):
+        events = self._events(tmp_path, events=400)
+        fleet_dir = tmp_path / "fleet"
+        base = [
+            "serve", "--fleet-dir", str(fleet_dir),
+            "--input", str(events), *QUICK_SERVE,
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered fleet" in out
+        assert "8 tenant shard(s) resumed" in out
+        assert "served 400 events: 400 accepted" in out
+
+    def test_fresh_serve_refuses_existing_fleet(self, tmp_path, capsys):
+        events = self._events(tmp_path, events=100)
+        fleet_dir = tmp_path / "fleet"
+        base = [
+            "serve", "--fleet-dir", str(fleet_dir),
+            "--input", str(events), *QUICK_SERVE,
+        ]
+        assert main(base) == 0
+        assert main(base) == 1
+        assert "already holds a fleet" in capsys.readouterr().err
+
+    def test_strict_policy_aborts_on_bad_line(self, tmp_path, capsys):
+        events = tmp_path / "events.ndjson"
+        events.write_text(
+            '{"tenant": "a", "point": [1.0, 2.0]}\n'
+            "garbage\n"
+            '{"tenant": "b", "point": [3.0, 4.0]}\n'
+        )
+        code = main(
+            [
+                "serve",
+                "--fleet-dir", str(tmp_path / "fleet"),
+                "--input", str(events),
+                "--on-bad-event", "strict",
+                *QUICK_SERVE,
+            ]
+        )
+        assert code == 1
+        assert "line 2" in capsys.readouterr().err
+
+    def test_skip_policy_counts_bad_lines(self, tmp_path, capsys):
+        events = tmp_path / "events.ndjson"
+        events.write_text(
+            '{"tenant": "a", "point": [1.0, 2.0]}\n'
+            "garbage\n"
+            '{"tenant": "b", "point": [3.0, 4.0]}\n'
+        )
+        code = main(
+            [
+                "serve",
+                "--fleet-dir", str(tmp_path / "fleet"),
+                "--input", str(events),
+                "--on-bad-event", "skip",
+                *QUICK_SERVE,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2 events: 2 accepted, 0 dropped, 1 invalid" in out

@@ -1,0 +1,155 @@
+"""NDJSON point-event parsing, encoding, and streaming policies."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import EventError
+from repro.service import (
+    EVENT_SCHEMA_VERSION,
+    PointEvent,
+    encode_event,
+    parse_event,
+    read_events,
+    valid_tenant,
+    write_events,
+)
+
+
+class TestParse:
+    def test_minimal_event(self):
+        event = parse_event('{"tenant": "t1", "point": [1.0, 2.0]}')
+        assert event.tenant == "t1"
+        assert event.point == (1.0, 2.0)
+        assert event.label == -1
+        assert event.ts is None
+
+    def test_full_event(self):
+        event = parse_event(
+            '{"schema": 1, "tenant": "user.42", "point": [0.5], '
+            '"label": 7, "ts": 3}'
+        )
+        assert event.label == 7
+        assert event.ts == 3.0
+
+    def test_integer_coordinates_coerced(self):
+        event = parse_event('{"tenant": "a", "point": [1, 2]}')
+        assert event.point == (1.0, 2.0)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json at all",
+            "[1, 2, 3]",
+            '{"tenant": "a"}',
+            '{"tenant": "a", "point": []}',
+            '{"tenant": "a", "point": "xy"}',
+            '{"tenant": "a", "point": [1.0], "schema": 2}',
+            '{"tenant": "a", "point": [1.0], "lable": 3}',
+            '{"tenant": "a", "point": [NaN]}',
+            '{"tenant": "a", "point": [Infinity]}',
+            '{"tenant": "a", "point": [true]}',
+            '{"tenant": "a", "point": [1.0], "label": 1.5}',
+            '{"tenant": "a", "point": [1.0], "label": true}',
+            '{"tenant": "a", "point": [1.0], "ts": "noon"}',
+            '{"tenant": "", "point": [1.0]}',
+            '{"tenant": "../evil", "point": [1.0]}',
+            '{"tenant": "a b", "point": [1.0]}',
+            '{"point": [1.0]}',
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(EventError):
+            parse_event(line)
+
+    def test_lineno_in_message(self):
+        with pytest.raises(EventError, match="line 17"):
+            parse_event("nope", lineno=17)
+        exc = None
+        try:
+            parse_event("nope", lineno=17)
+        except EventError as caught:
+            exc = caught
+        assert exc.lineno == 17
+
+
+class TestTenantValidation:
+    @pytest.mark.parametrize(
+        "tenant", ["a", "tenant-001", "User.42_x", "0" * 64]
+    )
+    def test_valid(self, tenant):
+        assert valid_tenant(tenant)
+
+    @pytest.mark.parametrize(
+        "tenant",
+        ["", ".", "..", "-lead", ".lead", "a/b", "a" * 65, "é", None],
+    )
+    def test_invalid(self, tenant):
+        assert not valid_tenant(tenant)
+
+
+class TestRoundTrip:
+    def test_encode_parse_identity(self):
+        original = PointEvent(
+            tenant="t-9",
+            point=(0.1, -2.5e-17, 3.141592653589793),
+            label=4,
+            ts=12.0,
+        )
+        line = encode_event(original)
+        assert "\n" not in line
+        assert parse_event(line) == original
+
+    def test_encode_stamps_schema(self):
+        line = encode_event(PointEvent(tenant="a", point=(1.0,)))
+        assert json.loads(line)["schema"] == EVENT_SCHEMA_VERSION
+
+    def test_default_label_and_ts_omitted(self):
+        document = json.loads(
+            encode_event(PointEvent(tenant="a", point=(1.0,)))
+        )
+        assert "label" not in document
+        assert "ts" not in document
+
+    def test_write_read_file(self, tmp_path):
+        events = [
+            PointEvent(tenant=f"t{i}", point=(float(i), -float(i)))
+            for i in range(2500)  # crosses the internal write buffer
+        ]
+        path = tmp_path / "events.ndjson"
+        assert write_events(path, events) == 2500
+        assert list(read_events(path)) == events
+
+
+class TestReadPolicies:
+    def _source(self):
+        return io.StringIO(
+            '{"tenant": "a", "point": [1.0]}\n'
+            "\n"
+            "garbage\n"
+            '{"tenant": "b", "point": [2.0]}\n'
+        )
+
+    def test_strict_raises_with_lineno(self):
+        with pytest.raises(EventError, match="line 3"):
+            list(read_events(self._source()))
+
+    def test_skip_counts_and_continues(self):
+        seen = []
+        events = list(
+            read_events(
+                self._source(),
+                on_bad_event="skip",
+                bad_event_sink=seen.append,
+            )
+        )
+        assert [e.tenant for e in events] == ["a", "b"]
+        assert len(seen) == 1
+        assert isinstance(seen[0], EventError)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(EventError, match="unknown event policy"):
+            list(read_events(self._source(), on_bad_event="lenient"))

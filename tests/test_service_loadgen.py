@@ -1,0 +1,98 @@
+"""Load generator: determinism, Zipf skew, burstiness, round trips."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidConfigError
+from repro.service import (
+    LoadSpec,
+    generate_events,
+    read_events,
+    tenant_ids,
+    tenant_weights,
+    valid_tenant,
+    write_events,
+)
+
+
+class TestSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tenants": 0},
+            {"events": -1},
+            {"dim": 0},
+            {"zipf_s": -0.1},
+            {"burst_mean": 0.0},
+        ],
+    )
+    def test_bad_spec_rejected(self, kwargs):
+        with pytest.raises(InvalidConfigError):
+            LoadSpec(**kwargs)
+
+    def test_tenant_ids_are_valid_tenants(self):
+        for tenant in tenant_ids(LoadSpec(tenants=12)):
+            assert valid_tenant(tenant)
+
+    def test_weights_normalized_and_skewed(self):
+        weights = tenant_weights(LoadSpec(tenants=8, zipf_s=1.1))
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)  # strictly rank-decreasing
+        uniform = tenant_weights(LoadSpec(tenants=8, zipf_s=0.0))
+        assert np.allclose(uniform, 1.0 / 8)
+
+
+class TestStream:
+    def test_exact_event_count(self):
+        spec = LoadSpec(tenants=4, events=777, seed=3)
+        assert sum(1 for _ in generate_events(spec)) == 777
+
+    def test_deterministic(self):
+        spec = LoadSpec(tenants=8, events=1000, seed=42)
+        assert list(generate_events(spec)) == list(generate_events(spec))
+
+    def test_seed_changes_stream(self):
+        a = list(generate_events(LoadSpec(events=200, seed=1)))
+        b = list(generate_events(LoadSpec(events=200, seed=2)))
+        assert a != b
+
+    def test_zipf_head_dominates(self):
+        spec = LoadSpec(tenants=8, events=4000, seed=0, zipf_s=1.1)
+        counts: dict[str, int] = {}
+        for event in generate_events(spec):
+            counts[event.tenant] = counts.get(event.tenant, 0) + 1
+        assert len(counts) == 8  # even the tail trickles
+        head = counts["tenant-000"]
+        tail = counts["tenant-007"]
+        assert head > 3 * tail
+
+    def test_bursts_share_virtual_timestamps(self):
+        spec = LoadSpec(tenants=4, events=500, seed=5, burst_mean=16.0)
+        ts = [event.ts for event in generate_events(spec)]
+        assert ts == sorted(ts)  # virtual time is monotone
+        bursts = len(set(ts))
+        assert 1 < bursts < 500  # grouped, not one-per-event
+
+    def test_labels_match_tenant_index(self):
+        spec = LoadSpec(tenants=4, events=300, seed=6)
+        ids = tenant_ids(spec)
+        for event in generate_events(spec):
+            assert ids[event.label] == event.tenant
+            assert len(event.point) == spec.dim
+
+    def test_ndjson_round_trip_lossless(self):
+        spec = LoadSpec(tenants=5, events=400, seed=9, dim=3)
+        events = list(generate_events(spec))
+        buffer = io.StringIO()
+        write_events(buffer, events)
+        buffer.seek(0)
+        assert list(read_events(buffer)) == events
+
+    def test_points_are_finite(self):
+        spec = LoadSpec(tenants=3, events=300, seed=11, dim=4)
+        for event in generate_events(spec):
+            assert all(np.isfinite(v) for v in event.point)
