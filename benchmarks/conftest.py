@@ -5,11 +5,27 @@ artifacts (Table 1, Figures 7/9/10/11) or an ablation. The regenerated
 tables are printed to stdout *and* written to ``benchmarks/results/`` so a
 ``pytest benchmarks/ --benchmark-only`` run leaves the artifacts behind.
 Scale constants live in :mod:`_config`.
+
+BLAS/OpenMP thread pools are pinned to one thread *before numpy loads*
+(conftest imports run ahead of the benchmark modules): the bench gates
+compare single-stream kernels and, with ``assign_workers > 0``, fork
+worker processes — an unpinned BLAS would oversubscribe the cores and
+the gates would measure scheduler noise instead of the kernels. The CI
+bench legs set the same variables at the job level as a belt-and-braces
+for any earlier numpy import.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
 
 import pytest
 

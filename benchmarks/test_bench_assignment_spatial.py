@@ -1,0 +1,222 @@
+"""Spatial-index assignment at scale: parity proof and speedup gate.
+
+The seed-index path (:class:`SeedIndex` candidate pruning inside
+``assign_many``) must be *provably free*: bit-identical assignment
+indices, an identical RNG end-state, and never more exact distance
+computations than the plain batch kernel. On top of that, the parallel
+path (``workers=4``) must beat the serial batch kernel by at least 2x at
+the scale tier — that gate is only enforced on multi-core runners (the
+CI scale-smoke leg has 4 vCPUs; a 1-core sandbox records the numbers
+without failing).
+
+Two tiers, selected by ``REPRO_BENCH_SCALE`` (see ``_config``):
+
+- ``smoke`` (default): 100k points x 300 seeds — the per-push CI leg.
+- ``full``: 1M points x 1000 seeds — the nightly scale workflow.
+
+Methodology: best-of-N wall-clock (min) as in the batch bench; the full
+tier runs single rounds because each arm is minutes long. A fixed-size
+dimensionality sweep records how the candidate-pruning ratio degrades as
+d grows (the KD-tree's k nearest seeds cover less of the probe order in
+high dimension) — the numbers that back docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from _config import spatial_tier
+from _results import write_bench_result
+
+from repro.core import TriangleInequalityAssigner
+from repro.geometry import DistanceCounter
+
+from test_bench_assignment_batch import make_workload
+
+DIM = 4
+SPEEDUP_GATE = 2.0
+GATE_WORKERS = 4
+SWEEP_POINTS = 20_000
+SWEEP_SEEDS = 300
+SWEEP_DIMS = (2, 8, 32, 128)
+
+
+def _arm(seeds, points, **kwargs):
+    """One timed assign_many run under an identically seeded RNG."""
+    rng = np.random.default_rng(42)
+    assigner = TriangleInequalityAssigner(
+        seeds,
+        DistanceCounter(),
+        rng=rng,
+        count_setup=False,
+        **kwargs,
+    )
+    started = time.perf_counter()
+    result = assigner.assign_many(points)
+    return time.perf_counter() - started, result, assigner, rng
+
+
+def _best_of(rounds, seeds, points, **kwargs):
+    best = float("inf")
+    for _ in range(rounds):
+        elapsed, result, assigner, rng = _arm(seeds, points, **kwargs)
+        best = min(best, elapsed)
+    return best, result, assigner, rng
+
+
+def _degradation_sweep():
+    """computed-distance ratio (spatial / batch) as dimension grows."""
+    rows = []
+    for dim in SWEEP_DIMS:
+        points, seeds = make_workload(
+            num_points=SWEEP_POINTS, num_seeds=SWEEP_SEEDS, dim=dim, seed=1
+        )
+        _, base_idx, base, _ = _arm(seeds, points)
+        _, spat_idx, spat, _ = _arm(seeds, points, use_seed_index=True)
+        assert np.array_equal(base_idx, spat_idx)
+        assert spat.assign_computed <= base.assign_computed
+        index = spat.seed_index
+        rows.append(
+            {
+                "dim": dim,
+                "backend": index.backend,
+                "candidates_k": index.k,
+                "batch_computed": base.assign_computed,
+                "spatial_computed": spat.assign_computed,
+                "computed_ratio": (
+                    spat.assign_computed / base.assign_computed
+                ),
+            }
+        )
+    return rows
+
+
+def test_spatial_engine_scale_gate(benchmark, emit):
+    """Seed-index parity at scale; workers=4 >= 2x on multi-core."""
+    tier, num_points, num_seeds = spatial_tier()
+    rounds = 2 if tier == "smoke" else 1
+    points, seeds = make_workload(
+        num_points=num_points, num_seeds=num_seeds, dim=DIM, seed=0
+    )
+
+    # Warm-up (allocators, numpy dispatch, index build) before timing.
+    _arm(seeds, points[:256], use_seed_index=True)
+
+    batch_time, batch_idx, batch, batch_rng = _best_of(
+        rounds, seeds, points
+    )
+    spatial_time, spatial_idx, spatial, spatial_rng = _best_of(
+        rounds, seeds, points, use_seed_index=True
+    )
+    par_time, par_idx, par, _ = _best_of(
+        rounds, seeds, points, use_seed_index=True, workers=GATE_WORKERS
+    )
+
+    # --- Parity proof first: a fast kernel that drifts is worthless. ---
+    # Serial spatial is bit-identical to the batch kernel: same indices,
+    # same RNG end-state, never more exact distances, and exact
+    # conservation (every point x seed pair is probed or pruned).
+    assert np.array_equal(batch_idx, spatial_idx)
+    assert (
+        batch_rng.bit_generator.state == spatial_rng.bit_generator.state
+    )
+    assert spatial.assign_computed <= batch.assign_computed
+    total = num_points * num_seeds
+    assert batch.assign_computed + batch.assign_pruned == total
+    assert spatial.assign_computed + spatial.assign_pruned == total
+
+    # Parallel mode draws per-block substreams, so indices may resolve
+    # ties differently — but the assigned seed is still a true nearest
+    # seed, so the assigned distances match the serial run exactly, and
+    # the worker count never changes the answer (w1 == w4 bit-identical;
+    # checked at the smoke tier to keep the nightly run bounded).
+    def assigned_dists(idx):
+        return np.linalg.norm(points - seeds[idx], axis=1)
+
+    assert np.array_equal(assigned_dists(batch_idx), assigned_dists(par_idx))
+    if tier == "smoke":
+        _, w1_idx, _, _ = _arm(
+            seeds, points, use_seed_index=True, workers=1
+        )
+        assert np.array_equal(w1_idx, par_idx)
+
+    serial_speedup = batch_time / spatial_time
+    parallel_speedup = batch_time / par_time
+    cpu_count = os.cpu_count() or 1
+    gate_enforced = cpu_count >= 2
+
+    # Register with pytest-benchmark so the run lands in the CI JSON
+    # artifact next to the other assignment numbers.
+    benchmark.pedantic(
+        lambda: _arm(seeds, points, use_seed_index=True),
+        rounds=1,
+        iterations=1,
+    )
+
+    sweep = _degradation_sweep()
+
+    document = {
+        "workload": {
+            "tier": tier,
+            "num_points": num_points,
+            "num_seeds": num_seeds,
+            "dim": DIM,
+            "rounds": rounds,
+            "gate_workers": GATE_WORKERS,
+            "cpu_count": cpu_count,
+        },
+        "batch_seconds": batch_time,
+        "spatial_seconds": spatial_time,
+        "parallel_seconds": par_time,
+        "serial_speedup": serial_speedup,
+        "speedup": parallel_speedup,
+        "speedup_gate": SPEEDUP_GATE,
+        "gate_enforced": gate_enforced,
+        "index": {
+            "backend": spatial.seed_index.backend,
+            "candidates_k": spatial.seed_index.k,
+        },
+        "parity": {
+            "indices_identical": True,
+            "rng_state_identical": True,
+            "batch_computed": batch.assign_computed,
+            "spatial_computed": spatial.assign_computed,
+            "spatial_index_pruned": spatial.assign_index_pruned,
+            "computed_ratio": (
+                spatial.assign_computed / batch.assign_computed
+            ),
+        },
+        "dim_degradation": sweep,
+    }
+    write_bench_result("assignment_spatial", document)
+
+    lines = [
+        f"Spatial assignment bench — tier={tier} "
+        f"({num_points} points x {num_seeds} seeds, d={DIM})",
+        f"  batch serial    {batch_time:8.3f}s  "
+        f"computed={batch.assign_computed}",
+        f"  spatial serial  {spatial_time:8.3f}s  "
+        f"computed={spatial.assign_computed}  "
+        f"index_pruned={spatial.assign_index_pruned}  "
+        f"({serial_speedup:.2f}x)",
+        f"  spatial w={GATE_WORKERS}     {par_time:8.3f}s  "
+        f"({parallel_speedup:.2f}x, gate {SPEEDUP_GATE:.0f}x "
+        f"{'enforced' if gate_enforced else 'recorded only'} "
+        f"on {cpu_count} cpus)",
+        "  dim degradation (computed ratio spatial/batch):",
+    ]
+    for row in sweep:
+        lines.append(
+            f"    d={row['dim']:<4d} ratio={row['computed_ratio']:.3f} "
+            f"k={row['candidates_k']} backend={row['backend']}"
+        )
+    emit("assignment_spatial", "\n".join(lines))
+
+    if gate_enforced:
+        assert parallel_speedup >= SPEEDUP_GATE, (
+            f"spatial workers={GATE_WORKERS} speedup "
+            f"{parallel_speedup:.2f}x below the {SPEEDUP_GATE:.0f}x gate "
+            f"(batch {batch_time:.3f}s, parallel {par_time:.3f}s)"
+        )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail when a repo-root BENCH_*.json drifts from its results/ twin.
+
+Benchmark gates write their JSON documents to the canonical location
+``benchmarks/results/BENCH_<name>.json`` and mirror each one to the
+repository root (see ``benchmarks/_results.py``). A hand-edited or
+stale copy on either side silently misreports the perf trajectory, so
+the lint job runs this script: every root ``BENCH_*.json`` must have a
+byte-identical twin under ``benchmarks/results/`` and vice versa.
+
+Stdlib-only; exits 1 with a per-file report on any drift.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    root_names = {p.name for p in REPO_ROOT.glob("BENCH_*.json")}
+    result_names = (
+        {p.name for p in RESULTS_DIR.glob("BENCH_*.json")}
+        if RESULTS_DIR.is_dir()
+        else set()
+    )
+    for name in sorted(root_names - result_names):
+        problems.append(
+            f"{name}: present at repo root but missing from "
+            f"benchmarks/results/"
+        )
+    for name in sorted(result_names - root_names):
+        problems.append(
+            f"{name}: present in benchmarks/results/ but not mirrored "
+            f"at repo root"
+        )
+    for name in sorted(root_names & result_names):
+        root_bytes = (REPO_ROOT / name).read_bytes()
+        result_bytes = (RESULTS_DIR / name).read_bytes()
+        if root_bytes != result_bytes:
+            problems.append(
+                f"{name}: repo-root mirror differs from "
+                f"benchmarks/results/ copy (re-run the benchmark or "
+                f"copy the canonical results/ file over the mirror)"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("benchmark mirror check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    count = len(list(REPO_ROOT.glob("BENCH_*.json")))
+    print(f"benchmark mirror check OK ({count} BENCH_*.json pairs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,7 +34,11 @@ class BubbleSet:
     and by :meth:`add_bubble`. Batch consumers — most importantly the
     :class:`~repro.core.assignment.AssignerCache` — key on it to reuse
     derived state (representative matrices, seed-to-seed distance
-    matrices) for exactly as long as it is actually valid.
+    matrices, and the optional spatial
+    :class:`~repro.core.seed_index.SeedIndex` hanging off the cached
+    assigner) for exactly as long as it is actually valid: any mutation
+    bumps the version, which invalidates the cached assigner and with
+    it every derived index, all rebuilt lazily on next use.
     """
 
     def __init__(self, dim: int) -> None:

@@ -1,0 +1,127 @@
+"""Deterministic multi-process execution of assignment blocks.
+
+:meth:`TriangleInequalityAssigner.assign_many
+<repro.core.assignment.TriangleInequalityAssigner.assign_many>` with
+``workers >= 1`` splits its input into the same blocks the serial
+engine uses and runs each block as an independent task. Two properties
+make the results reproducible:
+
+* **Per-block RNG substreams.** The parent draws a single 64-bit
+  entropy value from its main generator; block ``i`` then runs under
+  ``default_rng(SeedSequence(entropy, spawn_key=(i,)))``. A block's
+  stream depends only on the entropy and its position in the partition
+  — never on which worker ran it or in what order — so results are
+  bit-identical for every ``workers >= 1`` value. Worker count changes
+  wall-clock, nothing else.
+* **Ordered merge.** Results are collected and merged in block order,
+  so the output array is independent of completion order.
+
+Workers are forked processes (copy-on-write: the seed matrix, the
+spatial index and the input block views are shared with the parent at
+no serialization cost; only the per-block result tuples travel back).
+Platforms without ``fork`` (Windows, some macOS configurations) and
+``workers == 1`` run the same per-block tasks inline in the parent —
+identical results, no pool. A pool that fails to start or breaks
+mid-run falls back to the inline path the same way.
+
+Caveat: forking a process that is concurrently running threads (e.g. a
+service flusher pool) inherits locks in whatever state they were in.
+The service layer therefore defaults to ``assign_workers = 0`` and the
+benchmarks pin BLAS/OpenMP thread pools to one thread before measuring.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import numpy as np
+
+__all__ = ["block_rng", "fork_available", "run_blocks"]
+
+#: Pre-fork task state: ``(task, points, blocks, entropy)``. Module
+#: global so forked children reach it through copy-on-write memory
+#: instead of pickling the assigner and the full point matrix.
+_TASK_STATE: tuple | None = None
+
+
+def block_rng(entropy: int, index: int) -> np.random.Generator:
+    """The dedicated generator for block ``index`` of one parallel call.
+
+    Spawn-key derivation gives every block a statistically independent
+    stream that is a pure function of ``(entropy, index)`` — the
+    documented determinism contract for ``workers >= 1``.
+    """
+    seq = np.random.SeedSequence(entropy, spawn_key=(index,))
+    return np.random.default_rng(seq)
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker pools can be used on this platform."""
+    if not hasattr(os, "fork"):
+        return False
+    try:
+        get_context("fork")
+    except ValueError:  # pragma: no cover - platform dependent
+        return False
+    return True
+
+
+def _run_block(index: int):
+    """Worker entry point: run one block against the forked state."""
+    task, points, blocks, entropy = _TASK_STATE
+    start, stop = blocks[index]
+    return task(points[start:stop], block_rng(entropy, index))
+
+
+def run_blocks(
+    task,
+    points: np.ndarray,
+    blocks: list[tuple[int, int]],
+    entropy: int,
+    workers: int,
+) -> list:
+    """Run ``task(points[start:stop], rng)`` for every block, in order.
+
+    Args:
+        task: pure per-block callable ``(block_points, rng) -> result``;
+            must not mutate shared state it expects the parent to see
+            (forked children write to private copies).
+        points: the full ``(m, d)`` input matrix.
+        blocks: ``(start, stop)`` partition of ``range(m)``.
+        entropy: the single 64-bit draw that seeds every block stream.
+        workers: pool size; ``<= 1`` (or one block, or no fork support)
+            runs inline in the parent.
+
+    Returns:
+        The per-block results in block order — identical for every
+        ``workers`` value by the substream contract above.
+    """
+    count = len(blocks)
+    if count == 0:
+        return []
+
+    def inline() -> list:
+        return [
+            task(points[start:stop], block_rng(entropy, i))
+            for i, (start, stop) in enumerate(blocks)
+        ]
+
+    if workers <= 1 or count == 1 or not fork_available():
+        return inline()
+    global _TASK_STATE
+    _TASK_STATE = (task, points, blocks, entropy)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(int(workers), count),
+            mp_context=get_context("fork"),
+        ) as pool:
+            return list(pool.map(_run_block, range(count)))
+    except (OSError, RuntimeError):
+        # Pool start-up or transport failure (BrokenProcessPool is a
+        # RuntimeError). The inline rerun produces identical results;
+        # genuine task errors re-raise from it unchanged.
+        return inline()
+    finally:
+        _TASK_STATE = None

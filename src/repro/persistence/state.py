@@ -43,11 +43,18 @@ def config_to_dict(config: MaintenanceConfig) -> dict:
         "split_strategy": config.split_strategy.value,
         "use_triangle_inequality": config.use_triangle_inequality,
         "seed": config.seed,
+        "use_seed_index": config.use_seed_index,
+        "assign_workers": config.assign_workers,
     }
 
 
 def config_from_dict(data: dict) -> MaintenanceConfig:
-    """Inverse of :func:`config_to_dict`."""
+    """Inverse of :func:`config_to_dict`.
+
+    The assignment-engine fields default when absent so snapshots
+    written before they existed keep recovering (to the behaviour they
+    were recorded with: serial, no spatial index).
+    """
     return MaintenanceConfig(
         probability=float(data["probability"]),
         rebuild_rounds=int(data["rebuild_rounds"]),
@@ -55,6 +62,8 @@ def config_from_dict(data: dict) -> MaintenanceConfig:
         split_strategy=SplitStrategy(data["split_strategy"]),
         use_triangle_inequality=bool(data["use_triangle_inequality"]),
         seed=None if data["seed"] is None else int(data["seed"]),
+        use_seed_index=bool(data.get("use_seed_index", False)),
+        assign_workers=int(data.get("assign_workers", 0)),
     )
 
 

@@ -1,0 +1,196 @@
+"""Soundness and construction tests for :class:`SeedIndex`.
+
+The index's only correctness obligation is the *gate bound*: for every
+query point, every seed outside the membership mask must sit at exact
+Euclidean distance >= the row's gate radius. The assignment engine's
+spatial collapse leans on that bound alone (membership is an
+optimisation hint), so these tests check it brute-force against
+:func:`numpy.linalg.norm` on adversarial seed layouts — duplicates,
+degenerate extent, high dimension — for both backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.seed_index as seed_index_module
+from repro.core import SeedIndex, default_candidate_count
+from repro.core.seed_index import kdtree_available
+
+BACKENDS = ["grid"] + (["kdtree"] if kdtree_available() else [])
+
+
+def _workload(num_seeds, num_points, dim, seed=0, scale=10.0):
+    rng = np.random.default_rng(seed)
+    seeds = rng.uniform(0, scale, size=(num_seeds, dim))
+    points = rng.uniform(-1, scale + 1, size=(num_points, dim))
+    return seeds, points
+
+
+def _check_gate_sound(index, seeds, points):
+    """Every non-member seed is at true distance >= the row gate."""
+    member, gate = index.candidates(points)
+    assert member.shape == (points.shape[0], seeds.shape[0])
+    assert gate.shape == (points.shape[0],)
+    dists = np.linalg.norm(
+        points[:, None, :] - seeds[None, :, :], axis=2
+    )
+    for row in range(points.shape[0]):
+        non_members = dists[row][~member[row]]
+        if non_members.size:
+            assert non_members.min() >= gate[row]
+        # At least k seeds are members (ties can admit more).
+        assert member[row].sum() >= min(index.k, seeds.shape[0])
+    return member, gate
+
+
+class TestDefaultCandidateCount:
+    def test_tiny_seed_counts_take_everything(self):
+        assert default_candidate_count(1) == 1
+        assert default_candidate_count(2) == 2
+
+    def test_logarithmic_growth_with_floor(self):
+        assert default_candidate_count(12) >= 4  # floor of 4
+        k300 = default_candidate_count(300)
+        k1000 = default_candidate_count(1000)
+        assert 4 <= k300 <= k1000 <= 1000
+        # O(log B): far below linear even at 1000 seeds.
+        assert k1000 <= 2 * np.log2(1000) + 3
+
+    def test_never_exceeds_seed_count(self):
+        for num in (3, 4, 5, 10):
+            assert default_candidate_count(num) <= num
+
+
+class TestConstruction:
+    def test_auto_prefers_kdtree_when_scipy_present(self):
+        seeds, _ = _workload(20, 1, 2)
+        index = SeedIndex(seeds)
+        expected = "kdtree" if kdtree_available() else "grid"
+        assert index.backend == expected
+        assert index.num_seeds == 20
+        assert index.dim == 2
+
+    def test_auto_falls_back_to_grid_without_scipy(self, monkeypatch):
+        monkeypatch.setattr(seed_index_module, "_cKDTree", None)
+        seeds, _ = _workload(20, 1, 2)
+        assert not kdtree_available()
+        assert SeedIndex(seeds).backend == "grid"
+
+    def test_kdtree_without_scipy_raises(self, monkeypatch):
+        monkeypatch.setattr(seed_index_module, "_cKDTree", None)
+        seeds, _ = _workload(20, 1, 2)
+        with pytest.raises(RuntimeError, match="requires scipy"):
+            SeedIndex(seeds, backend="kdtree")
+
+    def test_unknown_backend_rejected(self):
+        seeds, _ = _workload(20, 1, 2)
+        with pytest.raises(ValueError, match="unknown SeedIndex backend"):
+            SeedIndex(seeds, backend="ball-tree")
+
+    def test_empty_or_misshapen_seeds_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SeedIndex(np.zeros((0, 2)))
+        with pytest.raises(ValueError, match="non-empty"):
+            SeedIndex(np.zeros(5))
+
+    def test_bad_k_rejected(self):
+        seeds, _ = _workload(20, 1, 2)
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            SeedIndex(seeds, k=0)
+
+    def test_k_clamped_to_seed_count(self):
+        seeds, _ = _workload(5, 1, 2)
+        assert SeedIndex(seeds, k=50).k == 5
+
+    def test_seeds_copied_defensively(self):
+        seeds, points = _workload(20, 10, 2)
+        index = SeedIndex(seeds, backend="grid")
+        before = index.candidates(points)
+        seeds += 100.0  # mutating the caller's matrix changes nothing
+        after = index.candidates(points)
+        assert np.array_equal(before[0], after[0])
+        assert np.array_equal(before[1], after[1])
+
+
+class TestCandidateSoundness:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "num_seeds,num_points,dim,scale",
+        [
+            (30, 60, 2, 10.0),
+            (100, 40, 3, 100.0),
+            (50, 40, 1, 5.0),  # 1-d data
+            (64, 30, 128, 10.0),  # high dimension
+            (200, 50, 4, 0.5),  # dense overlap
+        ],
+    )
+    def test_gate_bound_holds(self, backend, num_seeds, num_points, dim, scale):
+        seeds, points = _workload(num_seeds, num_points, dim, scale=scale)
+        index = SeedIndex(seeds, backend=backend)
+        _check_gate_sound(index, seeds, points)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_duplicate_seeds(self, backend):
+        rng = np.random.default_rng(3)
+        base = rng.uniform(0, 10, size=(10, 2))
+        seeds = np.vstack([base, base, base])  # every seed three times
+        points = rng.uniform(0, 10, size=(25, 2))
+        index = SeedIndex(seeds, backend=backend, k=5)
+        _check_gate_sound(index, seeds, points)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_k_geq_seed_count_disables_skipping(self, backend):
+        seeds, points = _workload(6, 12, 2)
+        index = SeedIndex(seeds, backend=backend, k=6)
+        member, gate = index.candidates(points)
+        assert member.all()
+        assert (gate == 0.0).all()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_query_block(self, backend):
+        seeds, _ = _workload(20, 0, 3)
+        index = SeedIndex(seeds, backend=backend)
+        member, gate = index.candidates(np.zeros((0, 3)))
+        assert member.shape == (0, 20)
+        assert gate.shape == (0,)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_k_equals_one(self, backend):
+        seeds, points = _workload(40, 30, 2)
+        index = SeedIndex(seeds, backend=backend, k=1)
+        _check_gate_sound(index, seeds, points)
+
+    def test_degenerate_extent_grid(self):
+        # All seeds identical: the grid has no geometry and must fall
+        # back to the everything-is-a-member answer.
+        seeds = np.ones((8, 3)) * 2.5
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        index = SeedIndex(seeds, backend="grid", k=2)
+        member, gate = index.candidates(points)
+        assert member.all()
+        assert (gate == 0.0).all()
+
+    def test_grid_points_far_outside_seed_box(self):
+        # The halo clamp must keep the bound valid for distant queries.
+        seeds = np.random.default_rng(1).uniform(0, 1, size=(50, 2))
+        points = np.array(
+            [[1e6, 1e6], [-1e6, 0.5], [0.5, -1e6], [1e6, -1e6]]
+        )
+        index = SeedIndex(seeds, backend="grid")
+        _check_gate_sound(index, seeds, points)
+
+    def test_dim_mismatch_rejected(self):
+        seeds, _ = _workload(20, 1, 3)
+        index = SeedIndex(seeds, backend="grid")
+        with pytest.raises(ValueError, match=r"\(m, 3\)"):
+            index.candidates(np.zeros((4, 2)))
+
+    def test_queries_counter(self):
+        seeds, points = _workload(20, 15, 2)
+        index = SeedIndex(seeds, backend="grid")
+        assert index.queries == 0
+        index.candidates(points)
+        index.candidates(points[:5])
+        assert index.queries == 20
