@@ -69,7 +69,7 @@ from .io import load_session, save_session
 from .streaming import DurableSummarizer, SlidingWindowSummarizer
 from .sufficient import SufficientStatistics
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveMaintainer",

@@ -14,6 +14,8 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles report    --wal-dir state/ [--format text|json]
     repro-bubbles loadgen   --out events.ndjson [--tenants 8] [--events 5000]
     repro-bubbles serve     --fleet-dir fleet/ --input events.ndjson ...
+    repro-bubbles dlq       --fleet-dir fleet/ [--replay]
+    repro-bubbles verify-chain --wal-dir state/  (or --fleet-dir fleet/)
 
 Every evaluation command prints the corresponding table/series in the
 paper's layout. ``--quick`` shrinks sizes/repetitions for a fast smoke run;
@@ -44,8 +46,19 @@ tenant sizes, bursty Poisson arrivals) to ``--out`` or stdout.
 backpressure, drained gracefully at end of stream, and summarized in a
 fleet rollup (``--rollup-out``/``--fleet-health-out`` write it as
 JSON). ``serve --resume`` crash-recovers the whole fleet from its
-per-tenant WAL directories first. See docs/PERSISTENCE.md,
-docs/OBSERVABILITY.md, docs/ROBUSTNESS.md and docs/SERVICE.md.
+per-tenant WAL directories first; ``serve --supervise`` attaches a
+shard supervisor that restarts failed shards under a bounded budget
+(``--max-restarts``) with per-tenant circuit breaking. Without a
+supervisor, a serve that ends with failed shards exits with code 3.
+
+``dlq`` inspects (default) or re-submits (``--replay``) the durable
+per-tenant dead-letter queues of a fleet directory — or of one tenant
+state directory given via ``--wal-dir``. ``verify-chain`` runs the
+read-only WAL integrity scan (CRC plus, for version-2 logs, the
+SHA-256 hash chain) over one state directory or every tenant of a
+fleet, and exits 1 when any log shows at-rest corruption. See
+docs/PERSISTENCE.md, docs/OBSERVABILITY.md, docs/ROBUSTNESS.md and
+docs/SERVICE.md.
 """
 
 from __future__ import annotations
@@ -97,19 +110,27 @@ from .observability import (
     write_health,
     write_metrics,
 )
-from .persistence import read_snapshot
+from .persistence import read_snapshot, verify_chain
 from .service import (
     FleetConfig,
     FleetManager,
     LoadSpec,
+    ShardSupervisor,
     generate_events,
+    read_dead_letters,
     render_rollup,
+    replay_dead_letters,
     serve_ndjson,
     write_events,
 )
+from .service.deadletter import deadletter_path
 from .streaming import DurableSummarizer
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_FAILED_SHARDS"]
+
+#: Distinct exit code for a serve that ends with failed shards and no
+#: supervisor attached (1 is generic errors, 2 is argparse usage).
+EXIT_FAILED_SHARDS = 3
 
 
 def _package_version() -> str:
@@ -419,6 +440,14 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"({args.workers} worker(s), {args.backpressure} "
             "backpressure)"
         )
+    if args.supervise:
+        fleet.attach_supervisor(
+            ShardSupervisor(max_restarts=args.max_restarts)
+        )
+        print(
+            f"supervision on: failed shards restart (budget "
+            f"{args.max_restarts}/tenant) behind per-tenant breakers"
+        )
     source = sys.stdin if args.input == "-" else args.input
     stats = serve_ndjson(fleet, source, on_bad_event=args.on_bad_event)
     print(render_rollup(stats.rollup), end="")
@@ -445,6 +474,146 @@ def _run_serve(args: argparse.Namespace) -> None:
         f"re-run with serve --resume --fleet-dir {args.fleet_dir} to "
         "continue the fleet"
     )
+    failed = sorted(
+        tenant
+        for tenant, row in stats.rollup["tenants"].items()
+        if row["state"] == "failed"
+    )
+    if failed and not args.supervise:
+        print(
+            f"error: {len(failed)} shard(s) ended failed with no "
+            f"supervisor attached: {', '.join(failed)} — their queued "
+            "events were dead-lettered; re-run with --supervise, or "
+            "inspect/replay with "
+            f"'repro-bubbles dlq --fleet-dir {args.fleet_dir}'",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_FAILED_SHARDS)
+
+
+def _dlq_files(args: argparse.Namespace) -> list[pathlib.Path]:
+    """Dead-letter files addressed by --fleet-dir / --wal-dir.
+
+    A fleet directory fans out to every tenant state dir under
+    ``tenants/``; a plain state directory is used as-is.
+    """
+    if args.fleet_dir is not None:
+        root = pathlib.Path(args.fleet_dir)
+        if not (root / "fleet.json").exists():
+            raise PersistenceError(
+                f"{root} holds no fleet (fleet.json is missing)"
+            )
+        tenants = root / "tenants"
+        dirs = (
+            sorted(p for p in tenants.iterdir() if p.is_dir())
+            if tenants.exists()
+            else []
+        )
+        return [deadletter_path(p) for p in dirs]
+    if args.wal_dir is not None:
+        return [deadletter_path(args.wal_dir)]
+    raise SystemExit("dlq requires --fleet-dir or --wal-dir")
+
+
+def _run_dlq(args: argparse.Namespace) -> None:
+    """List or replay the durable dead-letter queues."""
+    files = _dlq_files(args)
+    if not args.replay:
+        total = 0
+        for path in files:
+            letters = read_dead_letters(path)
+            if not letters and not path.exists():
+                continue
+            total += len(letters)
+            print(f"{path}: {len(letters)} letter(s)")
+            by_reason: dict[str, int] = {}
+            for letter in letters:
+                by_reason[letter.reason] = by_reason.get(letter.reason, 0) + 1
+            for reason in sorted(by_reason):
+                print(f"  {reason}: {by_reason[reason]}")
+        print(f"{total} dead letter(s) total")
+        return
+    if args.fleet_dir is None:
+        raise SystemExit(
+            "dlq --replay needs --fleet-dir (replay re-submits through "
+            "the fleet's normal ingestion path)"
+        )
+    fleet = FleetManager.recover(args.fleet_dir)
+    if args.supervise:
+        fleet.attach_supervisor(
+            ShardSupervisor(max_restarts=args.max_restarts)
+        )
+    replayed = requeued = 0
+    try:
+        for path in files:
+            report = replay_dead_letters(
+                path, fleet.submit, fsync=not args.no_fsync
+            )
+            replayed += report.replayed
+            requeued += report.requeued
+    finally:
+        fleet.drain()
+    print(
+        f"replayed {replayed} dead letter(s); {requeued} still parked"
+    )
+    if requeued:
+        raise SystemExit(1)
+
+
+def _run_verify_chain(args: argparse.Namespace) -> None:
+    """Read-only WAL integrity scan (CRC + v2 hash chain)."""
+    if args.fleet_dir is not None:
+        root = pathlib.Path(args.fleet_dir)
+        if not (root / "fleet.json").exists():
+            raise PersistenceError(
+                f"{root} holds no fleet (fleet.json is missing)"
+            )
+        tenants = root / "tenants"
+        wal_paths = (
+            sorted(p / "wal.log" for p in tenants.iterdir() if p.is_dir())
+            if tenants.exists()
+            else []
+        )
+    elif args.wal_dir is not None:
+        wal_paths = [pathlib.Path(args.wal_dir) / "wal.log"]
+    else:
+        raise SystemExit("verify-chain requires --wal-dir or --fleet-dir")
+    corrupt = 0
+    for path in wal_paths:
+        if not path.exists():
+            print(f"{path}: missing (no WAL yet)")
+            continue
+        report = verify_chain(path)
+        coverage = "crc+chain" if report.version == 2 else "crc only"
+        if report.ok and not report.torn_tail:
+            print(
+                f"{path}: OK — {report.records} record(s) verified "
+                f"({coverage})"
+            )
+        elif report.ok:
+            print(
+                f"{path}: OK with torn tail — {report.records} intact "
+                f"record(s) ({coverage}); a crashed append will be "
+                "repaired on next open"
+            )
+        else:
+            corrupt += 1
+            where = (
+                f"record {report.bad_record} (seq {report.bad_seq})"
+                if report.bad_seq is not None
+                else "header"
+            )
+            print(
+                f"{path}: CORRUPT — {report.reason} at {where} after "
+                f"{report.records} verified record(s)"
+            )
+    if corrupt:
+        print(
+            f"error: {corrupt} WAL file(s) failed integrity "
+            "verification",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
 
 
 def _run_stats(args: argparse.Namespace) -> None:
@@ -567,13 +736,17 @@ def build_parser() -> argparse.ArgumentParser:
             "report",
             "serve",
             "loadgen",
+            "dlq",
+            "verify-chain",
             "all",
         ],
         help="which artifact to regenerate ('summarize' runs a durable "
         "stream summarization; 'stats' inspects its state directory; "
         "'audit' checks and repairs its invariants; 'report' renders a "
         "health report from it; 'serve' runs the multi-tenant ingestion "
-        "service; 'loadgen' writes a deterministic NDJSON event stream)",
+        "service; 'loadgen' writes a deterministic NDJSON event stream; "
+        "'dlq' lists or replays the durable dead-letter queues; "
+        "'verify-chain' runs the read-only WAL integrity scan)",
     )
     parser.add_argument(
         "--version",
@@ -761,6 +934,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the rollup plus one full health document per "
         "tenant shard as JSON to PATH",
     )
+    healing = parser.add_argument_group(
+        "self-healing", "shard supervision and dead-letter handling "
+        "(serve, dlq, verify-chain)"
+    )
+    healing.add_argument(
+        "--supervise", action="store_true",
+        help="attach a shard supervisor: failed shards are restarted "
+        "in place (bounded budget, exponential backoff) behind "
+        "per-tenant circuit breakers; without it a serve ending with "
+        f"failed shards exits with code {EXIT_FAILED_SHARDS}",
+    )
+    healing.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="per-tenant restart budget for --supervise (default 5)",
+    )
+    healing.add_argument(
+        "--replay", action="store_true",
+        help="dlq: re-submit dead letters through the fleet's normal "
+        "ingestion path instead of listing them (requires --fleet-dir; "
+        "letters that still fail stay parked and exit code is 1)",
+    )
     loadgen = parser.add_argument_group(
         "loadgen", "workload shape for the load generator"
     )
@@ -829,6 +1023,12 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         return
     if command == "loadgen":
         _run_loadgen(args)
+        return
+    if command == "dlq":
+        _run_dlq(args)
+        return
+    if command == "verify-chain":
+        _run_verify_chain(args)
         return
     config = _base_config(args)
     table_reps = args.reps if args.reps is not None else (2 if args.quick else 10)

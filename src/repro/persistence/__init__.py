@@ -28,9 +28,17 @@ from .checkpoint import CheckpointManager
 from .recovery import RecoveredState, recover_state, recovery_exists
 from .snapshot import SNAPSHOT_VERSION, read_snapshot, write_snapshot
 from .state import SummarizerState, config_from_dict, config_to_dict
-from .wal import WalRecord, WriteAheadLog, decode_batch, encode_batch
+from .wal import (
+    ChainReport,
+    WalRecord,
+    WriteAheadLog,
+    decode_batch,
+    encode_batch,
+    verify_chain,
+)
 
 __all__ = [
+    "ChainReport",
     "CheckpointManager",
     "RecoveredState",
     "SNAPSHOT_VERSION",
@@ -44,5 +52,6 @@ __all__ = [
     "read_snapshot",
     "recover_state",
     "recovery_exists",
+    "verify_chain",
     "write_snapshot",
 ]

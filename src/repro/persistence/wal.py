@@ -7,17 +7,31 @@ the summary is reconstructed by loading the last snapshot and replaying the
 logged batches through the normal maintenance path
 (:mod:`repro.persistence.recovery`).
 
-File format (version 1), all integers little-endian:
+File format (version 2), all integers little-endian:
 
-* an 8-byte file magic ``b"RPROWAL1"``;
-* zero or more records, each ``[seq: u64][length: u32][crc32: u32][payload]``
-  where ``seq`` is the zero-based index of the batch in the stream's
-  lifetime, ``length`` is the payload size in bytes and ``crc32`` covers
-  the packed ``(seq, length)`` header *and* the payload;
+* an 8-byte file magic ``b"RPROWAL2"``;
+* zero or more records, each
+  ``[seq: u64][length: u32][crc32: u32][chain: 32B][payload]`` where
+  ``seq`` is the zero-based index of the batch in the stream's lifetime,
+  ``length`` is the payload size in bytes, ``crc32`` covers the packed
+  ``(seq, length)`` header *and* the payload, and ``chain`` is the
+  SHA-256 hash-chain digest
+  ``sha256(previous_chain + pack("<QI", seq, length) + payload)`` with
+  ``sha256(magic)`` as the genesis link — every record's digest covers
+  the entire log before it, so any at-rest mutation (a flipped bit, a
+  dropped/reordered/replayed record) breaks every subsequent link and is
+  reported with the offending ``seq`` (:func:`verify_chain`, and inline
+  during :meth:`WriteAheadLog.replay`);
 * the payload is an in-memory ``.npz`` archive with the batch's
   ``deletions`` (int64 ids), ``insertions`` (float64 ``(m, d)`` matrix) and
   ``labels`` (int64, one per insertion) — self-describing and free of
   pickled objects.
+
+Version-1 files (magic ``b"RPROWAL1"``, no ``chain`` field) remain fully
+readable *and appendable*: an existing v1 log keeps its format for its
+whole life (CRC-only integrity), while newly created logs are v2. The
+CRC's coverage is identical in both versions, so the torn-tail repair
+logic below is version-independent.
 
 Failure semantics on read (:meth:`WriteAheadLog.replay`):
 
@@ -48,6 +62,7 @@ declared below). With nothing armed, the hooks are a falsy check each.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import io
 import os
 import pathlib
@@ -63,10 +78,19 @@ from ..faults import FAILPOINTS, RetryPolicy, declare_failpoint, maybe_wrap
 from ..faults import fsync as faulty_fsync
 from ..observability import Observability
 
-__all__ = ["WalRecord", "WriteAheadLog", "encode_batch", "decode_batch"]
+__all__ = [
+    "ChainReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "decode_batch",
+    "encode_batch",
+    "verify_chain",
+]
 
-_MAGIC = b"RPROWAL1"
+_MAGIC_V1 = b"RPROWAL1"
+_MAGIC_V2 = b"RPROWAL2"
 _HEADER = struct.Struct("<QII")  # seq, payload length, crc32
+_CHAIN_LEN = hashlib.sha256().digest_size  # 32, the v2 chain digest
 
 #: Cap on a single record's payload (guards against reading a garbage
 #: length field as a multi-gigabyte allocation).
@@ -109,12 +133,137 @@ def decode_batch(payload: bytes) -> UpdateBatch:
     )
 
 
+def _genesis_chain() -> bytes:
+    """The chain link "before" the first record of a v2 log."""
+    return hashlib.sha256(_MAGIC_V2).digest()
+
+
+def _next_chain(previous: bytes, seq: int, payload: bytes) -> bytes:
+    """Advance the hash chain over one record."""
+    return hashlib.sha256(
+        previous + struct.pack("<QI", int(seq), len(payload)) + payload
+    ).digest()
+
+
 @dataclass(frozen=True)
 class WalRecord:
     """One durable log entry: the ``seq``-th batch of the stream."""
 
     seq: int
     batch: UpdateBatch
+
+
+@dataclass(frozen=True)
+class ChainReport:
+    """Outcome of a read-only WAL integrity scan (:func:`verify_chain`).
+
+    ``ok`` means every complete record verified (CRC, and for v2 files
+    the hash chain). A torn final record — the footprint of a crash
+    mid-append, not of at-rest corruption — is reported via
+    ``torn_tail`` without failing the scan; callers that expect a
+    cleanly closed log can still reject it. On failure ``bad_seq`` /
+    ``bad_record`` locate the first offending record and ``reason`` is
+    one of ``bad_magic``, ``bad_header``, ``crc_mismatch`` or
+    ``chain_mismatch``.
+    """
+
+    path: str
+    version: int
+    records: int
+    ok: bool
+    torn_tail: bool = False
+    bad_seq: int | None = None
+    bad_record: int | None = None
+    reason: str | None = None
+
+
+def verify_chain(path: str | pathlib.Path) -> ChainReport:
+    """Scan a WAL file end to end without mutating it.
+
+    Recomputes every record's CRC and — for version-2 files — walks the
+    SHA-256 hash chain from its genesis link, so a single flipped bit
+    anywhere in the file (header, chain digest or payload) surfaces as a
+    failed report naming the first record whose stored bytes disagree
+    with its recomputed digest. Version-1 files (no chain field) get
+    CRC-only coverage and ``version=1`` in the report so callers can
+    tell the weaker guarantee apart.
+
+    Unlike :meth:`WriteAheadLog.replay` this never repairs a torn tail:
+    the file is opened read-only and left byte-identical.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC_V2))
+        if magic == _MAGIC_V2:
+            version = 2
+        elif magic == _MAGIC_V1:
+            version = 1
+        else:
+            return ChainReport(
+                path=str(path),
+                version=0,
+                records=0,
+                ok=False,
+                reason="bad_magic",
+            )
+
+        def torn(records: int) -> ChainReport:
+            return ChainReport(
+                path=str(path),
+                version=version,
+                records=records,
+                ok=True,
+                torn_tail=True,
+            )
+
+        def bad(records: int, seq: int, reason: str) -> ChainReport:
+            return ChainReport(
+                path=str(path),
+                version=version,
+                records=records,
+                ok=False,
+                bad_seq=int(seq),
+                bad_record=records,
+                reason=reason,
+            )
+
+        chain = _genesis_chain()
+        records = 0
+        while True:
+            header_bytes = handle.read(_HEADER.size)
+            if not header_bytes:
+                break
+            if len(header_bytes) < _HEADER.size:
+                return torn(records)
+            seq, length, crc = _HEADER.unpack(header_bytes)
+            if length >= _MAX_PAYLOAD:
+                return bad(records, seq, "bad_header")
+            stored_chain = b""
+            if version == 2:
+                stored_chain = handle.read(_CHAIN_LEN)
+                if len(stored_chain) < _CHAIN_LEN:
+                    return torn(records)
+            payload = handle.read(length)
+            if len(payload) < length:
+                return torn(records)
+            if crc != zlib.crc32(struct.pack("<QI", seq, length) + payload):
+                if not handle.read(1):
+                    # Final record, short of its advertised bytes on
+                    # disk: a torn write, indistinguishable from (and
+                    # treated as) a crashed append.
+                    return torn(records)
+                return bad(records, seq, "crc_mismatch")
+            if version == 2:
+                chain = _next_chain(chain, seq, payload)
+                if stored_chain != chain:
+                    # A complete record with a valid CRC can only carry
+                    # a wrong chain digest through at-rest mutation —
+                    # torn writes always leave the record short.
+                    return bad(records, seq, "chain_mismatch")
+            records += 1
+        return ChainReport(
+            path=str(path), version=version, records=records, ok=True
+        )
 
 
 class WriteAheadLog:
@@ -143,20 +292,31 @@ class WriteAheadLog:
         self._fsync = bool(fsync)
         self._retry = retry if retry is not None else RetryPolicy()
         self._obs = obs
+        created = False
         if not self._path.exists():
             self._path.parent.mkdir(parents=True, exist_ok=True)
             with open(self._path, "wb") as handle:
-                handle.write(_MAGIC)
+                handle.write(_MAGIC_V2)
                 handle.flush()
                 os.fsync(handle.fileno())
+            created = True
         self._handle = open(self._path, "r+b")
-        magic = self._handle.read(len(_MAGIC))
-        if magic != _MAGIC:
+        magic = self._handle.read(len(_MAGIC_V2))
+        if magic == _MAGIC_V2:
+            self._version = 2
+        elif magic == _MAGIC_V1:
+            # A log written before the hash chain existed: keep reading
+            # and appending in its native CRC-only format for its whole
+            # life rather than mixing record layouts in one file.
+            self._version = 1
+        else:
             self._handle.close()
             raise WalCorruptionError(
-                f"{self._path} is not a version-1 WAL file "
-                f"(magic {magic!r})"
+                f"{self._path} is not a WAL file (magic {magic!r})"
             )
+        # v2 chain head; computed lazily by replay()/_chain_tip() for
+        # pre-existing files so plain opens stay O(1).
+        self._chain: bytes | None = _genesis_chain() if created else None
         self._handle.seek(0, os.SEEK_END)
 
     # ------------------------------------------------------------------
@@ -166,6 +326,25 @@ class WriteAheadLog:
     def path(self) -> pathlib.Path:
         """The log file location."""
         return self._path
+
+    @property
+    def version(self) -> int:
+        """On-disk format version (1 = CRC only, 2 = hash-chained)."""
+        return self._version
+
+    @property
+    def chained(self) -> bool:
+        """Whether records carry the SHA-256 hash-chain digest."""
+        return self._version == 2
+
+    def _chain_tip(self) -> bytes:
+        """Current chain head, scanning the file on first use (v2 only)."""
+        if self._chain is None:
+            # replay() walks every record from the genesis link, repairs
+            # a torn tail, and leaves self._chain at the verified head.
+            self.replay()
+            assert self._chain is not None
+        return self._chain
 
     def append(self, seq: int, batch: UpdateBatch) -> int:
         """Durably append one batch as record ``seq``.
@@ -184,6 +363,9 @@ class WriteAheadLog:
             len(payload),
             zlib.crc32(struct.pack("<QI", int(seq), len(payload)) + payload),
         )
+        chain = b""
+        if self._version == 2:
+            chain = _next_chain(self._chain_tip(), int(seq), payload)
         FAILPOINTS.fire(_FP_APPEND_START)
         self._handle.seek(0, os.SEEK_END)
         start = self._handle.tell()
@@ -192,6 +374,8 @@ class WriteAheadLog:
             self._handle.seek(0, os.SEEK_END)
             handle = maybe_wrap(self._handle, "wal")
             handle.write(header)
+            if chain:
+                handle.write(chain)
             handle.write(payload)
             handle.flush()
             if self._fsync:
@@ -210,8 +394,13 @@ class WriteAheadLog:
             # replay by this same process — starts from a clean tail.
             self._rollback_to(start)
             raise
+        if self._version == 2:
+            # Only a durably written record advances the chain head; a
+            # rolled-back append leaves both the file and the chain as
+            # they were.
+            self._chain = chain
         FAILPOINTS.fire(_FP_APPEND_FLUSHED)
-        return len(header) + len(payload)
+        return len(header) + len(chain) + len(payload)
 
     def _rollback_to(self, offset: int) -> None:
         """Best-effort restoration of the log to ``offset`` bytes."""
@@ -241,11 +430,13 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Drop every record (checkpoint truncation after a snapshot)."""
-        self._handle.seek(len(_MAGIC))
+        self._handle.seek(len(_MAGIC_V2))
         self._handle.truncate()
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+        # The chain is per-file content: an emptied log restarts it.
+        self._chain = _genesis_chain() if self._version == 2 else None
 
     def compact(self, min_seq: int) -> int:
         """Atomically drop records with ``seq < min_seq``.
@@ -260,11 +451,15 @@ class WriteAheadLog:
         records = self.replay()
         keep = [r for r in records if r.seq >= min_seq]
         tmp = self._path.with_name(self._path.name + ".tmp")
+        magic = _MAGIC_V2 if self._version == 2 else _MAGIC_V1
+        rewritten_chain = _genesis_chain()
 
         def rewrite() -> None:
+            nonlocal rewritten_chain
+            rewritten_chain = _genesis_chain()
             with open(tmp, "wb") as raw:
                 handle = maybe_wrap(raw, "wal")
-                handle.write(_MAGIC)
+                handle.write(magic)
                 for record in keep:
                     payload = encode_batch(record.batch)
                     header = _HEADER.pack(
@@ -276,6 +471,11 @@ class WriteAheadLog:
                         ),
                     )
                     handle.write(header)
+                    if self._version == 2:
+                        rewritten_chain = _next_chain(
+                            rewritten_chain, record.seq, payload
+                        )
+                        handle.write(rewritten_chain)
                     handle.write(payload)
                 handle.flush()
                 if self._fsync:
@@ -298,6 +498,9 @@ class WriteAheadLog:
         FAILPOINTS.fire(_FP_COMPACT_REPLACED)
         self._handle = open(self._path, "r+b")
         self._handle.seek(0, os.SEEK_END)
+        if self._version == 2:
+            # The rewritten file restarted the chain over the kept records.
+            self._chain = rewritten_chain
         return len(records) - len(keep)
 
     def close(self) -> None:
@@ -320,14 +523,20 @@ class WriteAheadLog:
         Returns the records in append order. A torn final record is
         truncated from the file so subsequent appends extend a clean log.
 
+        For version-2 files the SHA-256 hash chain is verified inline —
+        recovery therefore detects a diverged or mutated history for
+        free, before any batch is re-applied.
+
         Raises:
-            WalCorruptionError: a complete record fails its checksum or
-                carries an impossible header — the log cannot be trusted.
+            WalCorruptionError: a complete record fails its checksum,
+                carries an impossible header, or (v2) disagrees with the
+                recomputed hash chain — the log cannot be trusted.
         """
-        self._handle.seek(len(_MAGIC))
+        self._handle.seek(len(_MAGIC_V2))
         handle = maybe_wrap(self._handle, "wal")
         records: list[WalRecord] = []
-        good_end = len(_MAGIC)
+        good_end = len(_MAGIC_V2)
+        chain = _genesis_chain()
         while True:
             header_bytes = handle.read(_HEADER.size)
             if not header_bytes:
@@ -341,6 +550,14 @@ class WriteAheadLog:
                     f"record {len(records)} in {self._path} declares an "
                     f"absurd payload of {length} bytes"
                 )
+            stored_chain = b""
+            if self._version == 2:
+                stored_chain = handle.read(_CHAIN_LEN)
+                if len(stored_chain) < _CHAIN_LEN:
+                    self._repair_torn_tail(
+                        good_end, len(records), "mid_chain"
+                    )
+                    break
             payload = handle.read(length)
             if len(payload) < length:
                 self._repair_torn_tail(good_end, len(records), "mid_payload")
@@ -361,8 +578,23 @@ class WriteAheadLog:
                     f"{self._path} (seq {seq}); the log is corrupt before "
                     "its tail and cannot be replayed safely"
                 )
+            if self._version == 2:
+                chain = _next_chain(chain, seq, payload)
+                if stored_chain != chain:
+                    # Torn writes leave the record short, so a complete
+                    # record with a valid CRC but the wrong chain digest
+                    # means the log's history was mutated at rest (or
+                    # diverged from the chain that wrote it).
+                    raise WalCorruptionError(
+                        f"hash-chain divergence on record {len(records)} "
+                        f"of {self._path} (seq {seq}); the log's history "
+                        "does not match its chained digests and cannot "
+                        "be replayed safely"
+                    )
             records.append(WalRecord(seq=int(seq), batch=decode_batch(payload)))
             good_end = self._handle.tell()
+        if self._version == 2:
+            self._chain = chain
         self._handle.seek(0, os.SEEK_END)
         return records
 

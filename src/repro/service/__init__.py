@@ -20,7 +20,12 @@ Layers (each its own module):
 * :mod:`~repro.service.loadgen` — a seeded load generator with
   Zipf-skewed tenant sizes and bursty Poisson arrivals;
 * :mod:`~repro.service.server` — the serve loop gluing an NDJSON
-  source to a fleet, with drop accounting and drain-on-exit.
+  source to a fleet, with drop accounting and drain-on-exit;
+* :mod:`~repro.service.deadletter` — the durable per-tenant
+  dead-letter queue for events the fleet could not apply (poisoned
+  batches, breaker-shed traffic, failed-shard drain residue);
+* :mod:`~repro.service.supervisor` — shard self-healing: bounded
+  restarts with exponential backoff and per-tenant circuit breakers.
 
 CLI surface: ``repro-bubbles loadgen`` writes an event stream,
 ``repro-bubbles serve`` ingests one into a fleet directory. See
@@ -30,6 +35,16 @@ determinism contract.
 
 from __future__ import annotations
 
+from .deadletter import (
+    DEADLETTER_REASONS,
+    DEADLETTER_SCHEMA_VERSION,
+    DeadLetter,
+    ReplayReport,
+    append_dead_letters,
+    deadletter_path,
+    read_dead_letters,
+    replay_dead_letters,
+)
 from .events import (
     EVENT_SCHEMA_VERSION,
     PointEvent,
@@ -54,24 +69,36 @@ from .shard import (
     Shard,
     histogram_quantile,
 )
+from .supervisor import BREAKER_STATES, CircuitBreaker, ShardSupervisor
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "DEADLETTER_REASONS",
+    "DEADLETTER_SCHEMA_VERSION",
+    "DeadLetter",
     "EVENT_SCHEMA_VERSION",
     "FLEET_VERSION",
     "FleetConfig",
     "FleetManager",
     "LoadSpec",
     "PointEvent",
+    "ReplayReport",
     "SHARD_STATES",
     "ServeStats",
     "Shard",
+    "ShardSupervisor",
+    "append_dead_letters",
+    "deadletter_path",
     "encode_event",
     "generate_events",
     "histogram_quantile",
     "parse_event",
+    "read_dead_letters",
     "read_events",
     "render_rollup",
+    "replay_dead_letters",
     "serve_events",
     "serve_ndjson",
     "tenant_ids",

@@ -48,6 +48,8 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "PointEvent",
     "encode_event",
+    "event_document",
+    "event_from_document",
     "parse_event",
     "read_events",
     "valid_tenant",
@@ -83,8 +85,13 @@ class PointEvent:
     ts: float | None = None
 
 
-def encode_event(event: PointEvent) -> str:
-    """Serialize one event as a single NDJSON line (no trailing newline)."""
+def event_document(event: PointEvent) -> dict:
+    """The JSON document for one event (what :func:`encode_event` dumps).
+
+    Exposed separately so other durable formats — the dead-letter queue
+    embeds whole events inside its own envelope — can nest the document
+    without a string round-trip.
+    """
     document: dict = {
         "schema": EVENT_SCHEMA_VERSION,
         "tenant": event.tenant,
@@ -94,7 +101,12 @@ def encode_event(event: PointEvent) -> str:
         document["label"] = int(event.label)
     if event.ts is not None:
         document["ts"] = float(event.ts)
-    return json.dumps(document, separators=(",", ":"))
+    return document
+
+
+def encode_event(event: PointEvent) -> str:
+    """Serialize one event as a single NDJSON line (no trailing newline)."""
+    return json.dumps(event_document(event), separators=(",", ":"))
 
 
 def parse_event(line: str, lineno: int | None = None) -> PointEvent:
@@ -109,6 +121,16 @@ def parse_event(line: str, lineno: int | None = None) -> PointEvent:
         document = json.loads(line)
     except json.JSONDecodeError as exc:
         raise EventError(f"not valid JSON ({exc.msg})", lineno) from None
+    return event_from_document(document, lineno)
+
+
+def event_from_document(document: object, lineno: int | None = None) -> PointEvent:
+    """Validate one already-decoded JSON document into a :class:`PointEvent`.
+
+    The validation backend of :func:`parse_event`; also used on event
+    documents nested inside dead-letter envelopes, so a hand-edited
+    ``deadletter.ndjson`` gets exactly the wire-format screening.
+    """
     if not isinstance(document, dict):
         raise EventError(
             f"expected a JSON object, got {type(document).__name__}",

@@ -53,8 +53,14 @@ from ..exceptions import (
     ServiceError,
 )
 from ..core import MaintenanceConfig
+from ..faults import FAILPOINTS, declare_failpoint
 from ..observability import Observability, SpanTracer, collect_health
 from ..streaming import DurableSummarizer
+from .deadletter import (
+    DeadLetter,
+    append_dead_letters,
+    deadletter_path,
+)
 from .events import PointEvent, valid_tenant
 from .shard import BACKPRESSURE_POLICIES, Shard
 
@@ -68,6 +74,11 @@ __all__ = [
 
 #: Version stamped on ``fleet.json``.
 FLEET_VERSION = 1
+
+# Fired at the top of FleetManager.submit, before the event is routed
+# anywhere — a crash here loses only the one in-flight, unacknowledged
+# event; an error surfaces to the dispatcher as a plain OSError.
+_FP_SUBMIT_START = declare_failpoint("fleet.submit.start")
 
 
 @dataclass(frozen=True)
@@ -136,16 +147,23 @@ def tenant_seed(fleet_seed: int | None, tenant: str) -> int | None:
 class _PoolWorker(threading.Thread):
     """One flusher thread draining a fixed stripe of shards."""
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, on_failure=None) -> None:
         super().__init__(name=f"repro-shard-worker-{index}", daemon=True)
         self.cond = threading.Condition()
         self.shards: list[Shard] = []
+        self._on_failure = on_failure
         self._stop_when_idle = False
         self._stop_now = False
 
     def add(self, shard: Shard) -> None:
         with self.cond:
             self.shards.append(shard)
+            self.cond.notify()
+
+    def replace(self, old: Shard, new: Shard) -> None:
+        """Swap a failed shard for its supervisor-built replacement."""
+        with self.cond:
+            self.shards = [new if s is old else s for s in self.shards]
             self.cond.notify()
 
     def shutdown(self, immediate: bool = False) -> None:
@@ -172,7 +190,16 @@ class _PoolWorker(threading.Thread):
                 try:
                     applied += shard.flush_once()
                 except ServiceError:
-                    continue  # shard is failed; recorded in its stats
+                    # The shard is failed (recorded in its stats); let
+                    # the fleet dead-letter the batch and — when a
+                    # supervisor is attached — restart it on this very
+                    # thread, so the stripe's ordering is preserved.
+                    if self._on_failure is not None:
+                        try:
+                            self._on_failure(shard)
+                        except Exception:
+                            pass  # supervision must never kill a worker
+                    continue
             with self.cond:
                 if self._stop_now:
                     return
@@ -210,6 +237,8 @@ class FleetManager:
         self._shards: dict[str, Shard] = {}
         self._shard_worker: dict[str, _PoolWorker] = {}
         self._lock = threading.Lock()
+        self._failure_lock = threading.Lock()
+        self._supervisor = None
         self._draining = False
         self._closed = False
         self._started = time.perf_counter()
@@ -225,7 +254,8 @@ class FleetManager:
             self._tenants_dir.mkdir(parents=True, exist_ok=True)
             self._write_fleet_manifest()
         self._workers: list[_PoolWorker] = [
-            _PoolWorker(i) for i in range(self._config.workers)
+            _PoolWorker(i, on_failure=self._on_shard_failed)
+            for i in range(self._config.workers)
         ]
         for worker in self._workers:
             worker.start()
@@ -430,6 +460,125 @@ class FleetManager:
         return shard
 
     # ------------------------------------------------------------------
+    # Failure handling / self-healing
+    # ------------------------------------------------------------------
+    def attach_supervisor(self, supervisor) -> None:
+        """Wire a :class:`~repro.service.supervisor.ShardSupervisor` in.
+
+        From then on every shard failure is handed to the supervisor
+        (restart under budget/backoff, circuit breaking); without one,
+        failed shards stay failed and their residue is dead-lettered at
+        drain.
+        """
+        self._supervisor = supervisor
+        supervisor.bind(self)
+
+    @property
+    def supervisor(self):
+        """The attached supervisor, or ``None``."""
+        return self._supervisor
+
+    def _dead_letter_items(
+        self, shard: Shard, items, reason: str, error: str | None = None
+    ) -> int:
+        """Durably park queue items of ``shard`` in its dead-letter file."""
+        if not items:
+            return 0
+        letters = [
+            DeadLetter(
+                event=PointEvent(
+                    tenant=shard.tenant, point=tuple(point), label=label
+                ),
+                reason=reason,
+                error=error,
+            )
+            for point, label, _arrival in items
+        ]
+        try:
+            append_dead_letters(
+                deadletter_path(self.tenant_dir(shard.tenant)),
+                letters,
+                fsync=self._config.fsync,
+            )
+        except OSError as exc:
+            # The dead-letter file itself failed: put the items back in
+            # the queue so they stay counted as pending (a later drain
+            # or restart re-parks or re-applies them) rather than
+            # vanishing from the accounting identity. Replay is
+            # at-least-once, so a flush that made it to disk before the
+            # error surfaced merely leaves duplicate letters behind.
+            shard.adopt_items(items)
+            if self._obs is not None:
+                self._obs.emit(
+                    "dead_letter_failed",
+                    tenant=shard.tenant,
+                    count=len(letters),
+                    error=str(exc),
+                )
+            return 0
+        shard.note_dead_lettered(len(letters))
+        if self._obs is not None:
+            self._obs.emit(
+                "dead_lettered",
+                tenant=shard.tenant,
+                count=len(letters),
+                reason=reason,
+            )
+        return len(letters)
+
+    def _dead_letter_event(
+        self, shard: Shard, event: PointEvent, reason: str,
+        error: str | None = None,
+    ) -> None:
+        """Durably park one in-flight event (breaker-open path)."""
+        append_dead_letters(
+            deadletter_path(self.tenant_dir(shard.tenant)),
+            [DeadLetter(event=event, reason=reason, error=error)],
+            fsync=self._config.fsync,
+        )
+        shard.note_dead_lettered(1)
+        if self._obs is not None:
+            self._obs.emit(
+                "dead_lettered", tenant=shard.tenant, count=1, reason=reason
+            )
+
+    def _on_shard_failed(self, shard: Shard) -> None:
+        """Harvest one shard-failure incident (idempotent).
+
+        The poisoned micro-batch — which reached neither the WAL nor
+        the summary — is dead-lettered durably, then the incident is
+        handed to the supervisor (when one is attached and the fleet is
+        not draining) to restart the tenant or trip its breaker.
+        Callable from the dispatcher and any pool worker; only the
+        first caller per incident does the work.
+        """
+        if shard.state != "failed":
+            return
+        with self._failure_lock:
+            first = not shard.failure_handled
+            shard.failure_handled = True
+        if not first:
+            return
+        self._dead_letter_items(
+            shard, shard.take_failed_items(), "append_failed", shard.error
+        )
+        if self._obs is not None:
+            self._obs.emit(
+                "shard_failed", tenant=shard.tenant, error=shard.error
+            )
+        supervisor = self._supervisor
+        if supervisor is not None and not self._draining:
+            supervisor.handle_failure(shard.tenant)
+
+    def _replace_shard(self, old: Shard, new: Shard) -> None:
+        """Adopt a supervisor-built replacement for a failed shard."""
+        with self._lock:
+            self._shards[new.tenant] = new
+            worker = self._shard_worker.get(new.tenant)
+        if worker is not None:
+            worker.replace(old, new)
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def submit(self, event: PointEvent) -> bool:
@@ -447,6 +596,7 @@ class FleetManager:
             EventError: the tenant id is invalid (the NDJSON parser
                 normally rejects these earlier).
         """
+        FAILPOINTS.fire(_FP_SUBMIT_START)
         if self._draining or self._closed:
             raise ServiceError(
                 "the fleet is draining and no longer accepts events"
@@ -456,12 +606,31 @@ class FleetManager:
         if len(event.point) != self._config.dim:
             self.invalid_points += 1
             return False
+        supervisor = self._supervisor
+        if supervisor is not None and supervisor.breaker_blocks(
+            event.tenant
+        ):
+            # The tenant is persistently poisoned: degrade to durable
+            # shed-with-accounting instead of crash-looping restarts.
+            shard = self._get_or_create(event.tenant)
+            # Park first, count second: if the dead-letter append fails
+            # the error propagates with nothing counted, so the
+            # accounting identity never claims a point that is neither
+            # durable nor acknowledged.
+            self._dead_letter_event(
+                shard, event, "breaker_open", error=shard.error
+            )
+            shard.note_breaker_rejected(1)
+            return False
+        # Fetched *after* the breaker check: a half-open probe may have
+        # just swapped a restarted shard into the routing table.
         shard = self._get_or_create(event.tenant)
         try:
             accepted = shard.submit(event.point, event.label)
         except ServiceError:
             # The shard failed earlier; its error is in the rollup.
             self.failed_submissions += 1
+            self._on_shard_failed(shard)
             return False
         if not accepted:
             return False
@@ -478,8 +647,12 @@ class FleetManager:
                     shard.flush_once()
             except ServiceError:
                 # Same isolation as the pool workers: the shard is now
-                # failed (and its queue cleared), the fleet carries on.
+                # failed, the fleet carries on. The poisoned batch is
+                # dead-lettered and a supervisor (when attached) can
+                # restart the tenant right here on the dispatcher
+                # thread, keeping synchronous mode deterministic.
                 self.failed_submissions += 1
+                self._on_shard_failed(shard)
                 return False
         return True
 
@@ -504,13 +677,40 @@ class FleetManager:
             worker.shutdown()
         for worker in self._workers:
             worker.join()
+        # Re-capture: a worker-thread supervisor restart may have
+        # swapped replacement shards in while the first list was taken.
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.begin_drain()
         for shard in shards:
             if shard.state == "failed":
                 continue
             try:
                 shard.drain_flush()
             except ServiceError:
-                continue  # entered failed state during the final flush
+                # Entered failed state during the final flush: harvest
+                # the poisoned batch (no restart — we are draining).
+                self._on_shard_failed(shard)
+                continue
+        for shard in shards:
+            if shard.state == "failed":
+                # Nothing will ever flush these again: the poisoned
+                # batch (if still unharvested) and the queued residue
+                # go to the dead-letter file, keeping the accounting
+                # identity exact and the points replayable.
+                self._dead_letter_items(
+                    shard,
+                    shard.take_failed_items(),
+                    "append_failed",
+                    shard.error,
+                )
+                self._dead_letter_items(
+                    shard,
+                    shard.take_pending_items(),
+                    "drain_failed_shard",
+                    shard.error,
+                )
         for shard in shards:
             shard.close(checkpoint=True)
         self._closed = True
@@ -562,10 +762,13 @@ class FleetManager:
         tenants = {t: shard.stats() for t, shard in shards.items()}
         states: dict[str, int] = {}
         totals = {
+            "submitted_points": 0,
             "enqueued_points": 0,
             "applied_points": 0,
             "applied_batches": 0,
             "shed_points": 0,
+            "failed_points": 0,
+            "dead_lettered_points": 0,
             "blocked_submissions": 0,
             "blocked_seconds": 0.0,
             "pending_points": 0,
@@ -576,21 +779,24 @@ class FleetManager:
                 totals[key] += row[key]
         elapsed = time.perf_counter() - self._started
         merged_p95 = self._merged_ingest_p95(shards.values())
+        fleet_section = {
+            "tenants": len(shards),
+            "states": states,
+            "elapsed_seconds": elapsed,
+            "points_per_second": (
+                totals["applied_points"] / elapsed if elapsed else 0.0
+            ),
+            "ingest_p95_seconds": merged_p95,
+            "invalid_points": self.invalid_points,
+            "failed_submissions": self.failed_submissions,
+            **totals,
+        }
+        if self._supervisor is not None:
+            fleet_section["supervision"] = self._supervisor.stats()
         return {
             "schema": 1,
             "root": str(self._root),
-            "fleet": {
-                "tenants": len(shards),
-                "states": states,
-                "elapsed_seconds": elapsed,
-                "points_per_second": (
-                    totals["applied_points"] / elapsed if elapsed else 0.0
-                ),
-                "ingest_p95_seconds": merged_p95,
-                "invalid_points": self.invalid_points,
-                "failed_submissions": self.failed_submissions,
-                **totals,
-            },
+            "fleet": fleet_section,
             "tenants": tenants,
         }
 
@@ -664,7 +870,12 @@ def render_rollup(rollup: dict) -> str:
         ),
         (
             f"dropped: {fleet['invalid_points']} invalid points, "
-            f"{fleet['failed_submissions']} to failed shards"
+            f"{fleet['failed_points']} rejected by failed shards "
+            f"({fleet['failed_submissions']} failed submissions)"
+        ),
+        (
+            f"dead-lettered: {fleet['dead_lettered_points']} points "
+            "(inspect/replay with 'repro-bubbles dlq')"
         ),
         (
             "fleet ingest p95 <= "
@@ -674,8 +885,20 @@ def render_rollup(rollup: dict) -> str:
                 else "inf"
             )
         ),
-        "",
     ]
+    supervision = fleet.get("supervision")
+    if supervision is not None:
+        lines.append(
+            f"supervision: {supervision['restarts']} restarts "
+            f"({supervision['restart_failures']} failed), breakers "
+            + " ".join(
+                f"{state}={count}"
+                for state, count in sorted(
+                    supervision["breaker_states"].items()
+                )
+            )
+        )
+    lines.append("")
     tenants = rollup["tenants"]
     if not tenants:
         lines.append("(no tenants)")
@@ -683,17 +906,32 @@ def render_rollup(rollup: dict) -> str:
     width = max(len(t) for t in tenants)
     lines.append(
         f"{'tenant'.ljust(width)}  {'state':>8}  {'points':>8}  "
-        f"{'batches':>7}  {'shed':>6}  {'blocked':>7}  {'p95_ms':>8}  "
-        f"{'window':>7}  {'bubbles':>7}"
+        f"{'batches':>7}  {'shed':>6}  {'failed':>6}  {'dlq':>5}  "
+        f"{'blocked':>7}  {'p95_ms':>8}  {'window':>7}  {'bubbles':>7}"
     )
+    failed_rows: list[tuple[str, dict]] = []
     for tenant, row in tenants.items():
         p95 = row["ingest_p95_seconds"]
         p95_text = "-" if p95 is None else f"{p95 * 1e3:.1f}"
         lines.append(
             f"{tenant.ljust(width)}  {row['state']:>8}  "
             f"{row['applied_points']:>8}  {row['applied_batches']:>7}  "
-            f"{row['shed_points']:>6}  {row['blocked_submissions']:>7}  "
+            f"{row['shed_points']:>6}  {row['failed_points']:>6}  "
+            f"{row['dead_lettered_points']:>5}  "
+            f"{row['blocked_submissions']:>7}  "
             f"{p95_text:>8}  {row['window_points']:>7}  "
             f"{row['active_bubbles']:>7}"
+        )
+        if row["state"] == "failed":
+            failed_rows.append((tenant, row))
+    for tenant, row in failed_rows:
+        failed_at = row.get("failed_at")
+        age = (
+            "unknown age"
+            if failed_at is None
+            else f"{max(0.0, time.monotonic() - failed_at):.1f}s ago"
+        )
+        lines.append(
+            f"!! {tenant}: failed {age}: {row.get('error') or 'unknown'}"
         )
     return "\n".join(lines) + "\n"

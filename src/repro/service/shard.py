@@ -30,7 +30,12 @@ Thread contract: exactly one flusher at a time may call
 shard always belongs to one worker); any thread may call
 :meth:`submit`. A shard whose ``append`` raised enters the ``failed``
 state, wakes every blocked submitter, and refuses further traffic —
-other shards are unaffected.
+other shards are unaffected. The poisoned micro-batch and anything
+still queued are *kept* (:meth:`take_failed_items` /
+:meth:`take_pending_items`): the fleet dead-letters the batch and a
+:class:`~repro.service.supervisor.ShardSupervisor`, when attached, can
+restart the tenant from its WAL and adopt the queue — see
+docs/ROBUSTNESS.md for the full failure-handling pipeline.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from collections import deque
 import numpy as np
 
 from ..exceptions import InvalidConfigError, ServiceError
+from ..faults import FAILPOINTS, declare_failpoint
 from ..observability import Observability
 from ..streaming import DurableSummarizer
 
@@ -52,6 +58,12 @@ __all__ = [
     "Shard",
     "histogram_quantile",
 ]
+
+# Fired between dequeuing a micro-batch and handing it to the durable
+# append — the service-side moment where a crash leaves arrived points
+# neither applied nor acknowledged, and an error poisons the shard with
+# the batch in hand. The fleet chaos matrix kills/errors here.
+_FP_APPLY_BEFORE_APPEND = declare_failpoint("shard.apply.before_append")
 
 #: Legal backpressure policies for a full shard queue.
 BACKPRESSURE_POLICIES = ("block", "shed")
@@ -133,8 +145,20 @@ class Shard:
         self.backpressure = backpressure
         self.obs = obs if obs is not None else Observability()
         self.error: str | None = None
+        #: ``time.monotonic()`` of the failure that poisoned this shard
+        #: (``None`` while healthy) — surfaced in fleet rollups so an
+        #: operator can tell a fresh failure from a stale one.
+        self.failed_at: float | None = None
+        #: Set by the fleet once this shard's failure has been harvested
+        #: (batch dead-lettered, supervisor notified) — makes the
+        #: failure path idempotent across dispatcher and worker threads.
+        self.failure_handled = False
 
         self._queue: deque[tuple[tuple[float, ...], int, float]] = deque()
+        #: The micro-batch whose append poisoned the shard, held for the
+        #: fleet to dead-letter (it reached neither the WAL nor the
+        #: summary, and must not simply vanish from the accounting).
+        self._failed_items: list[tuple[tuple[float, ...], int, float]] = []
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._state = "running"
@@ -143,6 +167,9 @@ class Shard:
         self.applied_points = 0
         self.applied_batches = 0
         self.shed_points = 0
+        self.failed_points = 0
+        self.dead_lettered_points = 0
+        self.breaker_rejected_points = 0
         self.blocked_submissions = 0
         self.blocked_seconds = 0.0
 
@@ -164,6 +191,16 @@ class Shard:
         self._m_shed = m.counter(
             "repro_service_shed_points_total",
             help="Points dropped by the 'shed' backpressure policy.",
+            unit="points",
+        )
+        self._m_failed = m.counter(
+            "repro_service_failed_points_total",
+            help="Points rejected because the shard had failed.",
+            unit="points",
+        )
+        self._m_dead_lettered = m.counter(
+            "repro_service_dead_lettered_points_total",
+            help="Points parked in the durable dead-letter queue.",
             unit="points",
         )
         self._m_blocks = m.counter(
@@ -208,6 +245,29 @@ class Shard:
         """Points queued but not yet applied."""
         return len(self._queue)
 
+    @property
+    def submitted_points(self) -> int:
+        """Every point ever aimed at this shard, whatever became of it.
+
+        The left side of the service accounting identity::
+
+            applied + pending + shed + failed + dead_lettered == submitted
+
+        which holds exactly because every submission lands in one
+        bucket: accepted into the queue (``enqueued`` = applied +
+        pending + queue-harvested dead letters), dropped by
+        backpressure (``shed``), rejected by a failed shard
+        (``failed``), or parked straight into the dead-letter queue by
+        an open circuit breaker (``breaker_rejected``, a subset of
+        ``dead_lettered``).
+        """
+        return (
+            self.enqueued_points
+            + self.shed_points
+            + self.failed_points
+            + self.breaker_rejected_points
+        )
+
     def ingest_p95_seconds(self) -> float | None:
         """p95 arrival→applied latency bound (bucket-granular)."""
         return histogram_quantile(self._h_ingest, 0.95)
@@ -250,6 +310,10 @@ class Shard:
         if self._state == "running":
             return
         if self._state == "failed":
+            # Distinguish "aimed at a dead shard" from backpressure
+            # shedding: rollups report these as failed_points.
+            self.failed_points += 1
+            self._m_failed.inc()
             raise ServiceError(
                 f"shard {self.tenant!r} has failed: {self.error}"
             )
@@ -257,6 +321,19 @@ class Shard:
             f"shard {self.tenant!r} is {self._state} and no longer "
             "accepts events"
         )
+
+    def note_dead_lettered(self, count: int) -> None:
+        """Record ``count`` points parked in the dead-letter queue."""
+        self.dead_lettered_points += int(count)
+        self._m_dead_lettered.inc(int(count))
+
+    def note_breaker_rejected(self, count: int) -> None:
+        """Record ``count`` submissions refused by an open breaker.
+
+        These never touch the queue; the fleet dead-letters them, so
+        they are also counted via :meth:`note_dead_lettered`.
+        """
+        self.breaker_rejected_points += int(count)
 
     # ------------------------------------------------------------------
     # Flusher side (single-threaded per shard)
@@ -278,9 +355,10 @@ class Shard:
         points = np.asarray([item[0] for item in items], dtype=np.float64)
         labels = [item[1] for item in items]
         try:
+            FAILPOINTS.fire(_FP_APPLY_BEFORE_APPEND)
             self.summarizer.append(points, labels)
         except BaseException as exc:
-            self._fail(exc)
+            self._fail(exc, items)
             raise ServiceError(
                 f"shard {self.tenant!r} failed applying a batch of "
                 f"{take} points: {exc}"
@@ -295,12 +373,20 @@ class Shard:
         self._m_batches.inc()
         return take
 
-    def _fail(self, exc: BaseException) -> None:
+    def _fail(
+        self,
+        exc: BaseException,
+        items: list[tuple[tuple[float, ...], int, float]] | None = None,
+    ) -> None:
         with self._not_full:
             self._state = "failed"
             self.error = f"{type(exc).__name__}: {exc}"
-            self._queue.clear()
-            self._m_queue.set(0)
+            self.failed_at = time.monotonic()
+            # The poisoned batch and anything still queued are kept for
+            # the fleet: the batch is dead-lettered, the queue either
+            # adopted by a supervisor restart or dead-lettered at drain.
+            if items:
+                self._failed_items.extend(items)
             self._not_full.notify_all()
         # Handles are released without checkpointing: the WAL already
         # covers everything acknowledged, and the failed batch was
@@ -309,6 +395,65 @@ class Shard:
             self.summarizer.close(checkpoint=False)
         except Exception:
             pass
+
+    def take_failed_items(
+        self,
+    ) -> list[tuple[tuple[float, ...], int, float]]:
+        """Hand over (and forget) the batch that poisoned this shard."""
+        with self._not_full:
+            items = self._failed_items
+            self._failed_items = []
+            return items
+
+    def take_pending_items(
+        self,
+    ) -> list[tuple[tuple[float, ...], int, float]]:
+        """Hand over (and forget) everything still queued.
+
+        Used by the supervisor to move a failed shard's arrivals onto
+        its replacement, and by drain to dead-letter the residue of a
+        shard nobody restarted.
+        """
+        with self._not_full:
+            items = list(self._queue)
+            self._queue.clear()
+            self._m_queue.set(0)
+            self._not_full.notify_all()
+            return items
+
+    def adopt_items(
+        self, items: list[tuple[tuple[float, ...], int, float]]
+    ) -> None:
+        """Take over queued-but-unapplied points from a failed shard.
+
+        The points were already counted as enqueued by their original
+        shard, so this restores the queue without touching counters
+        (pair with :meth:`inherit_accounting`, which carries those
+        counts over).
+        """
+        with self._not_full:
+            self._queue.extend(items)
+            self._m_queue.set(len(self._queue))
+
+    def inherit_accounting(self, old: "Shard") -> None:
+        """Carry a replaced shard's lifetime counters into this one.
+
+        A supervisor restart swaps the Shard object but not the tenant:
+        rollups must keep counting from where the failed incarnation
+        stopped, and the accounting identity must keep holding across
+        the swap. Metric objects are already shared when both shards
+        use the same Observability handle (the registry is
+        get-or-create), so only the plain attributes need copying.
+        """
+        self.enqueued_points += old.enqueued_points
+        self.applied_points += old.applied_points
+        self.applied_batches += old.applied_batches
+        self.shed_points += old.shed_points
+        self.failed_points += old.failed_points
+        self.dead_lettered_points += old.dead_lettered_points
+        self.breaker_rejected_points += old.breaker_rejected_points
+        self.blocked_submissions += old.blocked_submissions
+        self.blocked_seconds += old.blocked_seconds
 
     # ------------------------------------------------------------------
     # Drain / shutdown
@@ -350,10 +495,13 @@ class Shard:
         return {
             "state": self._state,
             "pending_points": self.pending,
+            "submitted_points": self.submitted_points,
             "enqueued_points": self.enqueued_points,
             "applied_points": self.applied_points,
             "applied_batches": self.applied_batches,
             "shed_points": self.shed_points,
+            "failed_points": self.failed_points,
+            "dead_lettered_points": self.dead_lettered_points,
             "blocked_submissions": self.blocked_submissions,
             "blocked_seconds": self.blocked_seconds,
             "ingest_p95_seconds": self.ingest_p95_seconds(),
@@ -364,6 +512,7 @@ class Shard:
             ),
             "rejected_points": summarizer.rejected_points,
             "error": self.error,
+            "failed_at": self.failed_at,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

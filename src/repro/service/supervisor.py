@@ -1,0 +1,398 @@
+"""Shard supervision: bounded restarts, backoff, per-tenant breakers.
+
+A failed shard (see :mod:`repro.service.shard`) is an isolation
+boundary, not a repair: without intervention the tenant stays dark until
+the whole fleet is restarted. The :class:`ShardSupervisor` closes that
+gap. When the fleet hands it a failure incident it
+
+1. **restarts** the tenant in place — the poisoned micro-batch has
+   already been dead-lettered by the fleet, so the supervisor re-runs
+   the normal crash-recovery path (snapshot + WAL-tail replay, with the
+   hash-chain divergence check) on the tenant's durable state, builds a
+   fresh shard around the recovered summarizer, carries the old shard's
+   accounting and still-queued points over, and swaps it into the
+   fleet's routing table;
+2. under a **bounded budget** (``max_restarts`` per tenant) with
+   **exponential backoff** between consecutive incidents, reusing
+   :class:`repro.faults.retry.RetryPolicy` both for the pacing schedule
+   and for transient-IO retry around the recovery itself (EIO is worth
+   a few tries; ENOSPC fails fast — see :mod:`repro.faults.retry`);
+3. guarded by a per-tenant **circuit breaker**: ``threshold`` failures
+   inside ``window_seconds`` open the breaker, after which the tenant's
+   events are shed to its durable dead-letter queue (reason
+   ``breaker_open``) instead of crash-looping the restart path. After
+   ``cooldown_seconds`` the breaker goes half-open and one probe
+   restart is allowed; a quiet window closes it again, a new failure
+   re-opens it.
+
+Everything time- and sleep-shaped is injectable (``clock``, ``sleep``),
+so the chaos matrix drives poisoned tenants through open → half-open →
+closed transitions in microseconds of wall time, deterministically.
+
+The supervisor is driven from whichever thread observes the failure —
+a pool worker (preserving that stripe's ordering) or the dispatcher
+itself in synchronous mode (``workers=0`` stays fully deterministic).
+Per-tenant bookkeeping is guarded by a lock so concurrent incidents on
+*different* tenants never race; per-shard incidents are already
+serialized by the fleet's ``failure_handled`` latch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..exceptions import InvalidConfigError, ServiceError
+from ..faults import FAILPOINTS, declare_failpoint
+from ..faults.retry import RetryPolicy, is_transient
+from ..streaming import DurableSummarizer
+from .shard import Shard
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker", "ShardSupervisor"]
+
+#: The classic three breaker states.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+# Service-boundary failpoints around the restart path: ``start`` fires
+# before recovery begins (old shard already detached from the routing
+# table's point of view), ``recovered`` fires after the replacement
+# shard has been swapped in.
+_FP_RESTART_START = declare_failpoint("shard.restart.start")
+_FP_RESTART_RECOVERED = declare_failpoint("shard.restart.recovered")
+
+
+class CircuitBreaker:
+    """Per-tenant failure breaker: closed → open → half-open → closed.
+
+    * **closed** — healthy; failures are recorded into a sliding window.
+      ``threshold`` failures within ``window_seconds`` trip the breaker.
+    * **open** — the tenant is shed (callers dead-letter instead of
+      submitting). After ``cooldown_seconds`` the next :meth:`blocks`
+      check transitions to half-open.
+    * **half_open** — traffic flows again as a probe. A new failure
+      re-opens immediately; a full ``window_seconds`` without failures
+      closes the breaker and clears its history.
+
+    The clock is injectable so tests (and the chaos matrix) never
+    wall-wait for cooldowns.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_seconds: float = 60.0,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise InvalidConfigError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        if window_seconds <= 0 or cooldown_seconds < 0:
+            raise InvalidConfigError(
+                "breaker window must be positive and cooldown "
+                "non-negative"
+            )
+        self.threshold = int(threshold)
+        self.window_seconds = float(window_seconds)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._state = "closed"
+        self._failures: list[float] = []
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        """Current state, *after* applying any due time transition."""
+        self._tick()
+        return self._state
+
+    def _tick(self) -> None:
+        now = self._clock()
+        if self._state == "open":
+            assert self._opened_at is not None
+            if now - self._opened_at >= self.cooldown_seconds:
+                self._state = "half_open"
+        if self._state == "half_open":
+            if (
+                not self._failures
+                or now - self._failures[-1] >= self.window_seconds
+            ):
+                self._state = "closed"
+                self._failures.clear()
+                self._opened_at = None
+
+    def record_failure(self) -> str:
+        """Note one failure; returns the resulting state."""
+        self._tick()
+        now = self._clock()
+        if self._state == "half_open":
+            # The probe failed: straight back to open, fresh cooldown.
+            self._state = "open"
+            self._opened_at = now
+            self._failures.append(now)
+            return self._state
+        self._failures.append(now)
+        cutoff = now - self.window_seconds
+        self._failures = [t for t in self._failures if t > cutoff]
+        if self._state == "closed" and len(self._failures) >= self.threshold:
+            self._state = "open"
+            self._opened_at = now
+        return self._state
+
+    def blocks(self) -> bool:
+        """Whether submissions for this tenant should be shed right now."""
+        self._tick()
+        return self._state == "open"
+
+
+class ShardSupervisor:
+    """Restart failed shards under budget, backoff and circuit breaking.
+
+    Args:
+        max_restarts: restart budget **per tenant** over the
+            supervisor's lifetime; once spent, further incidents leave
+            the shard failed (and the breaker, if tripped, sheds its
+            traffic durably).
+        policy: the :class:`~repro.faults.retry.RetryPolicy` reused in
+            two roles — its ``delay_for`` schedule paces consecutive
+            restarts of the same tenant (restart *n* sleeps
+            ``delay_for(n - 1)`` first), and its ``call`` wraps the
+            recovery itself so transient IO (EIO, EINTR, …) is retried
+            while ENOSPC propagates immediately.
+        breaker_threshold / breaker_window_seconds /
+        breaker_cooldown_seconds: per-tenant breaker shape (see
+            :class:`CircuitBreaker`).
+        sleep: backoff sleep, injectable for deterministic tests.
+        clock: monotonic clock for the breakers, injectable likewise.
+        obs: optional observability handle for supervisor events
+            (``shard_restarted``, ``restart_failed``, ``breaker_open``,
+            ``restart_budget_exhausted``).
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 5,
+        policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_window_seconds: float = 60.0,
+        breaker_cooldown_seconds: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        obs=None,
+    ) -> None:
+        if max_restarts < 0:
+            raise InvalidConfigError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.max_restarts = int(max_restarts)
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_window = breaker_window_seconds
+        self._breaker_cooldown = breaker_cooldown_seconds
+        self._sleep = sleep
+        self._clock = clock
+        self._obs = obs
+        self._fleet = None
+        self._lock = threading.Lock()
+        self._restarts: dict[str, int] = {}
+        self._restart_failures: dict[str, int] = {}
+        self._last_error: dict[str, str] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, fleet) -> None:
+        """Called by ``FleetManager.attach_supervisor``; one fleet only."""
+        if self._fleet is not None and self._fleet is not fleet:
+            raise ServiceError(
+                "this supervisor is already bound to another fleet"
+            )
+        self._fleet = fleet
+
+    def _require_fleet(self):
+        if self._fleet is None:
+            raise ServiceError(
+                "supervisor is not attached to a fleet (use "
+                "FleetManager.attach_supervisor)"
+            )
+        return self._fleet
+
+    def _breaker(self, tenant: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(tenant)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self._breaker_threshold,
+                    window_seconds=self._breaker_window,
+                    cooldown_seconds=self._breaker_cooldown,
+                    clock=self._clock,
+                )
+                self._breakers[tenant] = breaker
+            return breaker
+
+    def _emit(self, event: str, **fields) -> None:
+        if self._obs is not None:
+            self._obs.emit(event, **fields)
+
+    # ------------------------------------------------------------------
+    # The fleet-facing protocol
+    # ------------------------------------------------------------------
+    def breaker_blocks(self, tenant: str) -> bool:
+        """Whether ``tenant``'s traffic should be shed (breaker open).
+
+        Called by ``FleetManager.submit`` on the hot path. An open
+        breaker whose cooldown has elapsed flips to half-open here; if
+        the tenant's shard is still failed at that moment, one probe
+        restart is attempted so the half-open traffic has something
+        healthy to land on.
+        """
+        with self._lock:
+            breaker = self._breakers.get(tenant)
+        if breaker is None:
+            return False
+        was_open = breaker._state == "open"
+        if breaker.blocks():
+            return True
+        if was_open and breaker._state == "half_open":
+            # Open → half-open transition observed: probe-restart the
+            # shard if the incident that opened the breaker left it
+            # failed (the open window never restarts).
+            fleet = self._require_fleet()
+            try:
+                shard = fleet.shard(tenant)
+            except ServiceError:
+                return False
+            if shard.state == "failed":
+                self._restart(tenant, shard)
+        return False
+
+    def handle_failure(self, tenant: str) -> bool:
+        """React to one failure incident; returns whether a restart ran.
+
+        Records the failure into the tenant's breaker first: an open
+        breaker suppresses the restart entirely (the tenant is shed to
+        its dead-letter queue until the cooldown's half-open probe).
+        """
+        fleet = self._require_fleet()
+        breaker = self._breaker(tenant)
+        state = breaker.record_failure()
+        shard = fleet.shard(tenant)
+        with self._lock:
+            self._last_error[tenant] = shard.error or "unknown"
+        if state == "open":
+            self._emit(
+                "breaker_open",
+                tenant=tenant,
+                failures=len(breaker._failures),
+                error=shard.error,
+            )
+            return False
+        return self._restart(tenant, shard)
+
+    # ------------------------------------------------------------------
+    # Restart machinery
+    # ------------------------------------------------------------------
+    def _restart(self, tenant: str, old: Shard) -> bool:
+        fleet = self._require_fleet()
+        with self._lock:
+            used = self._restarts.get(tenant, 0)
+        if used >= self.max_restarts:
+            self._emit(
+                "restart_budget_exhausted",
+                tenant=tenant,
+                max_restarts=self.max_restarts,
+            )
+            return False
+        if used > 0:
+            # Exponential backoff between consecutive restarts of the
+            # same tenant — the RetryPolicy's schedule, its sleep.
+            self._policy.sleep(self._policy.delay_for(used - 1))
+        FAILPOINTS.fire(_FP_RESTART_START)
+        config = fleet.config
+        pending = old.take_pending_items()
+        try:
+            # The recovery re-runs the tenant's normal crash path —
+            # snapshot + WAL-tail replay, including the hash-chain
+            # divergence check — retrying transient IO, failing fast
+            # on anything else (ENOSPC, corruption, chain divergence).
+            summarizer = self._policy.call(
+                lambda: DurableSummarizer.recover(
+                    fleet.tenant_dir(tenant),
+                    fsync=config.fsync,
+                    obs=old.obs,
+                ),
+                classify=is_transient,
+            )
+        except BaseException as exc:
+            # Put the queue residue back so a later probe (or drain)
+            # still accounts for every point.
+            old.adopt_items(pending)
+            with self._lock:
+                self._restart_failures[tenant] = (
+                    self._restart_failures.get(tenant, 0) + 1
+                )
+                self._last_error[tenant] = f"restart failed: {exc}"
+            self._breaker(tenant).record_failure()
+            self._emit("restart_failed", tenant=tenant, error=str(exc))
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return False
+        new = Shard(
+            tenant,
+            summarizer,
+            queue_points=config.queue_points,
+            batch_points=config.batch_points,
+            backpressure=config.backpressure,
+            obs=old.obs,
+        )
+        new.inherit_accounting(old)
+        new.adopt_items(pending)
+        fleet._replace_shard(old, new)
+        with self._lock:
+            self._restarts[tenant] = used + 1
+        FAILPOINTS.fire(_FP_RESTART_RECOVERED)
+        self._emit(
+            "shard_restarted",
+            tenant=tenant,
+            restart=used + 1,
+            requeued=len(pending),
+            error=old.error,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Supervision snapshot for the fleet rollup."""
+        with self._lock:
+            restarts = dict(self._restarts)
+            failures = dict(self._restart_failures)
+            last_error = dict(self._last_error)
+            breakers = dict(self._breakers)
+        states = {state: 0 for state in BREAKER_STATES}
+        tenants: dict[str, dict] = {}
+        for tenant in sorted(
+            set(restarts) | set(failures) | set(breakers) | set(last_error)
+        ):
+            breaker = breakers.get(tenant)
+            state = breaker.state if breaker is not None else "closed"
+            states[state] += 1
+            row: dict = {
+                "restarts": restarts.get(tenant, 0),
+                "restart_failures": failures.get(tenant, 0),
+                "breaker": state,
+            }
+            if tenant in last_error:
+                row["last_error"] = last_error[tenant]
+            tenants[tenant] = row
+        return {
+            "max_restarts": self.max_restarts,
+            "restarts": sum(restarts.values()),
+            "restart_failures": sum(failures.values()),
+            "breaker_states": states,
+            "tenants": tenants,
+        }

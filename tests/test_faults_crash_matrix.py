@@ -134,8 +134,15 @@ def golden_dir(tmp_path_factory):
 def test_matrix_covers_every_declared_failpoint():
     # Importing repro (above) pulls in every fire site; a failpoint
     # declared anywhere must have a crash directive here, or the matrix
-    # silently loses coverage.
-    assert set(CRASH_SPECS) == set(known_failpoints())
+    # silently loses coverage. Service-boundary failpoints (shard.*,
+    # fleet.*, dlq.*) belong to the fleet chaos matrix in
+    # test_service_chaos_matrix.py, which carries its own guard.
+    core = {
+        name
+        for name in known_failpoints()
+        if not name.startswith(("shard.", "fleet.", "dlq."))
+    }
+    assert set(CRASH_SPECS) == core
 
 
 @pytest.mark.parametrize("name", sorted(CRASH_SPECS))

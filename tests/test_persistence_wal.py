@@ -111,12 +111,13 @@ class TestCorruption:
     def test_torn_header_truncated(self, tmp_path, rng):
         path = self._write(tmp_path / "wal.log", rng, count=2)
         data = path.read_bytes()
-        # Find where record 1 starts (8-byte magic + record 0) and leave
-        # only 6 bytes of its 16-byte header. Replay must keep record 0
-        # and drop the stub.
+        # Find where record 1 starts (8-byte magic + record 0: 16-byte
+        # header, 32-byte chain digest, payload) and leave only 6 bytes
+        # of its 16-byte header. Replay must keep record 0 and drop the
+        # stub.
         offset = 8
         _, length, _ = struct.unpack("<QII", data[offset : offset + 16])
-        offset += 16 + length
+        offset += 16 + 32 + length
         path.write_bytes(data[: offset + 6])
         with WriteAheadLog(path, fsync=False) as wal:
             assert [r.seq for r in wal.replay()] == [0]
@@ -124,8 +125,9 @@ class TestCorruption:
     def test_bad_checksum_mid_log_fails_loudly(self, tmp_path, rng):
         path = self._write(tmp_path / "wal.log", rng)
         data = bytearray(path.read_bytes())
-        # Flip one payload byte of the FIRST record (well before the tail).
-        data[30] ^= 0xFF
+        # Flip one payload byte of the FIRST record (well before the
+        # tail): magic 8 + header 16 + chain 32 puts the payload at 56.
+        data[62] ^= 0xFF
         path.write_bytes(bytes(data))
         with WriteAheadLog(path, fsync=False) as wal:
             with pytest.raises(WalCorruptionError):
@@ -145,7 +147,7 @@ class TestCorruption:
         """A bad mid-log record must not yield a partial history."""
         path = self._write(tmp_path / "wal.log", rng)
         data = bytearray(path.read_bytes())
-        data[30] ^= 0xFF
+        data[62] ^= 0xFF
         path.write_bytes(bytes(data))
         with WriteAheadLog(path, fsync=False) as wal:
             try:

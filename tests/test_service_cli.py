@@ -212,3 +212,142 @@ class TestServe:
         assert code == 0
         out = capsys.readouterr().out
         assert "served 2 events: 2 accepted, 0 dropped, 1 invalid" in out
+
+
+def _boom(self, points, labels=None):
+    raise RuntimeError("poisoned batch")
+
+
+class TestServeFailureExit:
+    def _poisoned_serve(self, tmp_path, monkeypatch, extra=()):
+        from repro.streaming import DurableSummarizer
+
+        monkeypatch.setattr(DurableSummarizer, "append", _boom)
+        events = tmp_path / "events.ndjson"
+        assert main(
+            [
+                "loadgen", "--out", str(events),
+                "--events", "120", "--tenants", "3", "--seed", "3",
+            ]
+        ) == 0
+        return main(
+            [
+                "serve",
+                "--fleet-dir", str(tmp_path / "fleet"),
+                "--input", str(events),
+                *QUICK_SERVE,
+                *extra,
+            ]
+        )
+
+    def test_failed_shards_without_supervisor_exit_3(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import EXIT_FAILED_SHARDS
+
+        with pytest.raises(SystemExit) as excinfo:
+            self._poisoned_serve(tmp_path, monkeypatch)
+        assert excinfo.value.code == EXIT_FAILED_SHARDS
+        err = capsys.readouterr().err
+        assert "no supervisor attached" in err
+        assert "repro-bubbles dlq" in err
+
+    def test_supervised_serve_does_not_exit_3(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code = self._poisoned_serve(
+            tmp_path, monkeypatch, extra=["--supervise"]
+        )
+        assert code == 0
+        assert "supervision on" in capsys.readouterr().out
+
+
+class TestDlqCommand:
+    def test_list_and_replay_round_trip(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.streaming import DurableSummarizer
+
+        events = tmp_path / "events.ndjson"
+        assert main(
+            [
+                "loadgen", "--out", str(events),
+                "--events", "80", "--tenants", "2", "--seed", "5",
+            ]
+        ) == 0
+        fleet_dir = tmp_path / "fleet"
+        with monkeypatch.context() as patch:
+            patch.setattr(DurableSummarizer, "append", _boom)
+            with pytest.raises(SystemExit):  # failed shards, code 3
+                main(
+                    [
+                        "serve", "--fleet-dir", str(fleet_dir),
+                        "--input", str(events), *QUICK_SERVE,
+                    ]
+                )
+        capsys.readouterr()
+        assert main(["dlq", "--fleet-dir", str(fleet_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "append_failed" in out
+        assert "0 dead letter(s) total" not in out
+        # The poison is gone: replay drains every queue to zero.
+        assert main(
+            [
+                "dlq", "--replay", "--fleet-dir", str(fleet_dir),
+                "--no-fsync",
+            ]
+        ) == 0
+        assert "0 still parked" in capsys.readouterr().out
+        assert main(["dlq", "--fleet-dir", str(fleet_dir)]) == 0
+        assert "0 dead letter(s) total" in capsys.readouterr().out
+
+    def test_requires_a_directory(self):
+        with pytest.raises(SystemExit, match="fleet-dir or --wal-dir"):
+            main(["dlq"])
+
+
+class TestVerifyChainCommand:
+    def test_clean_and_corrupt_wal(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro import UpdateBatch
+        from repro.persistence import WriteAheadLog
+
+        state = tmp_path / "state"
+        state.mkdir()
+        wal = WriteAheadLog(state / "wal.log", fsync=False)
+        rng = np.random.default_rng(0)
+        for seq in range(3):
+            wal.append(
+                seq,
+                UpdateBatch(
+                    deletions=(),
+                    insertions=rng.normal(size=(4, 2)),
+                    insertion_labels=(-1,) * 4,
+                ),
+            )
+        wal.close()
+        assert main(["verify-chain", "--wal-dir", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "crc+chain" in out
+
+        data = bytearray((state / "wal.log").read_bytes())
+        data[len(data) // 2] ^= 0x01  # single bit flip mid-file
+        (state / "wal.log").write_bytes(bytes(data))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify-chain", "--wal-dir", str(state)])
+        assert excinfo.value.code == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert "failed integrity verification" in captured.err
+
+    def test_requires_a_directory(self):
+        with pytest.raises(SystemExit, match="wal-dir or --fleet-dir"):
+            main(["verify-chain"])
+
+    def test_missing_fleet_is_an_error_not_a_silent_pass(
+        self, tmp_path, capsys
+    ):
+        code = main(["verify-chain", "--fleet-dir", str(tmp_path / "no")])
+        assert code == 1
+        assert "holds no fleet" in capsys.readouterr().err

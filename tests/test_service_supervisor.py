@@ -1,0 +1,369 @@
+"""Shard supervision: breakers, restart budget, backoff, retry boundary."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.exceptions import InvalidConfigError, ServiceError
+from repro.faults.retry import RetryPolicy
+from repro.service import (
+    CircuitBreaker,
+    FleetConfig,
+    FleetManager,
+    PointEvent,
+    ShardSupervisor,
+    read_dead_letters,
+)
+from repro.service.deadletter import deadletter_path
+from repro.streaming import DurableSummarizer
+
+SYNC = dict(
+    window_size=400,
+    points_per_bubble=20,
+    checkpoint_every=8,
+    fsync=False,
+    workers=0,
+    queue_points=64,
+    batch_points=4,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def ev(tenant: str, i: int) -> PointEvent:
+    return PointEvent(tenant=tenant, point=(float(i), 0.5), label=i)
+
+
+def boom(self, points, labels=None):
+    raise RuntimeError("poisoned batch")
+
+
+def assert_accounting(row: dict) -> None:
+    """The exact identity every shard must satisfy at all times."""
+    assert (
+        row["applied_points"]
+        + row["pending_points"]
+        + row["shed_points"]
+        + row["failed_points"]
+        + row["dead_lettered_points"]
+        == row["submitted_points"]
+    ), row
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_below_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert not breaker.blocks()
+
+    def test_threshold_in_window_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=2, window_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.record_failure() == "open"
+        assert breaker.blocks()
+
+    def test_failures_outside_window_pruned(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=2, window_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(20.0)  # first failure ages out
+        assert breaker.record_failure() == "closed"
+
+    def test_cooldown_half_opens_then_quiet_window_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=1,
+            window_seconds=10.0,
+            cooldown_seconds=5.0,
+            clock=clock,
+        )
+        breaker.record_failure()
+        assert breaker.blocks()
+        clock.advance(5.0)
+        assert not breaker.blocks()
+        assert breaker.state == "half_open"
+        clock.advance(10.0)  # a full quiet window while half-open
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=1,
+            window_seconds=100.0,
+            cooldown_seconds=5.0,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.record_failure() == "open"
+        assert breaker.blocks()  # fresh cooldown
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(InvalidConfigError):
+            CircuitBreaker(window_seconds=0.0)
+
+
+class TestSupervisedRestart:
+    def test_restart_heals_poisoned_tenant(self, tmp_path, monkeypatch):
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            supervisor = ShardSupervisor(max_restarts=3)
+            fleet.attach_supervisor(supervisor)
+            # Materialize the shard, then poison only its summarizer
+            # instance: the restarted replacement recovers healthy.
+            assert fleet.submit(ev("t", 0))
+            summarizer = fleet.shard("t").summarizer
+            monkeypatch.setattr(
+                summarizer, "append", boom.__get__(summarizer)
+            )
+            for i in range(1, 4):  # fourth point trips the flush
+                fleet.submit(ev("t", i))
+            # The supervisor already swapped in a recovered shard.
+            assert fleet.shard("t").state == "running"
+            for i in range(4, 8):
+                assert fleet.submit(ev("t", i))
+            rollup = fleet.rollup()
+        row = rollup["tenants"]["t"]
+        assert row["state"] == "running"
+        assert row["dead_lettered_points"] == 4  # the poisoned batch
+        assert_accounting(row)
+        supervision = rollup["fleet"]["supervision"]
+        assert supervision["restarts"] == 1
+        assert supervision["tenants"]["t"]["breaker"] == "closed"
+        letters = read_dead_letters(
+            deadletter_path(tmp_path / "f" / "tenants" / "t")
+        )
+        assert len(letters) == 4
+        assert {letter.reason for letter in letters} == {"append_failed"}
+        # Post-restart batch was applied by the recovered summarizer.
+        assert fleet.shard("t").summarizer.size == 4
+
+    def test_restart_carries_queued_points(self, tmp_path, monkeypatch):
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            assert fleet.submit(ev("t", 0))
+            summarizer = fleet.shard("t").summarizer
+            monkeypatch.setattr(
+                summarizer, "append", boom.__get__(summarizer)
+            )
+            for i in range(1, 4):
+                fleet.submit(ev("t", i))
+            old = fleet.shard("t")
+            assert old.state == "failed"
+            # Simulate residue a threaded worker would have left queued.
+            old.adopt_items(
+                [((9.0, 9.0), 9, 0.0), ((8.0, 8.0), 8, 0.0)]
+            )
+            supervisor = ShardSupervisor(max_restarts=1)
+            fleet.attach_supervisor(supervisor)
+            assert supervisor.handle_failure("t")
+            new = fleet.shard("t")
+            assert new is not old
+            assert new.pending == 2
+        # Drain (via __exit__) flushed the carried-over residue.
+        assert fleet.shard("t").summarizer.size == 2
+
+    def test_restart_budget_is_bounded(self, tmp_path, monkeypatch):
+        # Poison the *class*: every recovered summarizer re-fails too.
+        monkeypatch.setattr(DurableSummarizer, "append", boom)
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            supervisor = ShardSupervisor(
+                max_restarts=1, breaker_threshold=100
+            )
+            fleet.attach_supervisor(supervisor)
+            for i in range(8):  # two poisoned batches
+                fleet.submit(ev("t", i))
+            assert fleet.shard("t").state == "failed"
+            stats = supervisor.stats()
+            assert stats["restarts"] == 1  # budget spent, second skipped
+            rollup = fleet.rollup()
+        assert_accounting(rollup["tenants"]["t"])
+
+    def test_backoff_between_restarts_uses_policy_schedule(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(DurableSummarizer, "append", boom)
+        sleeps: list[float] = []
+        policy = RetryPolicy(
+            attempts=1, base_delay=0.01, multiplier=2.0, sleep=sleeps.append
+        )
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            supervisor = ShardSupervisor(
+                max_restarts=3, policy=policy, breaker_threshold=100
+            )
+            fleet.attach_supervisor(supervisor)
+            for i in range(12):  # three poisoned batches, three restarts
+                fleet.submit(ev("t", i))
+            assert supervisor.stats()["restarts"] == 3
+        # First restart is immediate; the next two back off 10ms, 20ms.
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_unbound_supervisor_refuses(self):
+        with pytest.raises(ServiceError, match="not attached"):
+            ShardSupervisor().handle_failure("t")
+
+
+class TestBreakerIntegration:
+    def test_poisoned_tenant_degrades_to_durable_shed(
+        self, tmp_path, monkeypatch
+    ):
+        healthy_append = DurableSummarizer.append
+        monkeypatch.setattr(DurableSummarizer, "append", boom)
+        clock = FakeClock()
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            supervisor = ShardSupervisor(
+                max_restarts=10,
+                breaker_threshold=2,
+                breaker_window_seconds=1000.0,
+                breaker_cooldown_seconds=10.0,
+                clock=clock,
+            )
+            fleet.attach_supervisor(supervisor)
+            for i in range(4):  # batch 1 fails -> restart (breaker: 1)
+                fleet.submit(ev("t", i))
+            for i in range(4, 8):  # batch 2 fails -> breaker opens
+                fleet.submit(ev("t", i))
+            assert fleet.shard("t").state == "failed"
+            assert supervisor.breaker_blocks("t")
+            # Open breaker: events are shed straight to the DLQ.
+            assert not fleet.submit(ev("t", 100))
+            assert fleet.shard("t").breaker_rejected_points == 1
+
+            # Heal the root cause, wait out the cooldown: the half-open
+            # probe restarts the shard and traffic flows again.
+            monkeypatch.setattr(
+                DurableSummarizer, "append", healthy_append
+            )
+            clock.advance(10.0)
+            for i in range(4):
+                assert fleet.submit(ev("t", i))
+            assert fleet.shard("t").state == "running"
+            assert fleet.shard("t").summarizer.size == 4
+            clock.advance(1000.0)  # quiet window closes the breaker
+            rollup = fleet.rollup()
+        row = rollup["tenants"]["t"]
+        assert_accounting(row)
+        supervision = rollup["fleet"]["supervision"]
+        assert supervision["tenants"]["t"]["breaker"] == "closed"
+        assert supervision["restarts"] == 2  # initial + half-open probe
+        letters = read_dead_letters(
+            deadletter_path(tmp_path / "f" / "tenants" / "t")
+        )
+        reasons = sorted(letter.reason for letter in letters)
+        assert reasons.count("append_failed") == 8
+        assert reasons.count("breaker_open") == 1
+
+
+class TestRetryBoundary:
+    """Satellite: RetryPolicy semantics at the recovery service boundary."""
+
+    def _failed_fleet(self, tmp_path, monkeypatch):
+        fleet = FleetManager(tmp_path / "f", FleetConfig(**SYNC))
+        fleet.submit(ev("t", 0))
+        summarizer = fleet.shard("t").summarizer
+        monkeypatch.setattr(
+            summarizer, "append", boom.__get__(summarizer)
+        )
+        for i in range(1, 4):
+            fleet.submit(ev("t", i))
+        assert fleet.shard("t").state == "failed"
+        return fleet
+
+    def test_enospc_fails_fast(self, tmp_path, monkeypatch):
+        fleet = self._failed_fleet(tmp_path, monkeypatch)
+        calls = []
+
+        def full_disk(path, **kwargs):
+            calls.append(path)
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(DurableSummarizer, "recover", full_disk)
+        sleeps: list[float] = []
+        supervisor = ShardSupervisor(
+            policy=RetryPolicy(attempts=3, sleep=sleeps.append)
+        )
+        fleet.attach_supervisor(supervisor)
+        assert not supervisor.handle_failure("t")
+        assert len(calls) == 1  # not retried
+        assert sleeps == []  # and never slept
+        assert fleet.shard("t").state == "failed"
+        stats = supervisor.stats()
+        assert stats["restart_failures"] == 1
+        assert "No space left" in stats["tenants"]["t"]["last_error"]
+
+    def test_eio_retried_with_backoff(self, tmp_path, monkeypatch):
+        fleet = self._failed_fleet(tmp_path, monkeypatch)
+        real_recover = DurableSummarizer.recover.__func__
+        calls = []
+
+        def flaky(path, **kwargs):
+            calls.append(path)
+            if len(calls) <= 2:
+                raise OSError(errno.EIO, "Input/output error")
+            return real_recover(DurableSummarizer, path, **kwargs)
+
+        monkeypatch.setattr(DurableSummarizer, "recover", flaky)
+        sleeps: list[float] = []
+        supervisor = ShardSupervisor(
+            policy=RetryPolicy(
+                attempts=3,
+                base_delay=0.001,
+                multiplier=2.0,
+                sleep=sleeps.append,
+            )
+        )
+        fleet.attach_supervisor(supervisor)
+        assert supervisor.handle_failure("t")
+        assert len(calls) == 3  # two EIO hiccups, then success
+        assert sleeps == [pytest.approx(0.001), pytest.approx(0.002)]
+        assert fleet.shard("t").state == "running"
+        fleet.drain()
+
+    def test_injected_sleep_makes_runs_deterministic(
+        self, tmp_path, monkeypatch
+    ):
+        traces: list[list[float]] = []
+        for run in range(2):
+            with monkeypatch.context() as patch:
+                fleet = self._failed_fleet(tmp_path / str(run), patch)
+                real_recover = DurableSummarizer.recover.__func__
+                calls = []
+
+                def flaky(path, **kwargs):
+                    calls.append(path)
+                    if len(calls) == 1:
+                        raise OSError(errno.EAGAIN, "try again")
+                    return real_recover(DurableSummarizer, path, **kwargs)
+
+                patch.setattr(DurableSummarizer, "recover", flaky)
+                sleeps: list[float] = []
+                supervisor = ShardSupervisor(
+                    policy=RetryPolicy(attempts=2, sleep=sleeps.append)
+                )
+                fleet.attach_supervisor(supervisor)
+                assert supervisor.handle_failure("t")
+                fleet.drain()
+                traces.append(sleeps)
+        assert traces[0] == traces[1] != []
