@@ -12,6 +12,7 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles stats     --wal-dir state/ [--format text|json|prom]
     repro-bubbles audit     --wal-dir state/ [--no-repair]
     repro-bubbles report    --wal-dir state/ [--format text|json]
+    repro-bubbles cluster   --wal-dir state/ [--deadline 0.1] [--min-pts 25]
     repro-bubbles loadgen   --out events.ndjson [--tenants 8] [--events 5000]
     repro-bubbles serve     --fleet-dir fleet/ --input events.ndjson ...
     repro-bubbles dlq       --fleet-dir fleet/ [--replay]
@@ -37,6 +38,10 @@ directory read-only and reports its metrics in any of the three formats.
 invariant audit over it (exit code 1 when the summary is inconsistent and
 could not be repaired). ``report`` recovers a state directory under a
 fully instrumented handle and renders its health report (text or JSON).
+``cluster`` recovers a state directory and answers the paper's
+"cluster me now" request over its bubble summary: it prints the
+extracted dendrogram, optionally under a soft ``--deadline`` budget
+(anytime staged refinement — a valid coarse tree is always produced).
 
 ``loadgen`` writes a deterministic NDJSON event stream (Zipf-skewed
 tenant sizes, bursty Poisson arrivals) to ``--out`` or stdout.
@@ -92,6 +97,7 @@ from .experiments import (
     run_staleness,
     run_table1,
 )
+from .clustering import IncrementalClusterer, render_tree
 from .core import MaintenanceConfig
 from .exceptions import PersistenceError, ReproError, SnapshotError
 from .experiments.table1 import TABLE1_DATASETS
@@ -385,6 +391,73 @@ def _run_report(args: argparse.Namespace) -> None:
             f"wrote {len(obs.timeseries)} time-series windows to "
             f"{args.timeseries_out}"
         )
+
+
+def _run_cluster(args: argparse.Namespace) -> None:
+    """Cluster a recovered durable summary ("cluster me now").
+
+    Recovers the state directory read-only (no checkpoint on close),
+    runs one :class:`~repro.clustering.IncrementalClusterer` fit —
+    deadline-bounded when ``--deadline`` is given — and prints the
+    extracted dendrogram with its provenance.
+    """
+    if args.wal_dir is None:
+        raise SystemExit("cluster requires --wal-dir")
+    obs = Observability(spans=SpanTracer())
+    stream = DurableSummarizer.recover(
+        args.wal_dir, fsync=not args.no_fsync, obs=obs
+    )
+    try:
+        if not stream.is_ready():
+            print(
+                "the stream summary is not bootstrapped yet; run "
+                "'summarize' against this directory first",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        clusterer = IncrementalClusterer(
+            min_pts=args.min_pts,
+            counter=stream.counter,
+            obs=obs,
+        )
+        fit = clusterer.fit(
+            stream.summary, deadline_seconds=args.deadline
+        )
+    finally:
+        stream.close(checkpoint=False)
+    deadline = (
+        f"{args.deadline:.3f}s deadline"
+        if args.deadline is not None
+        else "no deadline"
+    )
+    print(
+        f"clustered {fit.num_bubbles} bubbles "
+        f"({int(fit.counts.sum())} summarized points) from "
+        f"{args.wal_dir} [{fit.source}, {deadline}]"
+    )
+    print(
+        f"quality {fit.quality:.2f}, "
+        f"{len(fit.tree.leaves())} leaf cluster(s), "
+        f"{fit.elapsed_seconds * 1e3:.1f} ms"
+    )
+    if fit.stages:
+        print(
+            "anytime stages: "
+            + ", ".join(
+                f"{stage.size} bubbles @ "
+                f"{stage.elapsed_seconds * 1e3:.1f} ms"
+                for stage in fit.stages
+            )
+        )
+    print()
+    print(render_tree(fit.tree))
+    if args.metrics_out is not None:
+        json_path, prom_path = write_metrics(
+            args.metrics_out,
+            obs.metrics.snapshot(),
+            extra={"directory": str(args.wal_dir)},
+        )
+        print(f"\nwrote metrics to {json_path} and {prom_path}")
 
 
 def _run_loadgen(args: argparse.Namespace) -> None:
@@ -734,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
             "stats",
             "audit",
             "report",
+            "cluster",
             "serve",
             "loadgen",
             "dlq",
@@ -743,7 +817,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="which artifact to regenerate ('summarize' runs a durable "
         "stream summarization; 'stats' inspects its state directory; "
         "'audit' checks and repairs its invariants; 'report' renders a "
-        "health report from it; 'serve' runs the multi-tenant ingestion "
+        "health report from it; 'cluster' extracts a dendrogram from "
+        "its summary (optionally deadline-bounded); 'serve' runs the "
+        "multi-tenant ingestion "
         "service; 'loadgen' writes a deterministic NDJSON event stream; "
         "'dlq' lists or replays the durable dead-letter queues; "
         "'verify-chain' runs the read-only WAL integrity scan)",
@@ -831,6 +907,20 @@ def build_parser() -> argparse.ArgumentParser:
     durable.add_argument(
         "--no-repair", action="store_true",
         help="audit only: report violations without repairing them",
+    )
+    clustering = parser.add_argument_group(
+        "cluster", "options for the on-demand clustering command"
+    )
+    clustering.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="soft wall-clock budget for 'cluster': return the best "
+        "anytime dendrogram finished inside it (default: compute the "
+        "complete answer)",
+    )
+    clustering.add_argument(
+        "--min-pts", type=int, default=25, metavar="N",
+        help="OPTICS MinPts for 'cluster', in summarized points "
+        "(default 25)",
     )
     engine = parser.add_argument_group(
         "assignment engine",
@@ -1015,6 +1105,9 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         return
     if command == "report":
         _run_report(args)
+        return
+    if command == "cluster":
+        _run_cluster(args)
         return
     if command == "serve":
         started = time.perf_counter()

@@ -6,6 +6,9 @@
 * :mod:`~repro.clustering.extraction` — automatic cluster extraction from
   reachability plots (threshold cuts, the Sander et al. 2003 cluster tree,
   and a quantile candidate sweep).
+* :mod:`~repro.clustering.incremental` — version-keyed cluster cache,
+  incremental reachability repair, anytime deadline-bounded fits, and
+  cluster lineage across window slides.
 * :class:`DBSCAN`, :class:`SingleLink` — reference algorithms used for
   cross-checks and examples.
 """
@@ -14,12 +17,22 @@ from .bubble_optics import (
     BubbleOptics,
     BubbleOpticsResult,
     bubble_distance_matrix,
+    bubble_distance_rows,
     optics_over_summaries,
 )
 from .cluster_tree import ClusterNode, ClusterTree
 from .dbscan import DBSCAN
-from .engine import run_optics
+from .engine import OpticsWalk, run_optics
 from .hierarchy import labels_at_depth, leaf_labels, render_tree
+from .incremental import (
+    ClusterCache,
+    ClusterFit,
+    ClusterLineage,
+    IncrementalClusterer,
+    LineageEvent,
+    SpliceStats,
+    StageResult,
+)
 from .kmeans import KMeansResult, WeightedKMeans
 from .extraction import (
     clusters_at_threshold,
@@ -39,19 +52,28 @@ from .xi import XiCluster, extract_xi
 __all__ = [
     "BubbleOptics",
     "BubbleOpticsResult",
+    "ClusterCache",
+    "ClusterFit",
+    "ClusterLineage",
     "ClusterNode",
     "ClusterTree",
     "ClusteringSnapshot",
     "DBSCAN",
     "Dendrogram",
     "ExpandedPlot",
+    "IncrementalClusterer",
     "KMeansResult",
+    "LineageEvent",
+    "OpticsWalk",
     "PointOptics",
     "ReachabilityPlot",
     "SingleLink",
+    "SpliceStats",
+    "StageResult",
     "WeightedKMeans",
     "XiCluster",
     "bubble_distance_matrix",
+    "bubble_distance_rows",
     "clusters_at_threshold",
     "extract_candidates",
     "extract_cluster_tree",

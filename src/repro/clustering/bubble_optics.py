@@ -46,18 +46,77 @@ __all__ = [
     "BubbleOptics",
     "BubbleOpticsResult",
     "bubble_distance_matrix",
+    "bubble_distance_rows",
     "optics_over_summaries",
 ]
+
+#: Row block size for the chunked distance matrix build; bounds the
+#: ``(block, B, d)`` difference tensor without changing any result float
+#: (each row is computed independently).
+_MATRIX_BLOCK_ROWS = 256
 
 
 def _nn_dist_arrays(
     counts: np.ndarray, extents: np.ndarray, dim: int, k: int
 ) -> np.ndarray:
-    """Vectorised ``nnDist(k, B)`` for every bubble; 0 where ``n <= k``."""
+    """Vectorised ``nnDist(k, B)`` for every bubble; the extent where
+    ``n <= k``.
+
+    Degenerate summaries are sanitized rather than propagated: a NaN or
+    negative extent (float cancellation in the variance term of
+    ``extent``, e.g. from duplicate points) would otherwise leak NaN into
+    every distance involving the bubble and from there into the whole
+    reachability plot. The paper's formula gives 0 for a zero-spread
+    bubble, so non-finite and negative inputs clamp to 0.0.
+    """
+    extents = np.where(np.isfinite(extents) & (extents > 0.0), extents, 0.0)
     result = extents.copy()
     mask = counts > k
     result[mask] = (k / counts[mask]) ** (1.0 / dim) * extents[mask]
     return result
+
+
+def _distance_rows_from_sq(
+    sq: np.ndarray,
+    rows: np.ndarray,
+    extents: np.ndarray,
+    nn1: np.ndarray,
+) -> np.ndarray:
+    """Finish bubble distances for ``rows`` given squared rep distances."""
+    d_rep = np.sqrt(sq)
+    gap = d_rep - (extents[rows][:, None] + extents[None, :])
+    # The nn1 sum is parenthesized so every term of the row formula is
+    # symmetric under (i, j) swap; the whole matrix is then bitwise
+    # symmetric, letting the incremental repair refresh column j of a
+    # touched bubble from its recomputed row without ULP drift.
+    separated = gap + (nn1[rows][:, None] + nn1[None, :])
+    overlapping = np.maximum(nn1[rows][:, None], nn1[None, :])
+    dists = np.where(gap >= 0.0, separated, overlapping)
+    dists[np.arange(rows.shape[0]), rows] = 0.0
+    return dists
+
+
+def bubble_distance_rows(
+    rows: np.ndarray,
+    reps: np.ndarray,
+    extents: np.ndarray,
+    nn1: np.ndarray,
+) -> np.ndarray:
+    """Bubble distances from each of ``rows`` to every bubble.
+
+    Bit-identical to the corresponding rows of
+    :func:`bubble_distance_matrix`: both compute the squared rep distance
+    as a difference-based einsum contraction over the coordinate axis
+    (same operands, same reduction order), so an incrementally repaired
+    row equals a from-scratch rebuild float for float — the foundation of
+    the exact-equivalence contract in
+    :mod:`repro.clustering.incremental`.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    diff = reps[rows][:, None, :] - reps[None, :, :]
+    sq = np.einsum("ijk,ijk->ij", diff, diff)
+    np.maximum(sq, 0.0, out=sq)
+    return _distance_rows_from_sq(sq, rows, extents, nn1)
 
 
 def bubble_distance_matrix(
@@ -65,20 +124,23 @@ def bubble_distance_matrix(
 ) -> np.ndarray:
     """Full matrix of bubble-to-bubble distances.
 
+    The squared rep distances are computed difference-based (``(a-b)·(a-b)``
+    per pair) rather than via the norm trick (``|a|² + |b|² - 2a·b``):
+    marginally slower, but exactly reproducible one row at a time, which
+    the incremental cluster cache requires to repair touched rows without
+    introducing ULP drift against a cold rebuild. Rows are processed in
+    blocks to bound the ``(block, B, d)`` difference tensor.
+
     Args:
         reps: ``(B, d)`` representative matrix.
         extents: per-bubble extents, shape ``(B,)``.
         nn1: per-bubble ``nnDist(1, ·)`` estimates, shape ``(B,)``.
     """
-    sq_norms = np.einsum("ij,ij->i", reps, reps)
-    sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (reps @ reps.T)
-    np.maximum(sq, 0.0, out=sq)
-    d_rep = np.sqrt(sq)
-    gap = d_rep - (extents[:, None] + extents[None, :])
-    separated = gap + nn1[:, None] + nn1[None, :]
-    overlapping = np.maximum(nn1[:, None], nn1[None, :])
-    dists = np.where(gap >= 0.0, separated, overlapping)
-    np.fill_diagonal(dists, 0.0)
+    num = reps.shape[0]
+    dists = np.empty((num, num), dtype=np.float64)
+    for start in range(0, num, _MATRIX_BLOCK_ROWS):
+        rows = np.arange(start, min(start + _MATRIX_BLOCK_ROWS, num))
+        dists[rows] = bubble_distance_rows(rows, reps, extents, nn1)
     return dists
 
 
@@ -112,8 +174,23 @@ def optics_over_summaries(
     internal_core = np.asarray(internal_core, dtype=np.float64)
     num = reps.shape[0]
     if num == 0:
-        raise ValueError("cannot order zero summaries")
+        # Nothing to order is a legal state for service-facing callers (a
+        # "cluster me now" query against a fresh tenant): an empty plot,
+        # not an error. run_optics itself still rejects zero objects.
+        empty = np.empty(0)
+        return ReachabilityPlot(
+            ordering=np.empty(0, dtype=np.int64),
+            reachability=empty,
+            core_distances=empty,
+        )
     dim = reps.shape[1]
+    # Degenerate summaries (duplicate points → zero/NaN extent, NaN
+    # internal core from variance cancellation) must not leak NaN into
+    # the plot; clamp to the paper's zero-spread semantics. A +inf
+    # internal core is meaningful (never core within itself) and kept.
+    extents = np.where(np.isfinite(extents) & (extents > 0.0), extents, 0.0)
+    internal_core = np.where(np.isnan(internal_core), 0.0, internal_core)
+    internal_core = np.where(internal_core < 0.0, 0.0, internal_core)
     nn1 = _nn_dist_arrays(counts, extents, dim, k=1)
     dist_matrix = bubble_distance_matrix(reps, extents, nn1)
 

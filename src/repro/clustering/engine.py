@@ -12,22 +12,312 @@ The priority-queue walk itself — visit the closest unprocessed object by
 current reachability, update reachabilities of its neighbours through its
 core distance — is identical, so it lives here once.
 
-The implementation uses a lazy-deletion binary heap (``heapq``), the
-standard way to realise OPTICS' "OrderSeeds" structure: stale entries are
-skipped when popped, which keeps updates O(log n) without a decrease-key
-operation.
+The classical realisation of OPTICS' "OrderSeeds" structure is a
+lazy-deletion binary heap. This implementation replaces the heap with flat
+arrays while reproducing its semantics **exactly**: reachability values
+only ever *decrease*, so at any moment each object has at most one
+non-stale heap entry — its most recent improving push, carrying the global
+push counter as tiebreaker. The heap's next pop is therefore the
+lexicographic minimum of ``(reachability, last-push counter)`` over the
+unprocessed objects that have ever been pushed, which an ``argmin`` over
+two arrays computes directly. Every pop, every tiebreak, and every float
+is identical to the heap walk; there is just no heap to churn, which makes
+both a full walk and a replayed one mostly vectorised.
+
+:class:`OpticsWalk` exposes the walk as a resumable object so the
+incremental layer (:mod:`repro.clustering.incremental`) can *replay*
+verified positions of an earlier ordering (:meth:`OpticsWalk.splice`,
+:meth:`OpticsWalk.splice_segment`), take over live exactly where the old
+and new walks diverge (:meth:`OpticsWalk.step`), and record the **push
+trace** — per ordering position, the ``(targets, values)`` reachability
+improvements that position pushed — which is what makes replay
+verifiable. :func:`run_optics` remains the one-shot entry point and is
+bit-identical to the historical implementation (same pops, same
+tiebreakers, same floats).
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable
 
 import numpy as np
 
 from .reachability import ReachabilityPlot
 
-__all__ = ["run_optics"]
+__all__ = ["OpticsWalk", "PushBatch", "run_optics"]
+
+#: One ordering position's recorded pushes: ``(targets, values)`` arrays,
+#: in ascending target order (the order the expansion emits them).
+PushBatch = tuple[np.ndarray, np.ndarray]
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
+_EMPTY_VAL = np.empty(0, dtype=np.float64)
+
+#: The shared "no pushes" batch.
+EMPTY_PUSHES: PushBatch = (_EMPTY_IDX, _EMPTY_VAL)
+
+
+class OpticsWalk:
+    """A resumable OPTICS priority-queue walk.
+
+    The walk owns the full algorithm state: the processed flags, the
+    per-object best reachability, the per-object counter of its last
+    improving push (the pop tiebreaker), and the ordering built so far.
+    :meth:`run` drives it to completion exactly like the classical loop;
+    :meth:`step` performs a single expansion so a caller can interleave
+    its own checks (the incremental repair's divergence tracking);
+    :meth:`splice` replays one already-verified position of an earlier
+    walk, and :meth:`splice_segment` replays a whole run of them in a
+    handful of vector operations.
+
+    Args:
+        num_objects: how many objects to order.
+        distances_from: maps an object id to its distance vector to *all*
+            objects (self-distance at its own index, typically 0).
+        core_distance: maps ``(object id, its distance vector)`` to the
+            object's core distance, or ``inf`` if it is not a core object.
+        eps: generating distance; neighbours farther than this never have
+            their reachability updated.
+        record_trace: when true, every expansion's pushes are recorded in
+            :attr:`trace` (needed to make a later incremental repair of
+            this ordering verifiable).
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        distances_from: Callable[[int], np.ndarray],
+        core_distance: Callable[[int, np.ndarray], float],
+        eps: float = np.inf,
+        record_trace: bool = False,
+    ) -> None:
+        if num_objects <= 0:
+            raise ValueError("cannot order zero objects")
+        self._num = int(num_objects)
+        self._distances_from = distances_from
+        self._core_distance = core_distance
+        self._eps = float(eps)
+        self.processed = np.zeros(self._num, dtype=bool)
+        self.reach_by_obj = np.full(self._num, np.inf)
+        self.core_by_obj = np.full(self._num, np.inf)
+        #: Counter of each object's most recent improving push; -1 means
+        #: never pushed. The pop rule is ``argmin (reach, counter)`` over
+        #: unprocessed pushed objects — exactly a lazy-deletion heap's
+        #: next non-stale pop.
+        self.counter_by_obj = np.full(self._num, -1, dtype=np.int64)
+        self._ordering = np.empty(self._num, dtype=np.int64)
+        self._reach_in_order = np.empty(self._num, dtype=np.float64)
+        self._placed = 0
+        #: Per ordering position, the pushes that expansion made (only
+        #: populated when ``record_trace`` is set).
+        self.trace: list[PushBatch] | None = [] if record_trace else None
+        self._counter = 0  # global push counter (heap tiebreaker)
+        self._next_start = 0  # lowest id that may still open a component
+
+    @property
+    def num_objects(self) -> int:
+        """How many objects this walk orders."""
+        return self._num
+
+    @property
+    def ordering(self) -> np.ndarray:
+        """The ordering built so far (a view, grows as the walk runs)."""
+        return self._ordering[: self._placed]
+
+    @property
+    def reach_in_order(self) -> np.ndarray:
+        """Reachability bars aligned with :attr:`ordering`."""
+        return self._reach_in_order[: self._placed]
+
+    @property
+    def position(self) -> int:
+        """How many objects have been placed so far."""
+        return self._placed
+
+    def done(self) -> bool:
+        """Whether every object has been placed in the ordering."""
+        return self._placed >= self._num
+
+    # ------------------------------------------------------------------
+    # Core moves
+    # ------------------------------------------------------------------
+    def _place(self, obj: int, reach: float) -> None:
+        self.processed[obj] = True
+        self._ordering[self._placed] = obj
+        self._reach_in_order[self._placed] = reach
+        self._placed += 1
+
+    def _expand(self, obj: int) -> None:
+        """Mark ``obj`` processed and push reachability updates from it."""
+        self._place(obj, float(self.reach_by_obj[obj]))
+        dists = self._distances_from(obj)
+        core = self._core_distance(obj, dists)
+        self.core_by_obj[obj] = core
+        if np.isfinite(core):
+            new_reach = np.maximum(dists, core)
+            improved = np.flatnonzero(
+                ~self.processed
+                & (dists <= self._eps)
+                & (new_reach < self.reach_by_obj)
+            )
+            if improved.size:
+                values = new_reach[improved]
+                self.reach_by_obj[improved] = values
+                # Counters advance one per push, in ascending target
+                # order — the order the classical loop's heappushes
+                # happen in.
+                self.counter_by_obj[improved] = self._counter + np.arange(
+                    1, improved.size + 1
+                )
+                self._counter += int(improved.size)
+                if self.trace is not None:
+                    self.trace.append((improved, values.copy()))
+                return
+        if self.trace is not None:
+            self.trace.append(EMPTY_PUSHES)
+
+    def _pop(self) -> int:
+        """The object a lazy-deletion heap would pop next, or -1.
+
+        Among unprocessed objects that have been pushed, the one with the
+        smallest ``(reachability, last-push counter)``; -1 when no pushed
+        object remains (heap exhausted → a new component opens).
+        """
+        eligible = ~self.processed & (self.counter_by_obj >= 0)
+        if not eligible.any():
+            return -1
+        reach = np.where(eligible, self.reach_by_obj, np.inf)
+        best = reach.min()
+        if not np.isfinite(best):  # pragma: no cover - pushes are finite
+            return -1
+        ties = np.flatnonzero(reach == best)
+        if ties.size == 1:
+            return int(ties[0])
+        return int(ties[np.argmin(self.counter_by_obj[ties])])
+
+    def peek_pop(self) -> int:
+        """What :meth:`step` would pop next, without performing it.
+
+        The incremental repair uses this to *verify* a replayed pop:
+        because the walk's reachabilities and push counters are exactly
+        the live algorithm's, the peek is the ground truth for which
+        object a from-scratch walk would expand at this position.
+        """
+        return self._pop()
+
+    def step(self) -> int:
+        """Perform exactly one expansion and return the expanded object.
+
+        When no pushed object is waiting, the lowest unprocessed id opens
+        the next component at infinite reachability — together exactly
+        the classical loop's order of operations, one expansion at a
+        time.
+        """
+        if self.done():
+            raise RuntimeError("walk already complete")
+        obj = self._pop()
+        if obj < 0:
+            while self.processed[self._next_start]:
+                self._next_start += 1
+            obj = self._next_start
+        self._expand(obj)
+        return obj
+
+    def splice(
+        self,
+        obj: int,
+        reach: float,
+        core: float,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Replay one verified position of an earlier walk.
+
+        The caller certifies (see the equivalence argument in
+        ``docs/CLUSTERING.md``) that a live walk at this position would
+        expand exactly ``obj`` with reachability ``reach``, core distance
+        ``core``, and exactly these pushes — so the expansion is applied
+        to the walk state without recomputing distances or cores.
+        Counters advance per push as in a live expansion, which keeps
+        every later tiebreak identical to the walk being replayed.
+        """
+        self._place(int(obj), float(reach))
+        self.core_by_obj[obj] = core
+        if targets.size:
+            self.reach_by_obj[targets] = values
+            self.counter_by_obj[targets] = self._counter + np.arange(
+                1, targets.size + 1
+            )
+            self._counter += int(targets.size)
+        if self.trace is not None:
+            self.trace.append((targets, values))
+
+    def splice_segment(
+        self,
+        objs: np.ndarray,
+        reaches: np.ndarray,
+        cores: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+        batches: list[PushBatch] | None = None,
+    ) -> None:
+        """Replay a verified run of positions in bulk.
+
+        ``targets``/``values`` concatenate the pushes of every replayed
+        position in chronological order (ascending position; ascending
+        target within a position). Reachability values per target only
+        ever decrease, so fancy assignment — which applies duplicate
+        indices left to right — lands each target on its *last* push of
+        the segment, exactly the state a push-by-push replay would reach;
+        the same argument covers the counters.
+
+        Args:
+            objs: the expanded objects, in position order.
+            reaches: their reachability bars.
+            cores: their core distances (aligned with ``objs``).
+            targets: concatenated push targets of the whole segment.
+            values: concatenated push values, aligned with ``targets``.
+            batches: per-position push batches, required (and only used)
+                when the walk records a trace.
+        """
+        count = int(objs.size)
+        if count == 0:
+            return
+        self.processed[objs] = True
+        self._ordering[self._placed : self._placed + count] = objs
+        self._reach_in_order[self._placed : self._placed + count] = reaches
+        self._placed += count
+        self.core_by_obj[objs] = cores
+        if targets.size:
+            self.reach_by_obj[targets] = values
+            self.counter_by_obj[targets] = self._counter + np.arange(
+                1, targets.size + 1
+            )
+            self._counter += int(targets.size)
+        if self.trace is not None:
+            if batches is None or len(batches) != count:
+                raise ValueError(
+                    "splice_segment on a tracing walk needs one push "
+                    "batch per replayed position"
+                )
+            self.trace.extend(batches)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self) -> ReachabilityPlot:
+        """Drive the walk to completion and return the finished plot."""
+        while not self.done():
+            self.step()
+        return self.plot()
+
+    def plot(self) -> ReachabilityPlot:
+        """The (finished) walk as a :class:`ReachabilityPlot`."""
+        return ReachabilityPlot(
+            ordering=self._ordering[: self._placed].copy(),
+            reachability=self._reach_in_order[: self._placed].copy(),
+            core_distances=self.core_by_obj,
+        )
 
 
 def run_optics(
@@ -51,50 +341,4 @@ def run_optics(
     Returns:
         The finished :class:`~repro.clustering.reachability.ReachabilityPlot`.
     """
-    if num_objects <= 0:
-        raise ValueError("cannot order zero objects")
-
-    processed = np.zeros(num_objects, dtype=bool)
-    reach_by_obj = np.full(num_objects, np.inf)
-    core_by_obj = np.full(num_objects, np.inf)
-    ordering: list[int] = []
-    reach_in_order: list[float] = []
-
-    counter = 0  # tiebreaker keeping heap entries comparable
-    heap: list[tuple[float, int, int]] = []
-
-    def expand(obj: int) -> None:
-        """Mark ``obj`` processed and push reachability updates from it."""
-        nonlocal counter
-        processed[obj] = True
-        ordering.append(obj)
-        reach_in_order.append(float(reach_by_obj[obj]))
-        dists = distances_from(obj)
-        core = core_distance(obj, dists)
-        core_by_obj[obj] = core
-        if not np.isfinite(core):
-            return  # not a core object: expands no neighbourhood
-        candidates = np.flatnonzero(~processed & (dists <= eps))
-        new_reach = np.maximum(dists[candidates], core)
-        improved = new_reach < reach_by_obj[candidates]
-        for idx, reach in zip(candidates[improved], new_reach[improved]):
-            reach_by_obj[idx] = reach
-            counter += 1
-            heapq.heappush(heap, (float(reach), counter, int(idx)))
-
-    for start in range(num_objects):
-        if processed[start]:
-            continue
-        # New component: the start object has undefined (inf) reachability.
-        expand(start)
-        while heap:
-            reach, _, obj = heapq.heappop(heap)
-            if processed[obj] or reach > reach_by_obj[obj]:
-                continue  # stale lazy-deletion entry
-            expand(obj)
-
-    return ReachabilityPlot(
-        ordering=np.asarray(ordering, dtype=np.int64),
-        reachability=np.asarray(reach_in_order, dtype=np.float64),
-        core_distances=core_by_obj,
-    )
+    return OpticsWalk(num_objects, distances_from, core_distance, eps=eps).run()

@@ -78,14 +78,13 @@ def local_maxima(reachability: np.ndarray) -> list[int]:
     """
     reachability = np.asarray(reachability, dtype=np.float64)
     num = reachability.shape[0]
-    result = []
-    for pos in range(1, num):
-        left = reachability[pos - 1]
-        right = reachability[pos + 1] if pos + 1 < num else -np.inf
-        here = reachability[pos]
-        if here >= left and here > right:
-            result.append(pos)
-    return result
+    if num < 2:
+        return []
+    here = reachability[1:]
+    left = reachability[:-1]
+    right = np.concatenate((reachability[2:], [-np.inf]))
+    mask = (here >= left) & (here > right)
+    return (np.flatnonzero(mask) + 1).tolist()
 
 
 def _interior_average(reachability: np.ndarray, start: int, end: int) -> float:

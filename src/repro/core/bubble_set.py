@@ -49,6 +49,7 @@ class BubbleSet:
         self._version = 0
         self._reps_cache: np.ndarray | None = None
         self._dirty_reps: set[int] = set()
+        self._touched_log: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -69,11 +70,29 @@ class BubbleSet:
     def _note_mutation(self, bubble_id: BubbleId) -> None:
         self._version += 1
         self._dirty_reps.add(int(bubble_id))
+        self._touched_log[int(bubble_id)] = self._version
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter covering every member bubble."""
         return self._version
+
+    def touched_since(self, version: int) -> set[int]:
+        """Ids of bubbles mutated after ``version`` was current.
+
+        The set keeps one last-mutated version per bubble (bounded by the
+        bubble count), so incremental consumers — most importantly the
+        clustering :class:`~repro.clustering.incremental.ClusterCache` —
+        can turn "the version moved from v to v'" into the exact set of
+        rows/columns to repair instead of a full invalidation. Asking
+        about a version from before this set existed degrades safely:
+        every bubble ever mutated is reported.
+        """
+        return {
+            bubble_id
+            for bubble_id, mutated_at in self._touched_log.items()
+            if mutated_at > version
+        }
 
     # ------------------------------------------------------------------
     # Access

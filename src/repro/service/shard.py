@@ -46,6 +46,7 @@ from collections import deque
 
 import numpy as np
 
+from ..clustering.incremental import ClusterFit, IncrementalClusterer
 from ..exceptions import InvalidConfigError, ServiceError
 from ..faults import FAILPOINTS, declare_failpoint
 from ..observability import Observability
@@ -153,6 +154,9 @@ class Shard:
         #: (batch dead-lettered, supervisor notified) — makes the
         #: failure path idempotent across dispatcher and worker threads.
         self.failure_handled = False
+
+        self._clusterer: IncrementalClusterer | None = None
+        self._cluster_attached = None
 
         self._queue: deque[tuple[tuple[float, ...], int, float]] = deque()
         #: The micro-batch whose append poisoned the shard, held for the
@@ -271,6 +275,58 @@ class Shard:
     def ingest_p95_seconds(self) -> float | None:
         """p95 arrival→applied latency bound (bucket-granular)."""
         return histogram_quantile(self._h_ingest, 0.95)
+
+    # ------------------------------------------------------------------
+    # Clustering
+    # ------------------------------------------------------------------
+    def clusterer(self, min_pts: int = 25) -> IncrementalClusterer:
+        """This shard's incremental clusterer, created on first use.
+
+        The clusterer shares the shard's observability handle (so the
+        ``repro_cluster_*`` metrics land in the same per-tenant
+        registry) and the summarizer's distance counter (so clustering
+        distance work shows up in the same accounting as maintenance).
+        ``min_pts`` only applies to the creating call.
+        """
+        if self._clusterer is None:
+            self._clusterer = IncrementalClusterer(
+                min_pts=min_pts,
+                counter=self.summarizer.counter,
+                obs=self.obs,
+            )
+        return self._clusterer
+
+    def cluster_now(
+        self,
+        deadline_seconds: float | None = None,
+        min_pts: int = 25,
+    ) -> ClusterFit:
+        """Cluster the shard's current summary, as incrementally as possible.
+
+        Serves the paper's "cluster me now" request against the live
+        bubble summary: a cache hit when nothing changed, an incremental
+        reachability repair when only some bubbles were touched, and an
+        anytime staged fit under ``deadline_seconds`` otherwise.
+
+        Thread contract: like :meth:`flush_once`, one caller at a time —
+        call from the shard's flusher thread or while the shard is
+        quiescent; a fit does not synchronize with a concurrent append.
+
+        Raises:
+            NotFittedError: the stream has not bootstrapped a summary.
+        """
+        clusterer = self.clusterer(min_pts=min_pts)
+        bubbles = self.summarizer.summary
+        maintainer = self.summarizer.maintainer
+        if maintainer is not None and maintainer is not self._cluster_attached:
+            # (Re)bootstrap and recovery swap the maintainer out from
+            # under a long-lived shard; follow it so batch callbacks
+            # keep witnessing touched bubbles.
+            if self._cluster_attached is not None:
+                clusterer.detach(self._cluster_attached)
+            clusterer.attach(maintainer)
+            self._cluster_attached = maintainer
+        return clusterer.fit(bubbles, deadline_seconds=deadline_seconds)
 
     # ------------------------------------------------------------------
     # Dispatcher side
@@ -511,6 +567,11 @@ class Shard:
                 maintainer.active_count if maintainer is not None else 0
             ),
             "rejected_points": summarizer.rejected_points,
+            "clustering": (
+                self._clusterer.stats()
+                if self._clusterer is not None
+                else None
+            ),
             "error": self.error,
             "failed_at": self.failed_at,
         }

@@ -449,3 +449,84 @@ class TestMain:
         out = capsys.readouterr().out
         assert "size sweep" in out
         assert "dimensionality sweep" in out
+
+
+class TestCluster:
+    def summarized_state(self, tmp_path, chunks=6, chunk_size=100):
+        state_dir = tmp_path / "state"
+        main(
+            [
+                "summarize",
+                "--wal-dir", str(state_dir),
+                "--chunks", str(chunks),
+                "--chunk-size", str(chunk_size),
+                "--window", "400",
+                "--points-per-bubble", "40",
+                "--no-fsync",
+            ]
+        )
+        return state_dir
+
+    def test_requires_wal_dir(self):
+        with pytest.raises(SystemExit):
+            main(["cluster"])
+
+    def test_renders_dendrogram_with_provenance(self, tmp_path, capsys):
+        state_dir = self.summarized_state(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["cluster", "--wal-dir", str(state_dir), "--no-fsync"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clustered" in out
+        assert "[cold, no deadline]" in out
+        assert "leaf cluster" in out
+        assert "n=" in out  # the rendered tree
+
+    def test_deadline_reports_anytime_stages(self, tmp_path, capsys):
+        state_dir = self.summarized_state(tmp_path)
+        capsys.readouterr()
+        code = main(
+            [
+                "cluster",
+                "--wal-dir", str(state_dir),
+                "--deadline", "5.0",
+                "--min-pts", "10",
+                "--no-fsync",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deadline]" in out
+        assert "anytime stages:" in out
+
+    def test_refuses_unbootstrapped_state(self, tmp_path, capsys):
+        # 50 points < 2 * points_per_bubble: still buffering toward
+        # bootstrap, so there is no summary to cluster.
+        state_dir = self.summarized_state(tmp_path, chunks=1, chunk_size=50)
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["cluster", "--wal-dir", str(state_dir), "--no-fsync"])
+        assert "not bootstrapped" in capsys.readouterr().err
+
+    def test_metrics_out_includes_cluster_counters(self, tmp_path, capsys):
+        state_dir = self.summarized_state(tmp_path)
+        capsys.readouterr()
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "cluster",
+                "--wal-dir", str(state_dir),
+                "--metrics-out", str(metrics),
+                "--no-fsync",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(metrics.read_text())
+        values = {
+            sample["name"]: sample.get("value")
+            for sample in doc["metrics"]
+        }
+        assert values["repro_cluster_fits_total"] == 1
+        assert values["repro_cluster_rebuilds_total"] == 1

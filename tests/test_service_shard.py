@@ -224,3 +224,64 @@ def test_batch_matrix_dtype(tmp_path):
     shard.flush_once()
     assert shard.summarizer.size == 1
     shard.close()
+
+
+class TestClusterNow:
+    def fill(self, shard, points=900, seed=0):
+        rng = np.random.default_rng(seed)
+        pts = np.concatenate(
+            [
+                rng.normal((0.0, 0.0), 0.7, size=(points // 2, 2)),
+                rng.normal((6.0, 6.0), 0.7, size=(points - points // 2, 2)),
+            ]
+        )
+        for p in pts:
+            shard.submit((float(p[0]), float(p[1])))
+            if shard.pending >= 200:
+                shard.drain_flush()
+        shard.drain_flush()
+
+    def test_requires_bootstrap(self, tmp_path):
+        from repro.exceptions import NotFittedError
+
+        shard = make_shard(tmp_path)
+        with pytest.raises(NotFittedError):
+            shard.cluster_now()
+        shard.close(checkpoint=False)
+
+    def test_cold_hit_repair_progression(self, tmp_path):
+        shard = make_shard(tmp_path)
+        self.fill(shard)
+        fit = shard.cluster_now(min_pts=10)
+        assert fit.source == "cold"
+        assert fit.quality == 1.0
+        assert fit.num_bubbles > 0
+        assert shard.cluster_now().source == "hit"
+        for i in range(30):
+            shard.submit((float(i % 3) * 0.1, 0.0))
+        shard.drain_flush()
+        fit3 = shard.cluster_now(deadline_seconds=5.0)
+        assert fit3.source in ("repair", "rebuild", "anytime")
+        assert fit3.quality == 1.0
+        shard.close()
+
+    def test_stats_include_clustering_rollup(self, tmp_path):
+        shard = make_shard(tmp_path)
+        assert shard.stats()["clustering"] is None
+        self.fill(shard)
+        shard.cluster_now(min_pts=10)
+        row = shard.stats()["clustering"]
+        assert row["fits"] == 1
+        assert row["last_source"] == "cold"
+        assert row["last_leaves"] >= 1
+        shard.close()
+
+    def test_cluster_metrics_land_in_shard_registry(self, tmp_path):
+        shard = make_shard(tmp_path)
+        self.fill(shard)
+        shard.cluster_now(min_pts=10)
+        shard.cluster_now(min_pts=10)
+        snap = shard.obs.metrics.snapshot()
+        assert snap.value("repro_cluster_fits_total") == 2
+        assert snap.value("repro_cluster_cache_hits_total") == 1
+        shard.close()
