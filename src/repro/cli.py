@@ -16,6 +16,7 @@ Usage (installed as ``repro-bubbles``, also ``python -m repro.cli``)::
     repro-bubbles loadgen   --out events.ndjson [--tenants 8] [--events 5000]
     repro-bubbles serve     --fleet-dir fleet/ --input events.ndjson ...
     repro-bubbles dlq       --fleet-dir fleet/ [--replay]
+    repro-bubbles trace     --fleet-dir fleet/ [--top 3]
     repro-bubbles verify-chain --wal-dir state/  (or --fleet-dir fleet/)
 
 Every evaluation command prints the corresponding table/series in the
@@ -55,6 +56,18 @@ per-tenant WAL directories first; ``serve --supervise`` attaches a
 shard supervisor that restarts failed shards under a bounded budget
 (``--max-restarts``) with per-tenant circuit breaking. Without a
 supervisor, a serve that ends with failed shards exits with code 3.
+
+``serve --listen PORT`` additionally runs the live telemetry plane on
+``127.0.0.1:PORT`` while events flow: ``/metrics`` (Prometheus text
+0.0.4, snapshot-consistent across every tenant shard), ``/health``
+(JSON fleet rollup with supervision and SLO burn-rate state),
+``/ready`` (non-200 while any shard is failed), and
+``/tenants/<id>/stats``; the SLO engine evaluates its objectives once
+a second (windows via ``--slo-fast-seconds``/``--slo-slow-seconds``).
+``serve --trace`` records one causally-parented span trace per
+micro-batch into each tenant's ``trace.jsonl``; ``trace`` reads them
+back and prints per-op latency quantiles plus the critical path of the
+slowest micro-batches (``--top``).
 
 ``dlq`` inspects (default) or re-submits (``--replay``) the durable
 per-tenant dead-letter queues of a fleet directory — or of one tenant
@@ -106,11 +119,15 @@ from .observability import (
     EventTracer,
     MetricsRegistry,
     Observability,
+    SLOEngine,
     SpanTracer,
+    TelemetryListener,
     TimeseriesRecorder,
     collect_health,
+    load_fleet_traces,
     render_health,
     render_text,
+    render_trace_report,
     to_json,
     to_prometheus,
     write_health,
@@ -499,6 +516,7 @@ def _run_serve(args: argparse.Namespace) -> None:
         workers=args.workers,
         use_seed_index=args.seed_index,
         assign_workers=args.assign_workers,
+        trace=args.trace,
     )
     if args.resume:
         fleet = FleetManager.recover(args.fleet_dir, config=runtime)
@@ -521,8 +539,31 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"supervision on: failed shards restart (budget "
             f"{args.max_restarts}/tenant) behind per-tenant breakers"
         )
+    if args.trace:
+        print(
+            "trace recording on: one span trace per micro-batch -> "
+            f"{args.fleet_dir}/tenants/<id>/trace.jsonl "
+            "(query with 'repro-bubbles trace')"
+        )
+    listener = None
+    if args.listen is not None:
+        fleet.attach_slo(
+            SLOEngine(
+                fast_window_seconds=args.slo_fast_seconds,
+                slow_window_seconds=args.slo_slow_seconds,
+            )
+        )
+        listener = TelemetryListener(fleet, port=args.listen).start()
+        print(
+            f"telemetry plane listening on {listener.url()} "
+            "(/metrics /health /ready /tenants/<id>/stats); slo "
+            f"windows {args.slo_fast_seconds:g}s/"
+            f"{args.slo_slow_seconds:g}s"
+        )
     source = sys.stdin if args.input == "-" else args.input
-    stats = serve_ndjson(fleet, source, on_bad_event=args.on_bad_event)
+    stats = serve_ndjson(
+        fleet, source, on_bad_event=args.on_bad_event, listener=listener
+    )
     print(render_rollup(stats.rollup), end="")
     print(
         f"served {stats.events} events: {stats.accepted} accepted, "
@@ -562,6 +603,19 @@ def _run_serve(args: argparse.Namespace) -> None:
             file=sys.stderr,
         )
         raise SystemExit(EXIT_FAILED_SHARDS)
+
+
+def _run_trace(args: argparse.Namespace) -> None:
+    """Reconstruct and query a fleet's span traces."""
+    if args.fleet_dir is None:
+        raise SystemExit("trace requires --fleet-dir")
+    root = pathlib.Path(args.fleet_dir)
+    if not (root / "fleet.json").exists():
+        raise PersistenceError(
+            f"{root} holds no fleet (fleet.json is missing)"
+        )
+    traces = load_fleet_traces(root)
+    print(render_trace_report(traces, top=args.top), end="")
 
 
 def _dlq_files(args: argparse.Namespace) -> list[pathlib.Path]:
@@ -811,6 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
             "serve",
             "loadgen",
             "dlq",
+            "trace",
             "verify-chain",
             "all",
         ],
@@ -822,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
         "multi-tenant ingestion "
         "service; 'loadgen' writes a deterministic NDJSON event stream; "
         "'dlq' lists or replays the durable dead-letter queues; "
+        "'trace' reconstructs span trees from a fleet's trace files; "
         "'verify-chain' runs the read-only WAL integrity scan)",
     )
     parser.add_argument(
@@ -1024,6 +1080,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the rollup plus one full health document per "
         "tenant shard as JSON to PATH",
     )
+    plane = parser.add_argument_group(
+        "telemetry plane", "live observability endpoints and trace "
+        "recording (serve, trace)"
+    )
+    plane.add_argument(
+        "--listen", type=int, default=None, metavar="PORT",
+        help="serve the live telemetry plane on 127.0.0.1:PORT while "
+        "events flow — /metrics (Prometheus 0.0.4), /health, /ready, "
+        "/tenants/<id>/stats — and attach the SLO burn-rate engine "
+        "(PORT 0 binds an ephemeral port)",
+    )
+    plane.add_argument(
+        "--trace", action="store_true",
+        help="serve: record one causally-parented span trace per "
+        "micro-batch into each tenant's trace.jsonl (query with "
+        "'repro-bubbles trace')",
+    )
+    plane.add_argument(
+        "--slo-fast-seconds", type=float, default=60.0, metavar="S",
+        help="SLO fast burn-rate window for --listen (default 60)",
+    )
+    plane.add_argument(
+        "--slo-slow-seconds", type=float, default=300.0, metavar="S",
+        help="SLO slow burn-rate window for --listen (default 300)",
+    )
+    plane.add_argument(
+        "--top", type=int, default=3, metavar="N",
+        help="trace: print critical paths for the N slowest "
+        "micro-batches (default 3)",
+    )
     healing = parser.add_argument_group(
         "self-healing", "shard supervision and dead-letter handling "
         "(serve, dlq, verify-chain)"
@@ -1119,6 +1205,9 @@ def _run_command(command: str, args: argparse.Namespace) -> None:
         return
     if command == "dlq":
         _run_dlq(args)
+        return
+    if command == "trace":
+        _run_trace(args)
         return
     if command == "verify-chain":
         _run_verify_chain(args)

@@ -18,7 +18,13 @@ makes those signals first-class at runtime:
 * :mod:`~repro.observability.health` — one-page health reports (text +
   JSON) aggregating all of the above;
 * :mod:`~repro.observability.export` — JSON and Prometheus text
-  exposition of registry snapshots.
+  exposition of registry snapshots;
+* :mod:`~repro.observability.slo` — multi-window burn-rate evaluation
+  of declared service objectives, with firing/resolved alerts;
+* :mod:`~repro.observability.plane` — the live HTTP telemetry plane
+  (``/metrics``, ``/health``, ``/ready``, ``/tenants/<id>/stats``);
+* :mod:`~repro.observability.tracequery` — span-tree reconstruction,
+  per-op quantiles, and critical paths from per-tenant trace JSONL.
 
 Instrumented components (:class:`~repro.core.maintenance.IncrementalMaintainer`,
 :class:`~repro.streaming.SlidingWindowSummarizer`,
@@ -80,6 +86,7 @@ from .tracer import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_OBJECTIVES",
     "DEFAULT_TIME_BUCKETS",
     "EVENT_KINDS",
     "EventTracer",
@@ -91,21 +98,33 @@ __all__ = [
     "MetricsSnapshot",
     "NULL_SPAN",
     "Observability",
+    "PLANE_SCHEMA_VERSION",
+    "SLO_SCHEMA_VERSION",
+    "SLOEngine",
+    "SLObjective",
     "Span",
+    "SpanRecord",
     "SpanTracer",
     "TIMESERIES_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "TelemetryListener",
     "Timer",
     "TimeseriesRecorder",
     "TraceEvent",
+    "TraceSet",
     "WindowSample",
     "collect_health",
+    "critical_path",
     "escape_help",
     "escape_label_value",
     "get_registry",
+    "load_fleet_traces",
     "maybe_span",
+    "merged_fleet_snapshot",
+    "read_span_records",
     "render_health",
     "render_text",
+    "render_trace_report",
     "to_json",
     "to_prometheus",
     "write_health",
@@ -192,3 +211,26 @@ class Observability:
         if self.timeseries is not None:
             parts.append("timeseries")
         return f"Observability({', '.join(parts)})"
+
+
+# These modules build on the Observability handle defined above, so
+# their imports must follow the class definition.
+from .plane import (  # noqa: E402
+    PLANE_SCHEMA_VERSION,
+    TelemetryListener,
+    merged_fleet_snapshot,
+)
+from .slo import (  # noqa: E402
+    DEFAULT_OBJECTIVES,
+    SLO_SCHEMA_VERSION,
+    SLOEngine,
+    SLObjective,
+)
+from .tracequery import (  # noqa: E402
+    SpanRecord,
+    TraceSet,
+    critical_path,
+    load_fleet_traces,
+    read_span_records,
+    render_trace_report,
+)

@@ -13,6 +13,7 @@ histograms.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 
 from .registry import MetricSample, MetricsSnapshot
@@ -45,6 +46,13 @@ def escape_label_value(text: str) -> str:
 
 def _format_value(value: int | float) -> str:
     if isinstance(value, float):
+        # The 0.0.4 text format spells non-finite values "NaN", "+Inf",
+        # and "-Inf"; Python's repr() would render "nan"/"inf", which
+        # Prometheus rejects.
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
         return repr(value)
     return str(value)
 
@@ -90,7 +98,10 @@ def to_prometheus(snapshot: MetricsSnapshot) -> str:
             labels = _label_string(sample, 'le="+Inf"')
             lines.append(f"{sample.name}_bucket{labels} {sample.count}")
             plain = _label_string(sample)
-            lines.append(f"{sample.name}_sum{plain} {repr(sample.sum)}")
+            lines.append(
+                f"{sample.name}_sum{plain} "
+                f"{_format_value(float(sample.sum))}"
+            )
             lines.append(f"{sample.name}_count{plain} {sample.count}")
         else:
             lines.append(

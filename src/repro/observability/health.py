@@ -28,6 +28,8 @@ Report sections:
   (quarantined snapshots, torn WAL tails, stale tmp sweeps, IO retries).
 * ``timeseries`` — retained/dropped window counts when a recorder is
   attached.
+* ``slo`` — burn-rate objective states when an
+  :class:`~repro.observability.slo.SLOEngine` summary is supplied.
 """
 
 from __future__ import annotations
@@ -49,7 +51,9 @@ __all__ = [
 HEALTH_SCHEMA_VERSION = 1
 
 
-def collect_health(obs, summarizer=None, source: str = "live") -> dict:
+def collect_health(
+    obs, summarizer=None, source: str = "live", slo: dict | None = None
+) -> dict:
     """Build a health-report document from an observability handle.
 
     Args:
@@ -61,6 +65,9 @@ def collect_health(obs, summarizer=None, source: str = "live") -> dict:
             needs the bubbles themselves, not just metrics.
         source: provenance string recorded in the document (``"live"``
             or the state-directory path).
+        slo: optionally, an :meth:`SLOEngine.summary()
+            <repro.observability.slo.SLOEngine.summary>` document —
+            surfaces burn-rate objective states in the report.
     """
     snapshot = obs.metrics.snapshot()
     report: dict = {
@@ -79,6 +86,8 @@ def collect_health(obs, summarizer=None, source: str = "live") -> dict:
             "dropped": obs.timeseries.dropped,
             "interval": obs.timeseries.interval,
         }
+    if slo is not None:
+        report["slo"] = slo
     return report
 
 
@@ -378,6 +387,26 @@ def render_health(report: dict) -> str:
             f"{timeseries['dropped']} dropped "
             f"(interval {timeseries['interval']} batches)"
         )
+
+    slo = report.get("slo")
+    if slo is not None:
+        lines.append("")
+        lines.append(
+            f"slo burn rates (fast {slo['fast_window_seconds']:g}s / "
+            f"slow {slo['slow_window_seconds']:g}s)"
+        )
+        objectives = slo.get("objectives", [])
+        if not objectives:
+            lines.append("  (no objectives declared)")
+        else:
+            width = max(len(row["name"]) for row in objectives)
+            for row in objectives:
+                lines.append(
+                    f"  {row['name'].ljust(width)}  {row['state']:<8}  "
+                    f"target {row['target']:.4f}  "
+                    f"burn fast {row['fast_burn_rate']:.2f} / "
+                    f"slow {row['slow_burn_rate']:.2f}"
+                )
 
     return "\n".join(lines) + "\n"
 

@@ -1,0 +1,370 @@
+"""Live telemetry plane: HTTP scrape endpoints over a running fleet.
+
+Everything the repo measures — the paper's distance-computation counters
+(Figures 10-11), per-shard ingest latency histograms, breaker and
+supervision state, SLO burn rates — becomes *scrapeable while the fleet
+runs*: a stdlib :class:`~http.server.ThreadingHTTPServer` (no new
+dependencies) serves
+
+* ``/metrics`` — Prometheus text format 0.0.4. Every shard registry is
+  frozen with one snapshot (so one tenant's series never mix values from
+  two instants), stamped with a ``tenant`` label, merged with the
+  fleet-level registry and synthetic fleet gauges, and sorted by name so
+  each family renders under a single ``# HELP``/``# TYPE`` header.
+* ``/health`` — always-200 JSON: overall status (``ok``/``degraded``),
+  failed-shard and firing-alert counts, and the full fleet rollup
+  (supervision, breaker states, DLQ totals, SLO summary).
+* ``/ready`` — readiness probe: 200 while every shard is live, **503**
+  when any shard is failed or the fleet is draining/closed, so an
+  orchestrator stops routing to a degraded fleet.
+* ``/tenants/<id>/stats`` — one shard's stats row (404 for unknown
+  tenants).
+
+The listener also owns the SLO ticker: a daemon thread calls
+``fleet.slo_tick()`` every ``tick_seconds`` so burn-rate windows advance
+on wall-clock cadence even when no requests arrive. Scrapes read
+counters the shards already maintain — no ingest hot path ever blocks on
+the plane, and the serve-with-listener arm of ``BENCH_observability``
+gates the end-to-end overhead at ≤ 5%.
+
+Counters stay monotone across consecutive scrapes even through shard
+failures: supervisor restarts re-attach the replacement shard to the old
+shard's observability handle, so each tenant's registry survives its
+shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .export import to_prometheus
+from .registry import MetricsRegistry, MetricsSnapshot
+
+__all__ = [
+    "PLANE_SCHEMA_VERSION",
+    "TelemetryListener",
+    "merged_fleet_snapshot",
+]
+
+#: Version stamped on the plane's JSON documents.
+PLANE_SCHEMA_VERSION = 1
+
+_JSON = "application/json; charset=utf-8"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+#: The endpoint catalogue served at ``/``.
+ENDPOINTS: tuple[str, ...] = (
+    "/metrics",
+    "/health",
+    "/ready",
+    "/tenants/<id>/stats",
+)
+
+
+def merged_fleet_snapshot(fleet) -> MetricsSnapshot:
+    """One merged scrape: every shard registry plus fleet-level series.
+
+    Each shard registry is frozen atomically via
+    :meth:`~repro.observability.registry.MetricsRegistry.snapshot`, so a
+    tenant's samples are mutually consistent; samples are stamped with a
+    ``tenant`` label and sorted by ``(name, labels)`` so the Prometheus
+    renderer groups each family under one header.
+    """
+    samples = []
+    tenants = fleet.tenants
+    for tenant in tenants:
+        try:
+            shard = fleet.shard(tenant)
+        except Exception:
+            continue  # shard vanished between listing and scrape
+        for sample in shard.obs.metrics.snapshot():
+            samples.append(sample.relabeled(tenant=tenant))
+    obs = getattr(fleet, "obs", None)
+    if obs is not None:
+        samples.extend(obs.metrics.snapshot())
+    samples.extend(_fleet_series(fleet, tenants))
+    samples.sort(key=lambda sample: (sample.name, sample.labels))
+    return MetricsSnapshot(samples=tuple(samples))
+
+
+def _fleet_series(fleet, tenants) -> list:
+    """Synthetic fleet-level gauges (shard states, SLO burn rates)."""
+    registry = MetricsRegistry()
+    states: dict[str, int] = {}
+    for tenant in tenants:
+        try:
+            state = fleet.shard(tenant).state
+        except Exception:
+            continue
+        states[state] = states.get(state, 0) + 1
+    registry.gauge(
+        "repro_fleet_tenants", help="Tenants with live shards."
+    ).set(len(tenants))
+    for state, count in sorted(states.items()):
+        registry.gauge(
+            "repro_fleet_shards",
+            help="Shards by lifecycle state.",
+            labels={"state": state},
+        ).set(count)
+    engine = getattr(fleet, "slo", None)
+    if engine is not None:
+        summary = engine.summary()
+        registry.gauge(
+            "repro_slo_alerts_firing",
+            help="SLO objectives currently firing.",
+        ).set(summary["firing"])
+        for row in summary["objectives"]:
+            for window in ("fast", "slow"):
+                registry.gauge(
+                    "repro_slo_burn_rate",
+                    help="SLO burn rate by objective and window.",
+                    labels={"objective": row["name"], "window": window},
+                ).set(row[f"{window}_burn_rate"])
+    return list(registry.snapshot())
+
+
+class _PlaneServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its owning listener."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    listener: "TelemetryListener"
+
+
+class _PlaneHandler(BaseHTTPRequestHandler):
+    server_version = "repro-plane"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        listener = self.server.listener
+        try:
+            status, body, content_type = listener.route(self.path)
+        except Exception as exc:
+            status = 500
+            body = json.dumps({"error": str(exc)}) + "\n"
+            content_type = _JSON
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args: object) -> None:
+        # Scrapes arrive once a second; stderr chatter would drown the
+        # serve transcript. Telemetry about telemetry is the registry's
+        # job, not the access log's.
+        return
+
+
+def _json_body(document: dict) -> str:
+    return json.dumps(document, sort_keys=True) + "\n"
+
+
+class TelemetryListener:
+    """Serves the scrape endpoints for one fleet; owns the SLO ticker.
+
+    Args:
+        fleet: the :class:`~repro.service.fleet.FleetManager` to expose.
+        host: bind address (loopback by default — the plane is an
+            operator surface, not a public API).
+        port: TCP port; ``0`` binds an ephemeral port (read it back from
+            :attr:`port` after :meth:`start`).
+        tick_seconds: SLO evaluation cadence; ``0`` disables the ticker
+            (the drain path still runs a final evaluation).
+
+    ``start``/``stop`` are idempotent; the listener is also a context
+    manager. :func:`~repro.service.server.serve_events` stops it only
+    after the final rollup is captured, so ``/metrics`` and ``/health``
+    answer throughout the drain.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_seconds: float = 1.0,
+    ) -> None:
+        self.fleet = fleet
+        self.tick_seconds = float(tick_seconds)
+        self._host = host
+        self._requested_port = int(port)
+        self._server: _PlaneServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._ticker: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryListener":
+        """Bind the socket and start the serving and ticker threads."""
+        with self._lock:
+            if self._server is not None:
+                return self
+            server = _PlaneServer(
+                (self._host, self._requested_port), _PlaneHandler
+            )
+            server.listener = self
+            self._server = server
+            self._stopping.clear()
+            # A tight poll interval keeps stop() fast: shutdown() blocks
+            # for a full poll while serve_forever's select loop notices
+            # the flag, and the 0.5 s default would put a visible
+            # constant latency on every drain (and into the
+            # serve-overhead benchmark gate). 10 ms costs one idle
+            # selector wakeup per 10 ms — noise — and bounds the drain
+            # tax at ~10 ms.
+            self._server_thread = threading.Thread(
+                target=lambda: server.serve_forever(poll_interval=0.01),
+                name="repro-plane-http",
+                daemon=True,
+            )
+            self._server_thread.start()
+            if self.tick_seconds > 0:
+                self._ticker = threading.Thread(
+                    target=self._tick_loop,
+                    name="repro-plane-slo-ticker",
+                    daemon=True,
+                )
+                self._ticker.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join both threads (idempotent)."""
+        with self._lock:
+            server = self._server
+            if server is None:
+                return
+            self._server = None
+            self._stopping.set()
+            server.shutdown()
+            server.server_close()
+            server_thread = self._server_thread
+            ticker = self._ticker
+            self._server_thread = None
+            self._ticker = None
+        if server_thread is not None:
+            server_thread.join(timeout=5.0)
+        if ticker is not None:
+            ticker.join(timeout=5.0)
+
+    def _tick_loop(self) -> None:
+        while not self._stopping.wait(self.tick_seconds):
+            try:
+                self.fleet.slo_tick()
+            except Exception:
+                # The ticker must never take the ingest path down; a
+                # failed evaluation just waits for the next tick.
+                continue
+
+    def __enter__(self) -> "TelemetryListener":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after start)."""
+        server = self._server
+        if server is not None:
+            return server.server_address[1]
+        return self._requested_port
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, path: str) -> tuple[int, str, str]:
+        """Dispatch one GET path to ``(status, body, content type)``."""
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            snapshot = merged_fleet_snapshot(self.fleet)
+            return 200, to_prometheus(snapshot), _PROMETHEUS
+        if path == "/health":
+            return 200, _json_body(self.health_document()), _JSON
+        if path == "/ready":
+            document = self.ready_document()
+            status = 200 if document["ready"] else 503
+            return status, _json_body(document), _JSON
+        if path.startswith("/tenants/") and path.endswith("/stats"):
+            tenant = path[len("/tenants/"): -len("/stats")]
+            try:
+                shard = self.fleet.shard(tenant)
+            except Exception:
+                return (
+                    404,
+                    _json_body(
+                        {"error": f"no shard for tenant {tenant!r}"}
+                    ),
+                    _JSON,
+                )
+            return 200, _json_body(shard.stats()), _JSON
+        if path in ("", "/"):
+            return (
+                200,
+                _json_body(
+                    {
+                        "schema": PLANE_SCHEMA_VERSION,
+                        "endpoints": list(ENDPOINTS),
+                    }
+                ),
+                _JSON,
+            )
+        return 404, _json_body({"error": f"unknown path {path!r}"}), _JSON
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def health_document(self) -> dict:
+        """The ``/health`` body: status summary plus the full rollup."""
+        rollup = self.fleet.rollup()
+        fleet_section = rollup.get("fleet", {})
+        failed = fleet_section.get("states", {}).get("failed", 0)
+        firing = fleet_section.get("slo", {}).get("firing", 0)
+        status = "degraded" if failed or firing else "ok"
+        return {
+            "schema": PLANE_SCHEMA_VERSION,
+            "status": status,
+            "failed_shards": failed,
+            "firing_alerts": firing,
+            "rollup": rollup,
+        }
+
+    def ready_document(self) -> dict:
+        """The ``/ready`` body; ``ready`` gates the 200/503 split."""
+        fleet = self.fleet
+        failed = 0
+        for tenant in fleet.tenants:
+            try:
+                if fleet.shard(tenant).state == "failed":
+                    failed += 1
+            except Exception:
+                continue
+        draining = bool(getattr(fleet, "draining", False))
+        closed = bool(getattr(fleet, "closed", False))
+        return {
+            "schema": PLANE_SCHEMA_VERSION,
+            "ready": not (failed or draining or closed),
+            "failed_shards": failed,
+            "draining": draining,
+            "closed": closed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "started" if self._server is not None else "stopped"
+        return f"TelemetryListener({self.url()}, {state})"

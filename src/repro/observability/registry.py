@@ -33,7 +33,7 @@ from __future__ import annotations
 import bisect
 import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..exceptions import InvalidConfigError
 
@@ -277,6 +277,20 @@ class MetricSample:
     bucket_counts: tuple[int, ...] = ()
     sum: float = 0.0
     count: int = 0
+
+    def relabeled(self, **extra: str) -> "MetricSample":
+        """A copy with ``extra`` label pairs merged in (and re-sorted).
+
+        The telemetry plane uses this to stamp a ``tenant`` label onto
+        per-shard samples when merging shard registries into one fleet
+        scrape. Existing labels of the same name are overridden.
+        """
+        merged = dict(self.labels)
+        for key, value in extra.items():
+            if not _LABEL_RE.match(key):
+                raise InvalidConfigError(f"invalid label name {key!r}")
+            merged[key] = str(value)
+        return replace(self, labels=tuple(sorted(merged.items())))
 
     def as_dict(self) -> dict:
         """JSON-ready representation."""

@@ -1,0 +1,437 @@
+"""SLO burn-rate evaluation: multi-window alerts over fleet telemetry.
+
+A fleet serving millions of users is judged against *objectives* — "99.9%
+of submitted points are not shed", "95% of points are applied within the
+ingest latency bound" — not against raw counters. This module evaluates
+declared objectives with the multi-window burn-rate method (Google SRE
+workbook, ch. 5): the *burn rate* is how fast the error budget
+(``1 - target``) is being consumed, and an alert fires only when **both**
+a fast window (catches sudden cliffs quickly) and a slow window (rejects
+short blips) exceed their thresholds. A burn rate of 1.0 spends exactly
+the whole budget over the objective's nominal period; the default
+thresholds (14.4 fast / 6.0 slow) mirror the canonical page-worthy tier.
+
+The engine reuses the existing windowed-telemetry machinery rather than
+growing its own: each :meth:`SLOEngine.observe` call converts the fleet's
+cumulative totals into per-objective good/bad **counters** on a private
+registry, then closes one :class:`~repro.observability.timeseries.WindowSample`
+(interval 1, stamped with the observation's clock reading as a gauge).
+Burn rates are then window sums over the retained ring — no second
+ring-buffer implementation, and the same JSONL serialization for free.
+
+Shipped objectives (:data:`DEFAULT_OBJECTIVES`):
+
+* ``ingest_p95`` — share of applied points inside the ingest latency
+  bound (default 0.25 s, a standard bucket bound of the per-shard
+  ``repro_service_ingest_seconds`` histogram).
+* ``shed_fraction`` — share of submitted points *not* shed by
+  backpressure.
+* ``dlq_rate`` — share of submitted points *not* dead-lettered.
+* ``breaker_open`` — share of wall-clock time with every tenant breaker
+  closed (integrated from the supervisor's breaker states).
+
+Clocks are injectable (``clock=``) and every burn-rate computation is
+pure arithmetic over retained windows, so alert transitions are exactly
+testable without sleeping. The engine never touches shard hot paths: it
+reads counters the service layer already maintains, on whatever cadence
+the caller (the telemetry plane's ticker, or the drain path) chooses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from . import Observability
+from .timeseries import TimeseriesRecorder
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "SLO_SCHEMA_VERSION",
+    "SLOEngine",
+    "SLObjective",
+]
+
+#: Version stamped on every SLO summary document.
+SLO_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declared objective: a target good-fraction plus alert tiers.
+
+    Attributes:
+        name: objective identifier (also the counter-name stem).
+        description: operator-facing one-liner.
+        target: required good fraction in ``[0, 1)``; the error budget
+            is ``1 - target``.
+        fast_burn: burn-rate threshold the fast window must exceed.
+        slow_burn: burn-rate threshold the slow window must exceed.
+    """
+
+    name: str
+    description: str
+    target: float
+    fast_burn: float = 14.4
+    slow_burn: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target < 1.0:
+            raise ValueError(
+                f"objective {self.name}: target must be in [0, 1), "
+                f"got {self.target}"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError(
+                f"objective {self.name}: burn thresholds must be > 0"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad fraction."""
+        return 1.0 - self.target
+
+
+#: The shipped fleet objectives (see module docstring).
+DEFAULT_OBJECTIVES: tuple[SLObjective, ...] = (
+    SLObjective(
+        "ingest_p95",
+        "share of points applied within the ingest latency bound",
+        target=0.95,
+    ),
+    SLObjective(
+        "shed_fraction",
+        "share of submitted points not shed by backpressure",
+        target=0.999,
+    ),
+    SLObjective(
+        "dlq_rate",
+        "share of submitted points not dead-lettered",
+        target=0.999,
+    ),
+    SLObjective(
+        "breaker_open",
+        "share of wall-clock with every tenant breaker closed",
+        target=0.99,
+    ),
+)
+
+#: Sample keys :meth:`SLOEngine.observe` consumes; all cumulative totals
+#: except ``breakers_open``, which is the instantaneous open-breaker
+#: count the engine integrates over time itself.
+SAMPLE_KEYS: tuple[str, ...] = (
+    "submitted",
+    "shed",
+    "dead_lettered",
+    "ingest_count",
+    "ingest_slow",
+    "breakers_open",
+)
+
+
+def _bad_counter(name: str) -> str:
+    return f"slo_{name}_bad_total"
+
+
+def _total_counter(name: str) -> str:
+    return f"slo_{name}_events_total"
+
+
+class SLOEngine:
+    """Evaluates burn-rate objectives from periodic fleet samples.
+
+    Feed it with :meth:`observe` on any cadence (the telemetry plane
+    ticks once per second by default; the drain path ticks once more so
+    the final window is never lost). Each observation converts the
+    fleet's cumulative totals into per-objective good/bad counter
+    increments, closes one timeseries window stamped with the clock
+    reading, re-evaluates every objective over the fast and slow
+    horizons, and emits ``slo_alert_firing`` / ``slo_alert_resolved``
+    events on state transitions (via ``obs``, when given).
+
+    Args:
+        objectives: the declared objectives (unique names).
+        fast_window_seconds: fast-horizon length (> 0).
+        slow_window_seconds: slow-horizon length (>= fast).
+        ingest_latency_bound: the ``ingest_p95`` good/bad latency split,
+            in seconds; should coincide with a bucket bound of the
+            per-shard ingest histogram so the split is exact.
+        capacity: retained windows (bounds memory on long runs).
+        clock: monotonic clock used when ``observe`` is not handed an
+            explicit ``now`` (injectable for tests).
+        obs: optional :class:`~repro.observability.Observability` handle
+            alert-transition events are emitted through.
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SLObjective, ...] = DEFAULT_OBJECTIVES,
+        fast_window_seconds: float = 60.0,
+        slow_window_seconds: float = 300.0,
+        ingest_latency_bound: float = 0.25,
+        capacity: int = 4096,
+        clock=time.monotonic,
+        obs: Observability | None = None,
+    ) -> None:
+        if fast_window_seconds <= 0:
+            raise ValueError(
+                f"fast_window_seconds must be > 0, got {fast_window_seconds}"
+            )
+        if slow_window_seconds < fast_window_seconds:
+            raise ValueError(
+                "slow_window_seconds must be >= fast_window_seconds, got "
+                f"{slow_window_seconds} < {fast_window_seconds}"
+            )
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique, got {names}")
+        self.objectives = tuple(objectives)
+        self.fast_window_seconds = float(fast_window_seconds)
+        self.slow_window_seconds = float(slow_window_seconds)
+        self.ingest_latency_bound = float(ingest_latency_bound)
+        self._clock = clock
+        self._obs = obs
+        self._lock = threading.Lock()
+        tracked = tuple(
+            counter_name
+            for o in self.objectives
+            for counter_name in (_bad_counter(o.name), _total_counter(o.name))
+        )
+        self._recorder = TimeseriesRecorder(
+            interval=1, capacity=capacity, counters=tracked
+        )
+        self._inner = Observability(timeseries=self._recorder)
+        self._counters = {
+            o.name: (
+                self._inner.metrics.counter(
+                    _bad_counter(o.name),
+                    help=f"SLO bad events: {o.description}",
+                ),
+                self._inner.metrics.counter(
+                    _total_counter(o.name),
+                    help=f"SLO total events: {o.description}",
+                ),
+            )
+            for o in self.objectives
+        }
+        self._last_sample: dict[str, int | float] = {}
+        self._last_now: float | None = None
+        self._states: dict[str, str] = {
+            o.name: "ok" for o in self.objectives
+        }
+        self._since: dict[str, float | None] = {
+            o.name: None for o in self.objectives
+        }
+        self._rows: list[dict] = []
+        self.transitions = 0
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def observe(
+        self, sample: dict[str, int | float], now: float | None = None
+    ) -> list[dict]:
+        """Ingest one fleet sample; returns the currently firing alerts.
+
+        ``sample`` carries the cumulative fleet totals named in
+        :data:`SAMPLE_KEYS` (missing keys read as 0). Totals are diffed
+        against the previous observation and clamped at zero, so a
+        restarted counter can never produce a negative increment.
+        """
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            previous = self._last_now
+            dt = max(0.0, now - previous) if previous is not None else 0.0
+            self._increment("shed_fraction", sample, "shed", "submitted")
+            self._increment("dlq_rate", sample, "dead_lettered", "submitted")
+            self._increment(
+                "ingest_p95", sample, "ingest_slow", "ingest_count"
+            )
+            self._integrate_breaker(sample, dt)
+            self._last_sample = dict(sample)
+            self._last_now = now
+            self.observations += 1
+            self._recorder.maybe_roll(lambda: {"now": now})
+            self._evaluate(now)
+            return [dict(row) for row in self._rows if row["state"] == "firing"]
+
+    def _increment(
+        self,
+        objective: str,
+        sample: dict,
+        bad_key: str,
+        total_key: str,
+    ) -> None:
+        counters = self._counters.get(objective)
+        if counters is None:
+            return
+        bad_counter, total_counter = counters
+        last = self._last_sample
+        bad_delta = max(0, sample.get(bad_key, 0) - last.get(bad_key, 0))
+        total_delta = max(
+            0, sample.get(total_key, 0) - last.get(total_key, 0)
+        )
+        # Clamp: a torn read can briefly report more bad events than
+        # total events; the bad share of one window never exceeds 1.
+        bad_counter.inc(min(bad_delta, total_delta))
+        total_counter.inc(total_delta)
+
+    def _integrate_breaker(self, sample: dict, dt: float) -> None:
+        counters = self._counters.get("breaker_open")
+        if counters is None or dt <= 0:
+            return
+        bad_counter, total_counter = counters
+        if sample.get("breakers_open", 0) > 0:
+            bad_counter.inc(dt)
+        total_counter.inc(dt)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _window_rates(
+        self, objective: SLObjective, now: float
+    ) -> tuple[float, float, int]:
+        bad_name = _bad_counter(objective.name)
+        total_name = _total_counter(objective.name)
+        fast_bad = fast_total = 0.0
+        slow_bad = slow_total = 0.0
+        fast_cut = now - self.fast_window_seconds
+        slow_cut = now - self.slow_window_seconds
+        windows = 0
+        for window in reversed(self._recorder.samples):
+            end = window.gauges.get("now", 0.0)
+            if end < slow_cut:
+                break
+            windows += 1
+            bad = window.counters.get(bad_name, 0)
+            total = window.counters.get(total_name, 0)
+            slow_bad += bad
+            slow_total += total
+            if end >= fast_cut:
+                fast_bad += bad
+                fast_total += total
+        budget = objective.budget
+        fast_rate = (fast_bad / fast_total / budget) if fast_total else 0.0
+        slow_rate = (slow_bad / slow_total / budget) if slow_total else 0.0
+        return fast_rate, slow_rate, windows
+
+    def _evaluate(self, now: float) -> None:
+        rows: list[dict] = []
+        for objective in self.objectives:
+            fast_rate, slow_rate, windows = self._window_rates(
+                objective, now
+            )
+            breached = (
+                fast_rate >= objective.fast_burn
+                and slow_rate >= objective.slow_burn
+            )
+            state = self._states[objective.name]
+            if breached and state != "firing":
+                state = "firing"
+                self._since[objective.name] = now
+                self.transitions += 1
+                self._emit(
+                    "slo_alert_firing", objective, fast_rate, slow_rate
+                )
+            elif not breached and state == "firing":
+                state = "resolved"
+                self._since[objective.name] = now
+                self.transitions += 1
+                self._emit(
+                    "slo_alert_resolved", objective, fast_rate, slow_rate
+                )
+            self._states[objective.name] = state
+            rows.append(
+                {
+                    "name": objective.name,
+                    "description": objective.description,
+                    "target": objective.target,
+                    "budget": objective.budget,
+                    "state": state,
+                    "since": self._since[objective.name],
+                    "fast_burn_rate": fast_rate,
+                    "slow_burn_rate": slow_rate,
+                    "fast_threshold": objective.fast_burn,
+                    "slow_threshold": objective.slow_burn,
+                    "windows": windows,
+                }
+            )
+        self._rows = rows
+
+    def _emit(
+        self,
+        kind: str,
+        objective: SLObjective,
+        fast_rate: float,
+        slow_rate: float,
+    ) -> None:
+        if self._obs is not None:
+            self._obs.emit(
+                kind,
+                objective=objective.name,
+                fast_burn_rate=fast_rate,
+                slow_burn_rate=slow_rate,
+                target=objective.target,
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def alerts(self) -> list[dict]:
+        """Objective rows currently in the ``firing`` state."""
+        with self._lock:
+            return [
+                dict(row) for row in self._rows if row["state"] == "firing"
+            ]
+
+    def summary(self) -> dict:
+        """JSON-ready summary: every objective's state and burn rates."""
+        with self._lock:
+            rows = [dict(row) for row in self._rows]
+            if not rows:
+                # Never observed: report the declared objectives at rest.
+                rows = [
+                    {
+                        "name": o.name,
+                        "description": o.description,
+                        "target": o.target,
+                        "budget": o.budget,
+                        "state": "ok",
+                        "since": None,
+                        "fast_burn_rate": 0.0,
+                        "slow_burn_rate": 0.0,
+                        "fast_threshold": o.fast_burn,
+                        "slow_threshold": o.slow_burn,
+                        "windows": 0,
+                    }
+                    for o in self.objectives
+                ]
+            return {
+                "schema": SLO_SCHEMA_VERSION,
+                "fast_window_seconds": self.fast_window_seconds,
+                "slow_window_seconds": self.slow_window_seconds,
+                "ingest_latency_bound": self.ingest_latency_bound,
+                "observations": self.observations,
+                "transitions": self.transitions,
+                "firing": sum(
+                    1 for row in rows if row["state"] == "firing"
+                ),
+                "objectives": rows,
+            }
+
+    @property
+    def windows(self) -> int:
+        """Retained evaluation windows."""
+        return len(self._recorder)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        firing = sum(
+            1 for state in self._states.values() if state == "firing"
+        )
+        return (
+            f"SLOEngine({len(self.objectives)} objectives, "
+            f"{self.observations} observations, {firing} firing)"
+        )

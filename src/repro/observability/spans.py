@@ -11,6 +11,13 @@ span as its parent — so a trace consumer can reassemble the full latency
 tree of one batch: ``apply_batch`` → ``maintain_insert`` →
 ``assign_block`` × N.
 
+Spans also carry **trace context**: a span opened with a ``trace``
+field (the fleet mints one id per micro-batch) establishes that id for
+everything nested under it, and every descendant's ``span_start`` event
+is stamped with the inherited id. Per-tenant trace files can then be
+merged into one causally-parented fleet trace and queried by trace id
+(:mod:`~repro.observability.tracequery`).
+
 Each span costs two monotonic ``time.perf_counter`` reads plus two trace
 events (``span_start`` / ``span_end``) and one histogram observation
 (``repro_span_seconds{op=...}``); nothing here reads the wall clock. The
@@ -128,11 +135,19 @@ class SpanTracer:
     the stack discipline always holds for context-manager use.
     """
 
-    __slots__ = ("_obs", "_stack", "_next_id", "_histograms", "_counts")
+    __slots__ = (
+        "_obs",
+        "_stack",
+        "_trace_stack",
+        "_next_id",
+        "_histograms",
+        "_counts",
+    )
 
     def __init__(self) -> None:
         self._obs = None
         self._stack: list[int] = []
+        self._trace_stack: list[str | None] = []
         self._next_id = 0
         self._histograms: dict = {}
         self._counts: dict[str, int] = {}
@@ -170,6 +185,11 @@ class SpanTracer:
         return len(self._stack)
 
     @property
+    def current_trace(self) -> str | None:
+        """The innermost live span's trace id, or ``None``."""
+        return self._trace_stack[-1] if self._trace_stack else None
+
+    @property
     def total_opened(self) -> int:
         """Spans opened over the tracer's lifetime."""
         return self._next_id
@@ -182,12 +202,21 @@ class SpanTracer:
     # Span lifecycle (called by Span.__enter__/__exit__)
     # ------------------------------------------------------------------
     def _enter(self, span: Span) -> None:
+        trace = span.fields.get("trace")
+        if trace is None and self._trace_stack:
+            # Inherit the innermost enclosing trace context, so every
+            # span nested under a trace-carrying root is stamped with
+            # its id without call sites threading it through.
+            trace = self._trace_stack[-1]
         self._stack.append(span.span_id)
+        self._trace_stack.append(trace)
         fields = {
             "span": span.span_id,
             "parent": span.parent_id,
             "op": span.op,
         }
+        if trace is not None:
+            fields["trace"] = trace
         fields.update(span.fields)
         self._obs.emit_fields("span_start", fields)
 
@@ -197,8 +226,11 @@ class SpanTracer:
         # the matching frame so one misuse cannot corrupt all parenting.
         if self._stack and self._stack[-1] == span.span_id:
             self._stack.pop()
+            self._trace_stack.pop()
         elif span.span_id in self._stack:  # pragma: no cover - misuse
-            del self._stack[self._stack.index(span.span_id):]
+            index = self._stack.index(span.span_id)
+            del self._stack[index:]
+            del self._trace_stack[index:]
         self._counts[span.op] = self._counts.get(span.op, 0) + 1
         self._histogram(span.op).observe(elapsed)
         end_fields = {"span": span.span_id, "op": span.op, "seconds": elapsed}

@@ -77,16 +77,22 @@ class WindowSample:
         }
 
 
-def _sum_counters(snapshot: MetricsSnapshot) -> dict[str, int | float]:
+def _sum_counters(
+    snapshot: MetricsSnapshot,
+    names: tuple[str, ...] = TRACKED_COUNTERS,
+) -> dict[str, int | float]:
     """Tracked counter totals in ``snapshot``, summed across label sets."""
-    totals: dict[str, int | float] = dict.fromkeys(TRACKED_COUNTERS, 0)
+    totals: dict[str, int | float] = dict.fromkeys(names, 0)
     for sample in snapshot:
         if sample.kind == "counter" and sample.name in totals:
             totals[sample.name] += sample.value
     return totals
 
 
-def _live_totals(registry) -> dict[str, int | float]:
+def _live_totals(
+    registry,
+    names: tuple[str, ...] = TRACKED_COUNTERS,
+) -> dict[str, int | float]:
     """Tracked counter totals read straight off the live registry.
 
     Equivalent to ``_sum_counters(registry.snapshot())`` but without
@@ -94,7 +100,7 @@ def _live_totals(registry) -> dict[str, int | float]:
     bucket array, which at one window per batch would dominate the
     recorder's cost (the overhead benchmark gates this path).
     """
-    totals: dict[str, int | float] = dict.fromkeys(TRACKED_COUNTERS, 0)
+    totals: dict[str, int | float] = dict.fromkeys(names, 0)
     for metric in registry:
         if isinstance(metric, Counter) and metric.name in totals:
             totals[metric.name] += metric.value
@@ -117,11 +123,16 @@ class TimeseriesRecorder:
     Args:
         interval: batches per window (≥ 1).
         capacity: maximum retained windows (≥ 1); older windows fall off.
+        counters: counter families whose per-window deltas every sample
+            records; defaults to :data:`TRACKED_COUNTERS`. The SLO
+            engine passes its own good/bad counter set here, reusing
+            the windowing/ring machinery for burn-rate bookkeeping.
     """
 
     __slots__ = (
         "interval",
         "capacity",
+        "counters",
         "dropped",
         "_obs",
         "_samples",
@@ -131,13 +142,21 @@ class TimeseriesRecorder:
         "_baseline",
     )
 
-    def __init__(self, interval: int = 1, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        interval: int = 1,
+        capacity: int = 4096,
+        counters: tuple[str, ...] | None = None,
+    ) -> None:
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.interval = interval
         self.capacity = capacity
+        self.counters = (
+            TRACKED_COUNTERS if counters is None else tuple(counters)
+        )
         self.dropped = 0
         self._obs = None
         self._samples: list[WindowSample] = []
@@ -184,7 +203,7 @@ class TimeseriesRecorder:
         return self._close_window(gauges_fn)
 
     def _close_window(self, gauges_fn) -> WindowSample:
-        totals = _live_totals(self._obs.metrics)
+        totals = _live_totals(self._obs.metrics, self.counters)
         if self._baseline is None:
             deltas = dict(totals)
         else:

@@ -1,0 +1,303 @@
+"""Trace queries: reconstruct fleet span trees from per-tenant JSONL.
+
+The fleet stamps one trace id onto each micro-batch
+(``<tenant>:<epoch>:<seq>``), the shard opens an ``ingest_batch`` span
+carrying it, and :class:`~repro.observability.spans.SpanTracer`
+propagates the id to every nested span — so each tenant's
+``trace.jsonl`` holds causally-parented fragments of one fleet-wide
+trace stream. This module reads those files back and answers the
+operator questions the raw JSONL cannot: *which ops dominate latency*
+(exact per-op p50/p95 over closed spans, not bucket-granular) and *where
+did the slowest batches spend their time* (the critical path down the
+max-duration child chain).
+
+Critical-path attribution telescopes: each node on the chain is charged
+its duration minus its largest child's, the terminal node keeps its full
+duration, so the path's self-times sum exactly to the root span's
+measured wall-clock — the invariant the acceptance test checks against
+the batch duration.
+
+Trace files are append-only and survive fleet restarts; a restarted
+fleet's fresh ``SpanTracer`` restarts span numbering at 0, so the reader
+segments each file into **generations** (a reused span id starts a new
+one) and never links spans across runs. Events that cannot be parsed or
+paired are counted, not fatal — a crashed run's torn tail still yields
+every complete trace before it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SpanRecord",
+    "TraceSet",
+    "critical_path",
+    "load_fleet_traces",
+    "read_span_records",
+    "render_trace_report",
+]
+
+#: Envelope/identity keys excluded from a record's free-form fields.
+_ENVELOPE_KEYS = frozenset(
+    {"schema", "seq", "ts", "kind", "span", "parent", "op", "trace"}
+)
+
+
+@dataclass
+class SpanRecord:
+    """One span reassembled from its ``span_start``/``span_end`` pair."""
+
+    tenant: str
+    generation: int
+    span_id: int
+    parent_id: int | None
+    op: str
+    trace: str | None
+    start_ts: float
+    fields: dict = field(default_factory=dict)
+    seconds: float | None = None
+    error: bool = False
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span's ``span_end`` was found."""
+        return self.seconds is not None
+
+
+def read_span_records(
+    path: str | Path, tenant: str
+) -> tuple[list[SpanRecord], int]:
+    """Parse one tenant trace file into parented span records.
+
+    Returns ``(records, skipped_lines)``; non-span events (the same file
+    carries ``wal_append`` etc. when full event tracing is on) are
+    ignored, unparseable lines are counted.
+    """
+    records: list[SpanRecord] = []
+    skipped = 0
+    generation = 0
+    live: dict[int, SpanRecord] = {}  # span id -> record, this generation
+    by_id: dict[int, SpanRecord] = {}  # for parent links & end pairing
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            kind = event.get("kind")
+            if kind == "span_start":
+                span_id = event.get("span")
+                if not isinstance(span_id, int):
+                    skipped += 1
+                    continue
+                if span_id in by_id:
+                    # A reused id means a fresh SpanTracer (fleet
+                    # resume); start a new generation so parent links
+                    # never cross runs.
+                    generation += 1
+                    live = {}
+                    by_id = {}
+                record = SpanRecord(
+                    tenant=tenant,
+                    generation=generation,
+                    span_id=span_id,
+                    parent_id=event.get("parent"),
+                    op=event.get("op", ""),
+                    trace=event.get("trace"),
+                    start_ts=float(event.get("ts", 0.0)),
+                    fields={
+                        key: value
+                        for key, value in event.items()
+                        if key not in _ENVELOPE_KEYS
+                    },
+                )
+                live[span_id] = record
+                by_id[span_id] = record
+                records.append(record)
+                parent = by_id.get(record.parent_id)
+                if record.parent_id is not None and parent is not None:
+                    parent.children.append(record)
+            elif kind == "span_end":
+                span_id = event.get("span")
+                record = live.pop(span_id, None)
+                if record is None:
+                    skipped += 1
+                    continue
+                record.seconds = float(event.get("seconds", 0.0))
+                record.error = bool(event.get("error", False))
+    return records, skipped
+
+
+def critical_path(root: SpanRecord) -> list[dict]:
+    """The max-duration child chain from ``root`` down, with self-times.
+
+    Each step carries the node's full duration and its *self* time
+    (duration minus its largest closed child's); the terminal node keeps
+    everything, so ``sum(step["self_seconds"])`` equals
+    ``root.seconds`` exactly.
+    """
+    path: list[dict] = []
+    node = root
+    while True:
+        closed = [c for c in node.children if c.closed]
+        child = max(closed, key=lambda c: c.seconds, default=None)
+        seconds = node.seconds or 0.0
+        child_seconds = child.seconds if child is not None else 0.0
+        path.append(
+            {
+                "tenant": node.tenant,
+                "span": node.span_id,
+                "op": node.op,
+                "seconds": seconds,
+                "self_seconds": max(0.0, seconds - child_seconds),
+            }
+        )
+        if child is None:
+            return path
+        node = child
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted list."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+class TraceSet:
+    """Every span from a fleet directory, indexed for querying."""
+
+    def __init__(
+        self,
+        spans: list[SpanRecord],
+        files: int = 0,
+        skipped_lines: int = 0,
+    ) -> None:
+        self.spans = spans
+        self.files = files
+        self.skipped_lines = skipped_lines
+        #: Trace roots (spans that carry a trace id and have no parent),
+        #: keyed by trace id; first writer wins on the (never expected)
+        #: chance of a duplicate id.
+        self.traces: dict[str, SpanRecord] = {}
+        for record in spans:
+            if record.trace is not None and record.parent_id is None:
+                self.traces.setdefault(record.trace, record)
+
+    @property
+    def closed_spans(self) -> list[SpanRecord]:
+        return [record for record in self.spans if record.closed]
+
+    @property
+    def unclosed(self) -> int:
+        """Spans whose end event never arrived (crash mid-span)."""
+        return sum(1 for record in self.spans if not record.closed)
+
+    def op_stats(self) -> list[dict]:
+        """Exact per-op latency stats over closed spans, slowest first."""
+        durations: dict[str, list[float]] = {}
+        for record in self.closed_spans:
+            durations.setdefault(record.op, []).append(record.seconds)
+        rows = []
+        for op, values in durations.items():
+            values.sort()
+            rows.append(
+                {
+                    "op": op,
+                    "count": len(values),
+                    "total_seconds": sum(values),
+                    "p50_seconds": _percentile(values, 0.50),
+                    "p95_seconds": _percentile(values, 0.95),
+                }
+            )
+        rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+        return rows
+
+    def slowest_traces(self, n: int = 3) -> list[SpanRecord]:
+        """The ``n`` slowest closed trace roots, slowest first."""
+        roots = [root for root in self.traces.values() if root.closed]
+        roots.sort(key=lambda root: root.seconds, reverse=True)
+        return roots[:n]
+
+
+def load_fleet_traces(fleet_dir: str | Path) -> TraceSet:
+    """Read every ``tenants/*/trace.jsonl`` under a fleet directory."""
+    root = Path(fleet_dir)
+    spans: list[SpanRecord] = []
+    skipped = 0
+    files = sorted((root / "tenants").glob("*/trace.jsonl"))
+    for path in files:
+        records, bad = read_span_records(path, path.parent.name)
+        spans.extend(records)
+        skipped += bad
+    return TraceSet(spans, files=len(files), skipped_lines=skipped)
+
+
+def render_trace_report(traces: TraceSet, top: int = 3) -> str:
+    """Aligned text report: totals, per-op table, critical paths."""
+    lines: list[str] = []
+    lines.append(
+        f"fleet trace query: {traces.files} tenant trace file(s), "
+        f"{len(traces.traces)} trace(s), {len(traces.spans)} span(s)"
+        + (
+            f" ({traces.unclosed} unclosed)"
+            if traces.unclosed
+            else ""
+        )
+    )
+    if traces.skipped_lines:
+        lines.append(f"skipped {traces.skipped_lines} unparseable line(s)")
+    if not traces.spans:
+        lines.append(
+            "no spans found — run serve with --trace to record them"
+        )
+        return "\n".join(lines) + "\n"
+
+    stats = traces.op_stats()
+    lines.append("")
+    lines.append("per-op latency (closed spans, exact quantiles)")
+    width = max(len(row["op"]) for row in stats)
+    lines.append(
+        f"  {'op'.ljust(width)}  {'count':>7}  {'total_s':>9}  "
+        f"{'p50_ms':>9}  {'p95_ms':>9}"
+    )
+    for row in stats:
+        lines.append(
+            f"  {row['op'].ljust(width)}  {row['count']:>7}  "
+            f"{row['total_seconds']:>9.4f}  "
+            f"{row['p50_seconds'] * 1e3:>9.3f}  "
+            f"{row['p95_seconds'] * 1e3:>9.3f}"
+        )
+
+    slowest = traces.slowest_traces(top)
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest micro-batches (critical path, top {top})")
+        for rank, root in enumerate(slowest, start=1):
+            points = root.fields.get("points")
+            detail = f", {points} point(s)" if points is not None else ""
+            lines.append(
+                f"  #{rank} trace {root.trace}  tenant {root.tenant}  "
+                f"{root.seconds * 1e3:.3f} ms{detail}"
+            )
+            for step in critical_path(root):
+                lines.append(
+                    f"     {step['op']:<{width}}  "
+                    f"{step['self_seconds'] * 1e3:>9.3f} ms self  "
+                    f"({step['seconds'] * 1e3:.3f} ms total)"
+                )
+        lines.append(
+            "exemplar trace ids: "
+            + "  ".join(root.trace for root in slowest)
+        )
+    return "\n".join(lines) + "\n"

@@ -64,6 +64,19 @@ EVENT_KINDS: tuple[str, ...] = (
     "span_start",
     "span_end",
     "timeseries_window",
+    # service fleet (multi-tenant ingestion, self-healing supervision)
+    "shard_created",
+    "shard_failed",
+    "shard_restarted",
+    "restart_failed",
+    "restart_budget_exhausted",
+    "breaker_open",
+    "dead_lettered",
+    "dead_letter_failed",
+    "fleet_drained",
+    # SLO burn-rate alerting (multi-window objectives over the fleet)
+    "slo_alert_firing",
+    "slo_alert_resolved",
 )
 
 

@@ -54,7 +54,12 @@ from ..exceptions import (
 )
 from ..core import MaintenanceConfig
 from ..faults import FAILPOINTS, declare_failpoint
-from ..observability import Observability, SpanTracer, collect_health
+from ..observability import (
+    EventTracer,
+    Observability,
+    SpanTracer,
+    collect_health,
+)
 from ..streaming import DurableSummarizer
 from .deadletter import (
     DeadLetter,
@@ -115,6 +120,12 @@ class FleetConfig:
     workers: int = 4
     use_seed_index: bool = False
     assign_workers: int = 0
+    #: Runtime-only: write each shard's span events to
+    #: ``tenants/<tenant>/trace.jsonl`` and stamp fleet trace ids onto
+    #: every micro-batch, enabling cross-shard trace queries
+    #: (``repro-bubbles trace``). Off by default — span *metrics* are
+    #: always on; this adds the per-event JSONL sink.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -142,6 +153,22 @@ def tenant_seed(fleet_seed: int | None, tenant: str) -> int | None:
     if fleet_seed is None:
         return None
     return (int(fleet_seed) ^ zlib.crc32(tenant.encode("utf-8"))) & 0x7FFFFFFF
+
+
+def _shard_observability(
+    config: FleetConfig, tenant_dir: pathlib.Path
+) -> Observability:
+    """One shard's private handle: spans always, a trace sink on demand.
+
+    With ``config.trace`` the handle gets an append-mode JSONL sink at
+    ``<tenant_dir>/trace.jsonl`` so span (and event) payloads survive
+    the run; trace files accumulate across resumes of the same fleet —
+    the trace query layer segments them by span-id generation.
+    """
+    tracer = None
+    if config.trace:
+        tracer = EventTracer(sink=pathlib.Path(tenant_dir) / "trace.jsonl")
+    return Observability(tracer=tracer, spans=SpanTracer())
 
 
 class _PoolWorker(threading.Thread):
@@ -239,11 +266,19 @@ class FleetManager:
         self._lock = threading.Lock()
         self._failure_lock = threading.Lock()
         self._supervisor = None
+        self._slo = None
         self._draining = False
         self._closed = False
         self._started = time.perf_counter()
         self.invalid_points = 0
         self.failed_submissions = 0
+        self._trace_lock = threading.Lock()
+        self._trace_seq = 0
+        # Wall-clock epoch token (constructor only — never a hot path):
+        # disambiguates trace ids across resumed runs of one fleet,
+        # since trace.jsonl files are append-mode and span numbering
+        # restarts with each process.
+        self._trace_epoch = format(int(time.time()) & 0xFFFFFF, "06x")
 
         if _recovered_shards is None:
             if (self._root / "fleet.json").exists():
@@ -365,7 +400,7 @@ class FleetManager:
             for tenant_path in tenant_dirs:
                 if not (tenant_path / "manifest.json").exists():
                     continue  # never initialized (crashed pre-manifest)
-                shard_obs = Observability(spans=SpanTracer())
+                shard_obs = _shard_observability(merged, tenant_path)
                 summarizer = DurableSummarizer.recover(
                     tenant_path, fsync=merged.fsync, obs=shard_obs
                 )
@@ -408,8 +443,22 @@ class FleetManager:
                     f"no shard for tenant {tenant!r}"
                 ) from None
 
+    def _mint_trace(self, tenant: str) -> str:
+        """Mint one fleet-unique trace id for a tenant micro-batch.
+
+        The id is ``<tenant>:<epoch>:<seq>`` — ``:`` cannot occur in a
+        valid tenant id, the epoch token survives fleet resumes, and the
+        locked sequence makes ids unique across every shard and worker
+        thread of this process.
+        """
+        with self._trace_lock:
+            self._trace_seq += 1
+            seq = self._trace_seq
+        return f"{tenant}:{self._trace_epoch}:{seq:06d}"
+
     def _adopt(self, tenant: str, shard: Shard) -> None:
         """Register a shard and stripe it onto its pool worker."""
+        shard.trace_minter = self._mint_trace
         with self._lock:
             self._shards[tenant] = shard
             if self._workers:
@@ -425,7 +474,7 @@ class FleetManager:
         if shard is not None:
             return shard
         config = self._config
-        shard_obs = Observability(spans=SpanTracer())
+        shard_obs = _shard_observability(config, self.tenant_dir(tenant))
         shard_seed = tenant_seed(config.seed, tenant)
         summarizer = DurableSummarizer(
             self.tenant_dir(tenant),
@@ -477,6 +526,97 @@ class FleetManager:
     def supervisor(self):
         """The attached supervisor, or ``None``."""
         return self._supervisor
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` / :meth:`close` has begun."""
+        return self._draining
+
+    @property
+    def closed(self) -> bool:
+        """Whether the fleet has fully shut down."""
+        return self._closed
+
+    @property
+    def obs(self) -> Observability | None:
+        """The fleet-level observability handle, or ``None``."""
+        return self._obs
+
+    # ------------------------------------------------------------------
+    # SLO evaluation
+    # ------------------------------------------------------------------
+    @property
+    def slo(self):
+        """The attached :class:`~repro.observability.SLOEngine`, or
+        ``None``."""
+        return self._slo
+
+    def attach_slo(self, engine) -> None:
+        """Wire an SLO engine in; its alerts surface in :meth:`rollup`.
+
+        The engine is fed by :meth:`slo_tick` — called on a wall-clock
+        cadence by the telemetry plane's ticker thread, and once more by
+        :meth:`drain` so the final window is evaluated.
+        """
+        self._slo = engine
+
+    def slo_tick(self, now: float | None = None) -> list[dict]:
+        """Feed the SLO engine one fleet sample; returns firing alerts.
+
+        A no-op (empty list) without an attached engine. Safe to call
+        from any thread on any cadence.
+        """
+        engine = self._slo
+        if engine is None:
+            return []
+        return engine.observe(self._slo_sample(), now=now)
+
+    def _slo_sample(self) -> dict[str, int | float]:
+        """Cumulative fleet totals in :data:`~repro.observability.slo.SAMPLE_KEYS` form.
+
+        ``ingest_slow`` counts applied points whose queue-to-applied
+        latency exceeded the engine's bound, split exactly at a bucket
+        boundary of the per-shard ingest histogram. Counters are read
+        without the fleet lock on purpose — each total is monotone, and
+        the SLO engine clamps torn-read deltas.
+        """
+        with self._lock:
+            shards = list(self._shards.values())
+        submitted = shed = dead_lettered = 0
+        ingest_count = ingest_slow = 0
+        bound = (
+            self._slo.ingest_latency_bound if self._slo is not None else 0.25
+        )
+        for shard in shards:
+            submitted += shard.submitted_points
+            shed += shard.shed_points
+            dead_lettered += shard.dead_lettered_points
+            histogram = shard._h_ingest
+            fast = 0
+            for upper, count in zip(
+                histogram.bounds, histogram.bucket_counts()
+            ):
+                if upper <= bound:
+                    fast += count
+                else:
+                    break
+            total = histogram.count
+            ingest_count += total
+            ingest_slow += max(0, total - fast)
+        breakers_open = 0
+        supervisor = self._supervisor
+        if supervisor is not None:
+            breakers_open = (
+                supervisor.stats()["breaker_states"].get("open", 0)
+            )
+        return {
+            "submitted": submitted,
+            "shed": shed,
+            "dead_lettered": dead_lettered,
+            "ingest_count": ingest_count,
+            "ingest_slow": ingest_slow,
+            "breakers_open": breakers_open,
+        }
 
     def _dead_letter_items(
         self, shard: Shard, items, reason: str, error: str | None = None
@@ -713,6 +853,14 @@ class FleetManager:
                 )
         for shard in shards:
             shard.close(checkpoint=True)
+        # Failed shards skip Shard.close (their tracer sink stayed open
+        # for a possible supervisor restart); close every sink now so
+        # trace.jsonl tails are durable. EventTracer.close is idempotent.
+        for shard in shards:
+            tracer = shard.obs.tracer
+            if tracer is not None:
+                tracer.close()
+        self.slo_tick()
         self._closed = True
         if self._obs is not None:
             self._obs.emit("fleet_drained", tenants=len(shards))
@@ -735,6 +883,10 @@ class FleetManager:
             shards = list(self._shards.values())
         for shard in shards:
             shard.close(checkpoint=False)
+        for shard in shards:
+            tracer = shard.obs.tracer
+            if tracer is not None:
+                tracer.close()
         self._closed = True
 
     def __enter__(self) -> "FleetManager":
@@ -793,6 +945,8 @@ class FleetManager:
         }
         if self._supervisor is not None:
             fleet_section["supervision"] = self._supervisor.stats()
+        if self._slo is not None:
+            fleet_section["slo"] = self._slo.summary()
         return {
             "schema": 1,
             "root": str(self._root),
@@ -896,6 +1050,16 @@ def render_rollup(rollup: dict) -> str:
                 for state, count in sorted(
                     supervision["breaker_states"].items()
                 )
+            )
+        )
+    slo = fleet.get("slo")
+    if slo is not None:
+        lines.append(
+            f"slo: {slo['firing']} firing / "
+            f"{len(slo['objectives'])} objectives "
+            + " ".join(
+                f"{row['name']}={row['state']}"
+                for row in slo["objectives"]
             )
         )
     lines.append("")

@@ -49,6 +49,7 @@ def serve_events(
     events: Iterable[PointEvent],
     progress_every: int = 0,
     progress_sink=None,
+    listener=None,
 ) -> ServeStats:
     """Dispatch ``events`` into ``fleet``, then drain it.
 
@@ -56,9 +57,17 @@ def serve_events(
     :class:`~repro.exceptions.EventError`, a KeyboardInterrupt): events
     already accepted are never abandoned in queues. ``progress_every``
     > 0 calls ``progress_sink(stats)`` every that many events.
+
+    ``listener`` (a
+    :class:`~repro.observability.TelemetryListener`) is started before
+    the first event and stopped only after the final rollup is
+    captured, so ``/metrics`` and ``/health`` answer throughout the
+    run *and* the drain.
     """
     stats = ServeStats()
     started = time.perf_counter()
+    if listener is not None:
+        listener.start()
     try:
         for event in events:
             stats.events += 1
@@ -73,10 +82,14 @@ def serve_events(
             ):
                 progress_sink(stats)
     finally:
-        fleet.drain()
-        stats.drained = True
-        stats.elapsed_seconds = time.perf_counter() - started
-        stats.rollup = fleet.rollup()
+        try:
+            fleet.drain()
+            stats.drained = True
+            stats.elapsed_seconds = time.perf_counter() - started
+            stats.rollup = fleet.rollup()
+        finally:
+            if listener is not None:
+                listener.stop()
     return stats
 
 
@@ -86,6 +99,7 @@ def serve_ndjson(
     on_bad_event: str = "strict",
     progress_every: int = 0,
     progress_sink=None,
+    listener=None,
 ) -> ServeStats:
     """:func:`serve_events` over an NDJSON file, path, or text handle.
 
@@ -106,6 +120,7 @@ def serve_ndjson(
         events,
         progress_every=progress_every,
         progress_sink=progress_sink,
+        listener=listener,
     )
     stats.invalid_lines = invalid[0]
     return stats

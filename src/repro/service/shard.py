@@ -49,7 +49,7 @@ import numpy as np
 from ..clustering.incremental import ClusterFit, IncrementalClusterer
 from ..exceptions import InvalidConfigError, ServiceError
 from ..faults import FAILPOINTS, declare_failpoint
-from ..observability import Observability
+from ..observability import NULL_SPAN, Observability
 from ..streaming import DurableSummarizer
 
 __all__ = [
@@ -154,6 +154,13 @@ class Shard:
         #: (batch dead-lettered, supervisor notified) — makes the
         #: failure path idempotent across dispatcher and worker threads.
         self.failure_handled = False
+        #: Optional ``callable(tenant) -> str`` minting one trace id per
+        #: micro-batch (the fleet installs its fleet-unique minter); a
+        #: standalone shard falls back to a batch-index id.
+        self.trace_minter = None
+        #: Trace id of the most recent micro-batch (``None`` before the
+        #: first flush) — the rollup's metrics→trace exemplar link.
+        self.last_trace_id: str | None = None
 
         self._clusterer: IncrementalClusterer | None = None
         self._cluster_attached = None
@@ -410,9 +417,31 @@ class Shard:
             self._not_full.notify_all()
         points = np.asarray([item[0] for item in items], dtype=np.float64)
         labels = [item[1] for item in items]
+        if self.obs.spans is not None:
+            # Mint one trace id per micro-batch and open the root span
+            # of its trace: every span the append itself opens (WAL
+            # write, maintenance, assignment) nests under it and
+            # inherits the id, so the batch's full latency tree can be
+            # reassembled across the fleet→shard→maintainer boundary.
+            minter = self.trace_minter
+            trace_id = (
+                minter(self.tenant)
+                if minter is not None
+                else f"{self.tenant}:{self.applied_batches:06d}"
+            )
+            self.last_trace_id = trace_id
+            span = self.obs.span(
+                "ingest_batch",
+                trace=trace_id,
+                tenant=self.tenant,
+                points=take,
+            )
+        else:
+            span = NULL_SPAN
         try:
-            FAILPOINTS.fire(_FP_APPLY_BEFORE_APPEND)
-            self.summarizer.append(points, labels)
+            with span:
+                FAILPOINTS.fire(_FP_APPLY_BEFORE_APPEND)
+                self.summarizer.append(points, labels)
         except BaseException as exc:
             self._fail(exc, items)
             raise ServiceError(
@@ -451,6 +480,16 @@ class Shard:
             self.summarizer.close(checkpoint=False)
         except Exception:
             pass
+        # The errored span_end is already emitted; push it to disk so
+        # the poisoned batch's trace survives even if nothing restarts
+        # this tenant. The sink stays open for a supervisor restart
+        # (the replacement shard inherits this observability handle).
+        tracer = self.obs.tracer
+        if tracer is not None:
+            try:
+                tracer.flush()
+            except Exception:
+                pass
 
     def take_failed_items(
         self,
@@ -542,7 +581,14 @@ class Shard:
                 return
             self._state = "stopped"
             self._not_full.notify_all()
+        # Close the final partial telemetry window before the handles go
+        # away; without this flush the last window of every run would be
+        # silently missing from timeseries output.
+        self.summarizer.flush_timeseries()
         self.summarizer.close(checkpoint=checkpoint)
+        tracer = self.obs.tracer
+        if tracer is not None:
+            tracer.close()
 
     def stats(self) -> dict:
         """One rollup row: queue/backpressure/latency/summary signals."""
@@ -574,6 +620,7 @@ class Shard:
             ),
             "error": self.error,
             "failed_at": self.failed_at,
+            "last_trace_id": self.last_trace_id,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import InvalidConfigError
 from repro.observability import (
@@ -213,3 +216,171 @@ class TestJsonExposition:
 class TestGlobalRegistry:
     def test_get_registry_is_stable(self):
         assert get_registry() is get_registry()
+
+
+class TestRelabeled:
+    def test_merges_sorts_and_overrides(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"kind": "x"}).inc(2)
+        (sample,) = registry.snapshot()
+        stamped = sample.relabeled(tenant="t0", kind="y")
+        assert stamped.labels == (("kind", "y"), ("tenant", "t0"))
+        assert stamped.value == sample.value
+        assert sample.labels == (("kind", "x"),)  # original untouched
+
+    def test_rejects_invalid_label_names(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        (sample,) = registry.snapshot()
+        with pytest.raises(InvalidConfigError):
+            sample.relabeled(**{"bad-name": "v"})
+
+
+def parse_exposition(text: str) -> dict:
+    """A minimal Prometheus text-format 0.0.4 parser.
+
+    Independent of the renderer on purpose: it understands only the
+    spec — ``# HELP``/``# TYPE`` comments, ``name{labels} value``
+    samples, escaped label values (``\\\\``, ``\\"``, ``\\n``), and the
+    ``NaN``/``+Inf``/``-Inf`` value spellings — so any renderer change
+    that violates the grammar fails these property tests.
+    """
+    samples: dict[tuple, float] = {}
+    types: dict[str, str] = {}
+    # The text format delimits records with "\n" only; splitlines()
+    # would also break on form feeds and other Unicode boundaries
+    # that are legal inside label values.
+    for line in text.split("\n"):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        body, _, value_text = line.rpartition(" ")
+        if value_text == "NaN":
+            value = math.nan
+        elif value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        labels: list[tuple[str, str]] = []
+        if "{" in body:
+            name, _, label_text = body.partition("{")
+            assert label_text.endswith("}"), line
+            label_text = label_text[:-1]
+            while label_text:
+                key, _, rest = label_text.partition('="')
+                chars: list[str] = []
+                i = 0
+                while True:
+                    ch = rest[i]
+                    if ch == "\\":
+                        escaped = rest[i + 1]
+                        assert escaped in ('"', "\\", "n"), line
+                        chars.append("\n" if escaped == "n" else escaped)
+                        i += 2
+                    elif ch == '"':
+                        i += 1
+                        break
+                    else:
+                        assert ch != "\n"
+                        chars.append(ch)
+                        i += 1
+                labels.append((key, "".join(chars)))
+                label_text = rest[i:].lstrip(",")
+        else:
+            name = body
+        key = (name, tuple(sorted(labels)))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = value
+    return {"samples": samples, "types": types}
+
+
+label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r"
+    ),
+    max_size=40,
+)
+metric_values = st.one_of(
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+)
+
+
+class TestExpositionProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(value=label_values)
+    def test_label_escaping_round_trips(self, value):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"path": value}).inc()
+        parsed = parse_exposition(to_prometheus(registry.snapshot()))
+        assert parsed["samples"][
+            ("c_total", (("path", value),))
+        ] == 1
+
+    @settings(deadline=None, max_examples=60)
+    @given(value=metric_values)
+    def test_gauge_values_round_trip(self, value):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float(value))
+        parsed = parse_exposition(to_prometheus(registry.snapshot()))
+        rendered = parsed["samples"][("g", ())]
+        if math.isnan(float(value)):
+            assert math.isnan(rendered)
+        else:
+            assert rendered == float(value)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=100.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=20,
+        ),
+        tenants=st.lists(
+            st.sampled_from(["a", "b", 'quo"te', "back\\slash"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+    )
+    def test_multi_tenant_merge_parses_clean(self, values, tenants):
+        """The plane's merged-scrape shape: same families relabeled per
+        tenant, sorted, rendered — always spec-conformant."""
+        from repro.observability import MetricsSnapshot
+
+        merged = []
+        for tenant in tenants:
+            registry = MetricsRegistry()
+            counter = registry.counter("c_total")
+            histogram = registry.histogram("h", buckets=(1.0, 10.0))
+            for v in values:
+                counter.inc(1)
+                histogram.observe(v)
+            for sample in registry.snapshot():
+                merged.append(sample.relabeled(tenant=tenant))
+        merged.sort(key=lambda s: (s.name, s.labels))
+        parsed = parse_exposition(
+            to_prometheus(MetricsSnapshot(samples=tuple(merged)))
+        )
+        for tenant in tenants:
+            assert parsed["samples"][
+                ("c_total", (("tenant", tenant),))
+            ] == len(values)
+            assert parsed["samples"][
+                ("h_bucket", (("le", "+Inf"), ("tenant", tenant)))
+            ] == len(values)
+        assert parsed["types"]["c_total"] == "counter"
+        assert parsed["types"]["h"] == "histogram"

@@ -155,3 +155,114 @@ class TestSchemaStamps:
         report = collect_health(obs, source="test")
         assert report["schema"] == HEALTH_SCHEMA_VERSION
         assert json.loads(json.dumps(report)) == report
+
+
+class TestFleetKindDriftGuard:
+    """The service/SLO layers emit kinds the durable run never touches
+    (supervision, dead-lettering, burn-rate alerts). Exercise them with
+    a real fleet so the catalogue guard covers the whole taxonomy."""
+
+    def _fleet_run(self, tmp_path):
+        from repro.observability import SLOEngine
+        from repro.service import (
+            FleetConfig,
+            FleetManager,
+            PointEvent,
+            ShardSupervisor,
+        )
+
+        config = FleetConfig(
+            window_size=400,
+            points_per_bubble=20,
+            checkpoint_every=8,
+            fsync=False,
+            workers=0,
+            queue_points=64,
+            batch_points=16,
+            trace=True,
+        )
+        fleet_obs = Observability(tracer=EventTracer())
+        fleet = FleetManager(tmp_path / "f", config, obs=fleet_obs)
+        fleet.attach_supervisor(
+            ShardSupervisor(max_restarts=2, obs=fleet_obs)
+        )
+        fleet.attach_slo(
+            SLOEngine(
+                fast_window_seconds=2.0,
+                slow_window_seconds=4.0,
+                obs=fleet_obs,
+            )
+        )
+        for i in range(32):
+            fleet.submit(
+                PointEvent(tenant="t", point=(float(i % 5), 0.5), label=i)
+            )
+        # Poison one batch so the supervisor restarts the shard.
+        shard = fleet.shard("t")
+        original = shard.summarizer.append
+
+        def boom_once(points, labels=None):
+            shard.summarizer.append = original
+            raise RuntimeError("poisoned batch")
+
+        shard.summarizer.append = boom_once
+        for i in range(32, 64):
+            fleet.submit(
+                PointEvent(tenant="t", point=(float(i % 5), 0.5), label=i)
+            )
+        # Drive the SLO engine through a firing/resolved cycle with an
+        # injected clock so alert-transition kinds are emitted too.
+        slo = fleet.slo
+        for second in range(6):
+            slo.observe(
+                {"submitted": 100 * (second + 1), "shed": 50 * (second + 1)},
+                now=float(second),
+            )
+        for second in range(6, 16):
+            slo.observe(
+                {"submitted": 100 * (second + 1), "shed": 300},
+                now=float(second),
+            )
+        fleet.drain()
+        return fleet
+
+    def test_fleet_kinds_registered_and_documented(self, tmp_path):
+        fleet = self._fleet_run(tmp_path)
+        emitted = set(fleet.obs.tracer.counts())
+        for shard in fleet._shards.values():
+            emitted |= set(shard.obs.tracer.counts())
+        unregistered = emitted - set(EVENT_KINDS)
+        assert not unregistered, (
+            f"service event kinds missing from EVENT_KINDS: "
+            f"{sorted(unregistered)}"
+        )
+        # The run must actually cover supervision + alert kinds, or
+        # this guard is vacuous.
+        assert {
+            "shard_created",
+            "shard_failed",
+            "shard_restarted",
+            "fleet_drained",
+            "slo_alert_firing",
+            "slo_alert_resolved",
+        } <= emitted
+        text = DOCS.read_text(encoding="utf-8")
+        undocumented = [
+            kind for kind in sorted(emitted) if f"`{kind}`" not in text
+        ]
+        assert not undocumented, (
+            f"emitted kinds missing from docs/OBSERVABILITY.md: "
+            f"{undocumented}"
+        )
+
+    def test_fleet_span_ops_documented(self, tmp_path):
+        fleet = self._fleet_run(tmp_path)
+        ops: set[str] = set()
+        for shard in fleet._shards.values():
+            ops |= set(shard.obs.spans.counts())
+        assert "ingest_batch" in ops
+        text = DOCS.read_text(encoding="utf-8")
+        undocumented = [op for op in sorted(ops) if f"`{op}`" not in text]
+        assert not undocumented, (
+            f"span ops missing from docs/OBSERVABILITY.md: {undocumented}"
+        )

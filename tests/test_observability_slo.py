@@ -1,0 +1,243 @@
+"""SLO burn-rate engine: windows, alert lifecycle, fleet integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_OBJECTIVES,
+    SLO_SCHEMA_VERSION,
+    Observability,
+    SLOEngine,
+    SLObjective,
+)
+from repro.service import FleetConfig, FleetManager, PointEvent
+
+SYNC = dict(
+    window_size=400,
+    points_per_bubble=20,
+    checkpoint_every=8,
+    fsync=False,
+    workers=0,
+    queue_points=64,
+    batch_points=16,
+)
+
+
+def engine(**kwargs) -> SLOEngine:
+    kwargs.setdefault("fast_window_seconds", 10.0)
+    kwargs.setdefault("slow_window_seconds", 30.0)
+    return SLOEngine(**kwargs)
+
+
+def shed_sample(submitted: int, shed: int) -> dict:
+    return {"submitted": submitted, "shed": shed}
+
+
+class TestObjectiveValidation:
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("x", "d", target=1.0)
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("x", "d", target=-0.1)
+
+    def test_burn_thresholds_positive(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            SLObjective("x", "d", target=0.9, fast_burn=0.0)
+
+    def test_budget_is_complement(self):
+        assert SLObjective("x", "d", target=0.99).budget == pytest.approx(
+            0.01
+        )
+
+    def test_engine_rejects_bad_windows(self):
+        with pytest.raises(ValueError, match="fast_window_seconds"):
+            SLOEngine(fast_window_seconds=0.0)
+        with pytest.raises(ValueError, match="slow_window_seconds"):
+            SLOEngine(fast_window_seconds=60.0, slow_window_seconds=30.0)
+
+    def test_engine_rejects_duplicate_names(self):
+        objective = SLObjective("dup", "d", target=0.9)
+        with pytest.raises(ValueError, match="unique"):
+            SLOEngine(objectives=(objective, objective))
+
+
+class TestAtRest:
+    def test_summary_before_any_observation(self):
+        summary = engine().summary()
+        assert summary["schema"] == SLO_SCHEMA_VERSION
+        assert summary["observations"] == 0
+        assert summary["firing"] == 0
+        names = [row["name"] for row in summary["objectives"]]
+        assert names == [o.name for o in DEFAULT_OBJECTIVES]
+        assert all(row["state"] == "ok" for row in summary["objectives"])
+
+    def test_no_alerts_before_observation(self):
+        assert engine().alerts() == []
+
+
+class TestAlertLifecycle:
+    def test_sustained_shedding_fires_then_resolves(self):
+        eng = engine()
+        # 50% shed against a 99.9% objective: burn rate 500, far over
+        # both thresholds once both windows carry the bad rate.
+        submitted = shed = 0
+        now = 0.0
+        for _ in range(35):
+            now += 1.0
+            submitted += 100
+            shed += 50
+            firing = eng.observe(shed_sample(submitted, shed), now=now)
+        assert any(row["name"] == "shed_fraction" for row in firing)
+        row = next(
+            r
+            for r in eng.summary()["objectives"]
+            if r["name"] == "shed_fraction"
+        )
+        assert row["state"] == "firing"
+        assert row["fast_burn_rate"] > row["fast_threshold"]
+        assert row["since"] is not None
+        # Recovery: clean traffic until both windows forget the incident.
+        for _ in range(40):
+            now += 1.0
+            submitted += 100
+            firing = eng.observe(shed_sample(submitted, shed), now=now)
+        assert firing == []
+        row = next(
+            r
+            for r in eng.summary()["objectives"]
+            if r["name"] == "shed_fraction"
+        )
+        assert row["state"] == "resolved"
+        assert eng.summary()["transitions"] == 2
+
+    def test_short_blip_does_not_fire(self):
+        # One bad second inside an otherwise clean half-minute: the
+        # fast window breaches but the slow window absorbs it.
+        eng = engine(fast_window_seconds=2.0, slow_window_seconds=30.0)
+        submitted = shed = 0
+        now = 0.0
+        for i in range(30):
+            now += 1.0
+            submitted += 100
+            if i == 25:
+                # Breaches the fast window (10/200 vs the 0.1% budget)
+                # but stays under the slow threshold over 30 s.
+                shed += 10
+            firing = eng.observe(shed_sample(submitted, shed), now=now)
+            assert firing == [], f"fired at t={now}"
+        assert eng.summary()["transitions"] == 0
+
+    def test_transition_events_are_emitted(self):
+        obs = Observability()
+        eng = engine(obs=obs)
+        submitted = shed = 0
+        now = 0.0
+        for _ in range(35):
+            now += 1.0
+            submitted += 100
+            shed += 50
+            eng.observe(shed_sample(submitted, shed), now=now)
+        assert obs.event_count("slo_alert_firing") >= 1
+        for _ in range(40):
+            now += 1.0
+            submitted += 100
+            eng.observe(shed_sample(submitted, shed), now=now)
+        assert obs.event_count("slo_alert_resolved") >= 1
+
+
+class TestSampling:
+    def test_counter_reset_clamps_to_zero(self):
+        eng = engine()
+        eng.observe(shed_sample(1000, 10), now=1.0)
+        # A restarted counter goes backwards; the delta must clamp.
+        eng.observe(shed_sample(100, 1), now=2.0)
+        summary = eng.summary()
+        assert summary["observations"] == 2
+        assert all(
+            row["fast_burn_rate"] >= 0.0 for row in summary["objectives"]
+        )
+
+    def test_torn_read_bad_capped_at_total(self):
+        eng = engine()
+        eng.observe(shed_sample(0, 0), now=1.0)
+        # Torn read: shed moved before submitted was re-read.
+        eng.observe(shed_sample(10, 50), now=2.0)
+        row = next(
+            r
+            for r in eng.summary()["objectives"]
+            if r["name"] == "shed_fraction"
+        )
+        # bad <= total, so the burn rate tops out at 1/budget.
+        budget = 1.0 - 0.999
+        assert row["fast_burn_rate"] <= 1.0 / budget + 1e-9
+
+    def test_breaker_open_integrates_wall_clock(self):
+        eng = engine()
+        eng.observe({"breakers_open": 0}, now=0.0)
+        eng.observe({"breakers_open": 1}, now=10.0)  # 10s open
+        eng.observe({"breakers_open": 0}, now=11.0)  # 1s closed
+        row = next(
+            r
+            for r in eng.summary()["objectives"]
+            if r["name"] == "breaker_open"
+        )
+        # 10 of 11 integrated seconds were bad against a 1% budget.
+        assert row["fast_burn_rate"] == pytest.approx(
+            (10.0 / 11.0) / 0.01
+        )
+
+    def test_windows_bounded_by_capacity(self):
+        eng = engine(capacity=8)
+        for i in range(50):
+            eng.observe(shed_sample(i, 0), now=float(i))
+        assert eng.windows == 8
+
+
+class TestFleetIntegration:
+    def test_slo_tick_without_engine_is_noop(self, tmp_path):
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            assert fleet.slo_tick() == []
+            assert fleet.slo is None
+
+    def test_rollup_carries_slo_summary(self, tmp_path):
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            fleet.attach_slo(engine())
+            for i in range(64):
+                fleet.submit(
+                    PointEvent(tenant="t", point=(float(i), 0.5), label=i)
+                )
+            fleet.slo_tick(now=1.0)
+            rollup = fleet.rollup()
+        slo = rollup["fleet"]["slo"]
+        assert slo["schema"] == SLO_SCHEMA_VERSION
+        assert slo["observations"] >= 1
+        sample_row = next(
+            r for r in slo["objectives"] if r["name"] == "ingest_p95"
+        )
+        assert sample_row["state"] in ("ok", "firing", "resolved")
+
+    def test_fleet_sample_counts_ingest_latency_split(self, tmp_path):
+        with FleetManager(tmp_path / "f", FleetConfig(**SYNC)) as fleet:
+            fleet.attach_slo(engine())
+            for i in range(64):
+                fleet.submit(
+                    PointEvent(tenant="t", point=(float(i), 0.5), label=i)
+                )
+            sample = fleet._slo_sample()
+            assert sample["submitted"] == 64
+            assert sample["ingest_count"] > 0
+            assert 0 <= sample["ingest_slow"] <= sample["ingest_count"]
+            assert sample["breakers_open"] == 0
+
+    def test_drain_runs_final_evaluation(self, tmp_path):
+        fleet = FleetManager(tmp_path / "f", FleetConfig(**SYNC))
+        eng = engine()
+        fleet.attach_slo(eng)
+        for i in range(32):
+            fleet.submit(
+                PointEvent(tenant="t", point=(float(i), 0.5), label=i)
+            )
+        assert eng.observations == 0
+        fleet.drain()
+        assert eng.observations == 1

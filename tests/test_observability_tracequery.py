@@ -1,0 +1,342 @@
+"""Trace reconstruction: parsing, generations, critical paths, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    SpanRecord,
+    TraceSet,
+    critical_path,
+    load_fleet_traces,
+    render_trace_report,
+)
+from repro.observability.tracequery import read_span_records
+from repro.service import (
+    FleetConfig,
+    FleetManager,
+    PointEvent,
+    serve_events,
+)
+
+SYNC = dict(
+    window_size=400,
+    points_per_bubble=20,
+    checkpoint_every=8,
+    fsync=False,
+    workers=0,
+    queue_points=64,
+    batch_points=16,
+    trace=True,
+)
+
+
+def ev(tenant: str, i: int) -> PointEvent:
+    return PointEvent(tenant=tenant, point=(float(i % 7), 0.5), label=i)
+
+
+def span_line(
+    span: int,
+    op: str,
+    parent: int | None = None,
+    trace: str | None = None,
+    **fields,
+) -> str:
+    doc = {
+        "schema": 1,
+        "seq": span,
+        "ts": float(span),
+        "kind": "span_start",
+        "span": span,
+        "parent": parent,
+        "op": op,
+    }
+    if trace is not None:
+        doc["trace"] = trace
+    doc.update(fields)
+    return json.dumps(doc)
+
+
+def end_line(span: int, op: str, seconds: float, error: bool = False) -> str:
+    doc = {
+        "schema": 1,
+        "kind": "span_end",
+        "span": span,
+        "op": op,
+        "seconds": seconds,
+    }
+    if error:
+        doc["error"] = True
+    return json.dumps(doc)
+
+
+class TestReadSpanRecords:
+    def test_pairs_and_parents(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    span_line(0, "root", trace="t:abc:000001", points=5),
+                    span_line(1, "child", parent=0),
+                    end_line(1, "child", 0.25),
+                    end_line(0, "root", 1.0),
+                ]
+            )
+            + "\n"
+        )
+        records, skipped = read_span_records(path, "t")
+        assert skipped == 0
+        root, child = records
+        assert root.trace == "t:abc:000001"
+        assert root.fields == {"points": 5}
+        assert child.parent_id == 0
+        assert root.children == [child]
+        assert child.trace is None  # only what the line carried
+        assert root.seconds == 1.0 and child.seconds == 0.25
+
+    def test_non_span_and_garbage_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"kind": "wal_append", "bytes": 10}),
+                    "not json at all",
+                    span_line(0, "root"),
+                    end_line(99, "ghost", 0.1),  # unmatched end
+                    end_line(0, "root", 0.5),
+                ]
+            )
+            + "\n"
+        )
+        records, skipped = read_span_records(path, "t")
+        assert len(records) == 1
+        assert skipped == 2  # the garbage line + the unmatched end
+
+    def test_span_id_reuse_starts_new_generation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    span_line(0, "root", trace="t:aaa:000001"),
+                    end_line(0, "root", 1.0),
+                    # Fleet resumed: a fresh tracer reuses span id 0.
+                    span_line(0, "root", trace="t:bbb:000001"),
+                    span_line(1, "child", parent=0),
+                    end_line(1, "child", 0.1),
+                    end_line(0, "root", 0.4),
+                ]
+            )
+            + "\n"
+        )
+        records, _ = read_span_records(path, "t")
+        assert [r.generation for r in records] == [0, 1, 1]
+        first, second, child = records
+        assert first.children == []  # never linked across runs
+        assert second.children == [child]
+
+    def test_torn_tail_leaves_span_unclosed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            span_line(0, "root", trace="t:abc:000001") + "\n"
+        )
+        records, skipped = read_span_records(path, "t")
+        assert skipped == 0
+        assert not records[0].closed
+
+
+class TestCriticalPath:
+    def build(self, durations: dict[int, float], edges) -> SpanRecord:
+        nodes = {
+            i: SpanRecord(
+                tenant="t",
+                generation=0,
+                span_id=i,
+                parent_id=None,
+                op=f"op{i}",
+                trace="t:abc:000001" if i == 0 else None,
+                start_ts=0.0,
+                seconds=seconds,
+            )
+            for i, seconds in durations.items()
+        }
+        for parent, child in edges:
+            nodes[child].parent_id = parent
+            nodes[parent].children.append(nodes[child])
+        return nodes[0]
+
+    def test_self_times_telescope_to_root(self):
+        root = self.build(
+            {0: 1.0, 1: 0.6, 2: 0.3, 3: 0.5, 4: 0.2},
+            [(0, 1), (0, 3), (1, 2), (1, 4)],
+        )
+        path = critical_path(root)
+        assert [step["op"] for step in path] == ["op0", "op1", "op2"]
+        assert sum(step["self_seconds"] for step in path) == pytest.approx(
+            root.seconds
+        )
+        assert path[-1]["self_seconds"] == pytest.approx(0.3)
+
+    def test_unclosed_children_are_skipped(self):
+        root = self.build({0: 1.0, 1: 0.9, 2: 0.2}, [(0, 1), (0, 2)])
+        root.children[0].seconds = None  # crashed mid-span
+        path = critical_path(root)
+        assert [step["op"] for step in path] == ["op0", "op2"]
+
+    def test_clock_skew_never_goes_negative(self):
+        # A child measured longer than its parent (timer granularity):
+        # self time clamps at zero instead of going negative.
+        root = self.build({0: 0.5, 1: 0.6}, [(0, 1)])
+        path = critical_path(root)
+        assert path[0]["self_seconds"] == 0.0
+
+
+class TestFleetTraces:
+    def run_fleet(self, tmp_path, n=200):
+        fleet = FleetManager(tmp_path / "f", FleetConfig(**SYNC))
+        serve_events(
+            fleet,
+            [ev(f"tenant-{i % 3}", i) for i in range(n)],
+        )
+        return load_fleet_traces(tmp_path / "f")
+
+    def test_traces_reconstruct_across_shards(self, tmp_path):
+        traces = self.run_fleet(tmp_path)
+        assert traces.files == 3
+        assert traces.unclosed == 0
+        assert traces.skipped_lines == 0
+        # Every trace root is an ingest_batch span with a minted id.
+        for trace_id, root in traces.traces.items():
+            assert root.op == "ingest_batch"
+            tenant, epoch, seq = trace_id.split(":")
+            assert tenant == root.tenant
+            assert len(epoch) == 6 and int(seq) >= 1
+        # Ids are unique fleet-wide by construction.
+        assert len(traces.traces) == sum(
+            1 for record in traces.spans if record.op == "ingest_batch"
+        )
+
+    def test_descendants_inherit_the_trace_id(self, tmp_path):
+        traces = self.run_fleet(tmp_path)
+        # Every span nested under an ingest_batch root carries its
+        # trace id; only spans opened outside any trace context (the
+        # close-time checkpoint) may go without one.
+        inherited = 0
+        for record in traces.spans:
+            if record.parent_id is not None:
+                assert record.trace is not None, record.op
+                inherited += 1
+            elif record.op == "ingest_batch":
+                assert record.trace is not None
+            else:
+                assert record.op == "checkpoint"
+        assert inherited > 0
+
+    def test_critical_path_sums_to_batch_wall_clock(self, tmp_path):
+        """The acceptance check: critical-path self-times telescope to
+        the root ingest_batch span's measured batch duration."""
+        traces = self.run_fleet(tmp_path)
+        checked = 0
+        for root in traces.traces.values():
+            if not root.closed:
+                continue
+            path = critical_path(root)
+            assert sum(
+                step["self_seconds"] for step in path
+            ) == pytest.approx(root.seconds, rel=1e-9)
+            checked += 1
+        assert checked >= 10
+
+    def test_op_stats_cover_nested_ops(self, tmp_path):
+        traces = self.run_fleet(tmp_path)
+        stats = {row["op"]: row for row in traces.op_stats()}
+        assert {"ingest_batch", "stream_append", "wal_append"} <= set(
+            stats
+        )
+        row = stats["ingest_batch"]
+        assert row["count"] == len(traces.traces)
+        assert 0 < row["p50_seconds"] <= row["p95_seconds"]
+
+    def test_slowest_traces_sorted(self, tmp_path):
+        traces = self.run_fleet(tmp_path)
+        slowest = traces.slowest_traces(5)
+        durations = [root.seconds for root in slowest]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_report_renders(self, tmp_path):
+        traces = self.run_fleet(tmp_path)
+        report = render_trace_report(traces, top=2)
+        assert "per-op latency" in report
+        assert "critical path, top 2" in report
+        assert "exemplar trace ids:" in report
+
+    def test_empty_fleet_dir_renders_hint(self, tmp_path):
+        (tmp_path / "f" / "tenants").mkdir(parents=True)
+        report = render_trace_report(load_fleet_traces(tmp_path / "f"))
+        assert "no spans found" in report
+
+    def test_resume_appends_new_generation(self, tmp_path):
+        self.run_fleet(tmp_path, n=120)
+        fleet = FleetManager.recover(
+            tmp_path / "f", config=FleetConfig(**SYNC)
+        )
+        serve_events(
+            fleet, [ev(f"tenant-{i % 3}", i) for i in range(120)]
+        )
+        traces = load_fleet_traces(tmp_path / "f")
+        generations = {
+            record.generation
+            for record in traces.spans
+            if record.tenant == "tenant-0"
+        }
+        assert generations == {0, 1}
+        assert traces.unclosed == 0
+
+    def test_trace_off_writes_no_files(self, tmp_path):
+        config = FleetConfig(**dict(SYNC, trace=False))
+        fleet = FleetManager(tmp_path / "f", config)
+        serve_events(fleet, [ev("t", i) for i in range(40)])
+        traces = load_fleet_traces(tmp_path / "f")
+        assert traces.files == 0
+        assert traces.spans == []
+
+
+class TestTraceSetEdges:
+    def test_duplicate_trace_id_first_wins(self):
+        a = SpanRecord(
+            tenant="t",
+            generation=0,
+            span_id=0,
+            parent_id=None,
+            op="ingest_batch",
+            trace="t:abc:000001",
+            start_ts=0.0,
+            seconds=1.0,
+        )
+        b = SpanRecord(
+            tenant="t",
+            generation=1,
+            span_id=0,
+            parent_id=None,
+            op="ingest_batch",
+            trace="t:abc:000001",
+            start_ts=5.0,
+            seconds=2.0,
+        )
+        traces = TraceSet([a, b])
+        assert traces.traces["t:abc:000001"] is a
+
+    def test_unclosed_roots_excluded_from_slowest(self):
+        a = SpanRecord(
+            tenant="t",
+            generation=0,
+            span_id=0,
+            parent_id=None,
+            op="ingest_batch",
+            trace="t:abc:000001",
+            start_ts=0.0,
+        )
+        traces = TraceSet([a])
+        assert traces.unclosed == 1
+        assert traces.slowest_traces() == []

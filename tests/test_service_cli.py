@@ -351,3 +351,102 @@ class TestVerifyChainCommand:
         code = main(["verify-chain", "--fleet-dir", str(tmp_path / "no")])
         assert code == 1
         assert "holds no fleet" in capsys.readouterr().err
+
+
+class TestTelemetryPlaneCLI:
+    def _events(self, tmp_path, events=300, tenants=4):
+        path = tmp_path / "events.ndjson"
+        assert main(
+            [
+                "loadgen",
+                "--out", str(path),
+                "--events", str(events),
+                "--tenants", str(tenants),
+                "--seed", "7",
+            ]
+        ) == 0
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.listen is None
+        assert args.trace is False
+        assert args.slo_fast_seconds == pytest.approx(60.0)
+        assert args.slo_slow_seconds == pytest.approx(300.0)
+        args = build_parser().parse_args(["trace", "--fleet-dir", "f"])
+        assert args.top == 3
+
+    def test_serve_with_listener_and_trace(self, tmp_path, capsys):
+        events = self._events(tmp_path)
+        fleet_dir = tmp_path / "fleet"
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--fleet-dir", str(fleet_dir),
+                "--input", str(events),
+                "--listen", "0",
+                "--trace",
+                "--slo-fast-seconds", "5",
+                "--slo-slow-seconds", "15",
+                *QUICK_SERVE,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry plane listening on http://127.0.0.1:" in out
+        assert "slo windows 5s/15s" in out
+        assert "trace recording on" in out
+        # The rollup line carries the SLO objective states.
+        assert "slo: 0 firing / 4 objectives" in out
+        traces = sorted((fleet_dir / "tenants").glob("*/trace.jsonl"))
+        assert len(traces) == 4
+        assert all(p.stat().st_size > 0 for p in traces)
+
+    def test_trace_command_reports_critical_paths(self, tmp_path, capsys):
+        events = self._events(tmp_path)
+        fleet_dir = tmp_path / "fleet"
+        assert main(
+            [
+                "serve",
+                "--fleet-dir", str(fleet_dir),
+                "--input", str(events),
+                "--trace",
+                *QUICK_SERVE,
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["trace", "--fleet-dir", str(fleet_dir), "--top", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-op latency" in out
+        assert "ingest_batch" in out
+        assert "critical path, top 2" in out
+        assert "exemplar trace ids:" in out
+
+    def test_trace_requires_fleet_dir(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_missing_fleet_exits_1(self, tmp_path, capsys):
+        assert main(
+            ["trace", "--fleet-dir", str(tmp_path / "nothing")]
+        ) == 1
+        assert "fleet.json is missing" in capsys.readouterr().err
+
+    def test_trace_without_recordings_prints_hint(self, tmp_path, capsys):
+        events = self._events(tmp_path, events=60)
+        fleet_dir = tmp_path / "fleet"
+        assert main(
+            [
+                "serve",
+                "--fleet-dir", str(fleet_dir),
+                "--input", str(events),
+                *QUICK_SERVE,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "--fleet-dir", str(fleet_dir)]) == 0
+        assert "no spans found" in capsys.readouterr().out

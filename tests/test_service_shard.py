@@ -166,6 +166,48 @@ class TestDrainClose:
         assert shard.state == "stopped"
         assert shard.flush_once() == 0
 
+    def test_close_flushes_partial_timeseries_window(self, tmp_path):
+        """A window mid-fill at close must be flushed, not dropped:
+        every applied batch shows up in exactly one retained window."""
+        from repro.observability import Observability, TimeseriesRecorder
+
+        obs = Observability(timeseries=TimeseriesRecorder(interval=4))
+        summarizer = DurableSummarizer(
+            tmp_path / "shard", dim=2, window_size=500,
+            points_per_bubble=20, seed=0, fsync=False, obs=obs,
+        )
+        shard = Shard("t0", summarizer, queue_points=64, batch_points=8)
+        for i in range(48):  # 6 batches: one full window + 2 leftover
+            shard.submit((float(i % 5), 0.5), label=i)
+        shard.drain_flush()
+        shard.close()
+        recorder = obs.timeseries
+        assert len(recorder) == 2
+        assert recorder.samples[-1].end_batch == 6
+
+    def test_close_closes_trace_sink(self, tmp_path):
+        from repro.observability import (
+            EventTracer,
+            Observability,
+            SpanTracer,
+        )
+
+        sink = tmp_path / "trace.jsonl"
+        obs = Observability(tracer=EventTracer(sink=sink), spans=SpanTracer())
+        summarizer = DurableSummarizer(
+            tmp_path / "shard", dim=2, window_size=500,
+            points_per_bubble=20, seed=0, fsync=False, obs=obs,
+        )
+        shard = Shard(
+            "t0", summarizer, queue_points=64, batch_points=8, obs=obs
+        )
+        for i in range(16):
+            shard.submit((float(i % 5), 0.5), label=i)
+        shard.drain_flush()
+        shard.close()
+        assert obs.tracer._sink is None  # sink closed and released
+        assert sink.exists() and sink.stat().st_size > 0
+
 
 class TestHistogramQuantile:
     def test_bound_granular(self, tmp_path):
